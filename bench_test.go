@@ -1,0 +1,191 @@
+// Benchmarks regenerating the paper's evaluation, one per figure.
+// These run each experiment harness at a reduced scale so `go test
+// -bench` finishes in minutes; cmd/experiments exposes the same
+// harnesses with larger scales.
+package vsresil_test
+
+import (
+	"context"
+	"testing"
+
+	"vsresil/internal/energy"
+	"vsresil/internal/experiments"
+	"vsresil/internal/fault"
+	"vsresil/internal/virat"
+	"vsresil/internal/vs"
+)
+
+// benchOptions is the shared reduced scale for figure benchmarks.
+func benchOptions() experiments.Options {
+	p := virat.TestScale()
+	p.Frames = 12
+	return experiments.Options{Preset: p, Trials: 100, QualityTrials: 120, Seed: 1}
+}
+
+// BenchmarkFig5PerformanceEnergy regenerates the Fig 5 normalized
+// IPC/time/energy comparison.
+func BenchmarkFig5PerformanceEnergy(b *testing.B) {
+	o := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6Panoramas regenerates the Fig 6 output panoramas.
+func BenchmarkFig6Panoramas(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8Profile regenerates the Fig 8 execution profile.
+func BenchmarkFig8Profile(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Coverage regenerates the Fig 9 coverage study (outcome
+// rates vs injections, register histogram).
+func BenchmarkFig9Coverage(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(context.Background(), o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10ResiliencyProfile regenerates the Fig 10 GPR/FPR
+// resiliency profile of the baseline VS.
+func BenchmarkFig10ResiliencyProfile(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(context.Background(), o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11aApproxResiliency regenerates the Fig 11a per-variant
+// resiliency comparison.
+func BenchmarkFig11aApproxResiliency(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11a(context.Background(), o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11bHotFunction regenerates the Fig 11b WP-vs-VS
+// hot-function case study.
+func BenchmarkFig11bHotFunction(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11b(context.Background(), o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12SDCQuality regenerates the Fig 12 ED distributions.
+func BenchmarkFig12SDCQuality(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12(context.Background(), o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13OutputComparison regenerates the Fig 13 VS-vs-VS_SM
+// comparison.
+func BenchmarkFig13OutputComparison(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineBaseline measures one fault-free end-to-end run of
+// the precise algorithm (the unit of work every campaign repeats).
+func BenchmarkPipelineBaseline(b *testing.B) {
+	p := virat.TestScale()
+	frames := virat.Input1(p).Frames()
+	app := vs.New(vs.DefaultConfig(vs.AlgVS), len(frames))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := app.Run(frames, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineInstrumented measures the same run under full fault
+// instrumentation — the overhead of the tap layer.
+func BenchmarkPipelineInstrumented(b *testing.B) {
+	p := virat.TestScale()
+	frames := virat.Input1(p).Frames()
+	app := vs.New(vs.DefaultConfig(vs.AlgVS), len(frames))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := app.Run(frames, fault.New()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignThroughput measures fault-injection trials per
+// second on the smallest meaningful workload.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	p := virat.TestScale()
+	p.Frames = 8
+	frames := virat.Input2(p).Frames()
+	app := vs.New(vs.DefaultConfig(vs.AlgVS), len(frames))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fault.RunCampaign(context.Background(), fault.Config{
+			Trials: 20, Class: fault.GPR, Region: fault.RAny, Seed: uint64(i),
+		}, app.RunEncoded(frames)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBlendModes compares the two canvas blend modes'
+// golden-run cost (the DESIGN.md compositing choice).
+func BenchmarkAblationBlendModes(b *testing.B) {
+	for _, alg := range vs.Algorithms() {
+		b.Run(alg.String(), func(b *testing.B) {
+			p := virat.TestScale()
+			p.Frames = 8
+			frames := virat.Input2(p).Frames()
+			app := vs.New(vs.DefaultConfig(alg), len(frames))
+			m := fault.New()
+			if _, err := app.Run(frames, m); err != nil {
+				b.Fatal(err)
+			}
+			met := energy.DefaultModel().Measure(m)
+			b.ReportMetric(float64(met.Instructions), "modelled-instructions")
+			for i := 0; i < b.N; i++ {
+				if _, err := app.Run(frames, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

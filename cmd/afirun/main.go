@@ -1,0 +1,233 @@
+// Command afirun runs an AFI-style fault-injection campaign against a
+// VS variant and reports the Mask/Crash/SDC/Hang breakdown, coverage
+// statistics and (optionally) the SDC quality distribution.
+//
+// Usage:
+//
+//	afirun -input 1 -alg VS -class gpr -trials 1000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"vsresil/internal/fault"
+	"vsresil/internal/imgproc"
+	"vsresil/internal/quality"
+	"vsresil/internal/stitch"
+	"vsresil/internal/virat"
+	"vsresil/internal/vs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "afirun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		input      = flag.Int("input", 1, "input video: 1 or 2")
+		algName    = flag.String("alg", "VS", "algorithm: VS, VS_RFD, VS_KDS or VS_SM")
+		className  = flag.String("class", "gpr", "register class: gpr or fpr")
+		scale      = flag.String("scale", "test", "input scale: test, bench or paper")
+		frames     = flag.Int("frames", 24, "override the preset's frame count (0 = preset default)")
+		trials     = flag.Int("trials", 1000, "number of error injections")
+		seed       = flag.Uint64("seed", 1, "campaign seed")
+		workers    = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		sdcEDs     = flag.Bool("sdc-quality", false, "classify every SDC's Egregiousness Degree")
+		regionStr  = flag.String("region", "", "restrict injections to one function (e.g. remapBilinear)")
+		stratified = flag.Bool("stratified", false, "use the Relyzer-style equivalence-class campaign (per-stratum sampling, population-weighted estimate)")
+	)
+	flag.Parse()
+
+	alg, err := parseAlgorithm(*algName)
+	if err != nil {
+		return err
+	}
+	var class fault.Class
+	switch strings.ToLower(*className) {
+	case "gpr":
+		class = fault.GPR
+	case "fpr":
+		class = fault.FPR
+	default:
+		return fmt.Errorf("unknown register class %q", *className)
+	}
+	region := fault.RAny
+	if *regionStr != "" {
+		region, err = parseRegion(*regionStr)
+		if err != nil {
+			return err
+		}
+	}
+	preset, err := parsePreset(*scale, *frames)
+	if err != nil {
+		return err
+	}
+	seq, err := sequenceFor(*input, preset)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	vframes := seq.Frames()
+	cfg := vs.DefaultConfig(alg)
+	cfg.Seed = *seed
+	app := vs.New(cfg, len(vframes))
+
+	if *stratified {
+		return runStratified(ctx, app, vframes, class, *trials, *seed, *workers, alg, seq)
+	}
+
+	fmt.Printf("campaign: %s on %s, %v faults, %d trials, region=%s\n",
+		alg, seq.Name, class, *trials, region)
+	start := time.Now()
+	res, err := fault.RunCampaign(ctx, fault.Config{
+		Trials:         *trials,
+		Class:          class,
+		Region:         region,
+		Seed:           *seed,
+		Workers:        *workers,
+		KeepSDCOutputs: *sdcEDs,
+	}, app.RunEncoded(vframes))
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("golden run: %d taps in site space, %d total steps\n", res.TotalTaps, res.GoldenSteps)
+	fmt.Printf("%-8s %8s %8s\n", "outcome", "count", "rate")
+	for o := fault.Outcome(0); o < fault.NumOutcomes; o++ {
+		fmt.Printf("%-8s %8d %8.3f\n", o, res.Counts[o], res.Rate(o))
+	}
+	if crashes := res.Counts[fault.OutcomeCrash]; crashes > 0 {
+		fmt.Printf("crash split: %.0f%% segv-like, %.0f%% abort-like (paper: 92%%/8%%)\n",
+			100*float64(res.CrashCounts[fault.CrashSegv])/float64(crashes),
+			100*float64(res.CrashCounts[fault.CrashAbort])/float64(crashes))
+	}
+	fmt.Printf("register coverage chi2 vs uniform: %.1f (expect ~%d)\n",
+		res.RegHist.ChiSquareUniform(), fault.NumRegisters-1)
+	fmt.Printf("rate-curve knee: ~%d injections\n", res.Curve.Knee(0.02))
+	fmt.Printf("campaign wall time: %s (%.1f trials/s)\n",
+		elapsed.Round(time.Millisecond), float64(*trials)/elapsed.Seconds())
+
+	if *sdcEDs {
+		golden, gox, goy, err := stitch.DecodePrimary(res.GoldenOutput)
+		if err != nil {
+			return fmt.Errorf("decode golden: %w", err)
+		}
+		var eds []quality.ED
+		qcfg := quality.DefaultConfig()
+		for _, enc := range res.SDCOutputs() {
+			faulty, fox, foy, err := stitch.DecodePrimary(enc)
+			if err != nil {
+				faulty = nil
+			}
+			eds = append(eds, quality.ClassifyPlaced(golden, faulty, gox, goy, fox, foy, qcfg))
+		}
+		curve := quality.NewCurve(eds, 40)
+		fmt.Printf("SDC quality: %d SDCs, %d egregious (norm > 100%%)\n", curve.Total, curve.Egregious)
+		for _, k := range []int{0, 2, 5, 10, 20, 40} {
+			fmt.Printf("  ED <= %-3d: %5.1f%% of SDCs\n", k, 100*curve.FractionAtOrBelow(k))
+		}
+	}
+	return nil
+}
+
+// runStratified executes the Relyzer-style equivalence-class campaign
+// and prints the per-stratum table plus the weighted estimate.
+func runStratified(ctx context.Context, app *vs.App, frames []*imgproc.Gray,
+	class fault.Class, trials int, seed uint64, workers int,
+	alg vs.Algorithm, seq *virat.Sequence) error {
+	perStratum := trials / 24 // comparable total effort to -trials
+	if perStratum < 5 {
+		perStratum = 5
+	}
+	fmt.Printf("stratified campaign: %s on %s, %v faults, %d trials/stratum\n",
+		alg, seq.Name, class, perStratum)
+	start := time.Now()
+	res, err := fault.RunStratifiedCampaign(ctx, fault.StratifiedConfig{
+		TrialsPerStratum: perStratum,
+		Class:            class,
+		Seed:             seed,
+		Workers:          workers,
+	}, app.RunEncoded(frames))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-24s %-10s %10s %8s %8s %8s %8s\n",
+		"region", "bits", "population", "Mask", "Crash", "SDC", "Hang")
+	for i := range res.Strata {
+		s := &res.Strata[i]
+		r := s.Rates()
+		fmt.Printf("%-24s %-10s %10d %8.3f %8.3f %8.3f %8.3f\n",
+			s.Region, s.Bits, s.Population,
+			r[fault.OutcomeMask], r[fault.OutcomeCrash], r[fault.OutcomeSDC], r[fault.OutcomeHang])
+	}
+	w := res.WeightedRates()
+	fmt.Printf("weighted estimate (%d trials): Mask %.3f Crash %.3f SDC %.3f Hang %.3f\n",
+		res.Trials,
+		w[fault.OutcomeMask], w[fault.OutcomeCrash], w[fault.OutcomeSDC], w[fault.OutcomeHang])
+	fmt.Printf("campaign wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// parseAlgorithm maps a paper name to a variant.
+func parseAlgorithm(name string) (vs.Algorithm, error) {
+	for _, a := range vs.Algorithms() {
+		if strings.EqualFold(a.String(), name) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", name)
+}
+
+// parseRegion maps a function name to a region.
+func parseRegion(name string) (fault.Region, error) {
+	for r := fault.Region(0); r < fault.NumRegions; r++ {
+		if strings.EqualFold(r.String(), name) {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown region %q", name)
+}
+
+// parsePreset maps a scale name to a preset.
+func parsePreset(scale string, frames int) (virat.Preset, error) {
+	var p virat.Preset
+	switch strings.ToLower(scale) {
+	case "test":
+		p = virat.TestScale()
+	case "bench":
+		p = virat.BenchScale()
+	case "paper":
+		p = virat.PaperScale()
+	default:
+		return p, fmt.Errorf("unknown scale %q", scale)
+	}
+	if frames > 0 {
+		p.Frames = frames
+	}
+	return p, nil
+}
+
+// sequenceFor builds the requested input.
+func sequenceFor(input int, p virat.Preset) (*virat.Sequence, error) {
+	switch input {
+	case 1:
+		return virat.Input1(p), nil
+	case 2:
+		return virat.Input2(p), nil
+	default:
+		return nil, fmt.Errorf("unknown input %d", input)
+	}
+}

@@ -1,0 +1,202 @@
+// Command experiments regenerates the data behind every figure of the
+// paper's evaluation section.
+//
+// Usage:
+//
+//	experiments -fig all -scale small
+//	experiments -fig 11b -trials 1000
+//	experiments -fig 6 -images ./out
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"vsresil/internal/experiments"
+	"vsresil/internal/virat"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig       = flag.String("fig", "all", "figure to regenerate: 5, 6, 8, 9, 10, 11a, 11b, 12, 13 or all")
+		scaleName = flag.String("scale", "small", "experiment scale: small, bench or paper")
+		frames    = flag.Int("frames", 0, "override frames per input")
+		trials    = flag.Int("trials", 0, "override injections per campaign")
+		qtrials   = flag.Int("quality-trials", 0, "override injections for the SDC-quality study")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		workers   = flag.Int("workers", 0, "campaign worker bound (0 = GOMAXPROCS)")
+		images    = flag.String("images", "", "directory for the Fig 6/13 output images")
+	)
+	flag.Parse()
+
+	o, err := optionsFor(*scaleName)
+	if err != nil {
+		return err
+	}
+	if *frames > 0 {
+		o.Preset.Frames = *frames
+	}
+	if *trials > 0 {
+		o.Trials = *trials
+	}
+	if *qtrials > 0 {
+		o.QualityTrials = *qtrials
+	}
+	o.Seed = *seed
+	o.Workers = *workers
+	o.ImageDir = *images
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	want := strings.ToLower(*fig)
+	ran := 0
+	for _, e := range allExperiments() {
+		if want != "all" && want != e.name {
+			continue
+		}
+		// Ablations are opt-in: they study this reproduction's modeling
+		// knobs, not the paper's figures.
+		if want == "all" && strings.HasPrefix(e.name, "ablation") {
+			continue
+		}
+		ran++
+		start := time.Now()
+		if err := e.run(ctx, o, os.Stdout); err != nil {
+			return fmt.Errorf("fig %s: %w", e.name, err)
+		}
+		fmt.Printf("[fig %s done in %s]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+	return nil
+}
+
+func optionsFor(scale string) (experiments.Options, error) {
+	switch strings.ToLower(scale) {
+	case "small":
+		return experiments.DefaultOptions(), nil
+	case "bench":
+		o := experiments.DefaultOptions()
+		o.Preset = virat.BenchScale()
+		o.Trials = 1000
+		o.QualityTrials = 2000
+		return o, nil
+	case "paper":
+		return experiments.PaperOptions(), nil
+	default:
+		return experiments.Options{}, fmt.Errorf("unknown scale %q (want small, bench or paper)", scale)
+	}
+}
+
+// experiment binds a figure name to its runner.
+type experiment struct {
+	name string
+	run  func(ctx context.Context, o experiments.Options, out *os.File) error
+}
+
+func allExperiments() []experiment {
+	return []experiment{
+		{"5", func(_ context.Context, o experiments.Options, out *os.File) error {
+			r, err := experiments.Fig5(o)
+			if err != nil {
+				return err
+			}
+			r.Write(out, o)
+			return nil
+		}},
+		{"6", func(_ context.Context, o experiments.Options, out *os.File) error {
+			r, err := experiments.Fig6(o)
+			if err != nil {
+				return err
+			}
+			r.Write(out, o)
+			return nil
+		}},
+		{"8", func(_ context.Context, o experiments.Options, out *os.File) error {
+			r, err := experiments.Fig8(o)
+			if err != nil {
+				return err
+			}
+			r.Write(out, o)
+			return nil
+		}},
+		{"9", func(ctx context.Context, o experiments.Options, out *os.File) error {
+			r, err := experiments.Fig9(ctx, o)
+			if err != nil {
+				return err
+			}
+			r.Write(out, o)
+			return nil
+		}},
+		{"10", func(ctx context.Context, o experiments.Options, out *os.File) error {
+			r, err := experiments.Fig10(ctx, o)
+			if err != nil {
+				return err
+			}
+			r.Write(out, o)
+			return nil
+		}},
+		{"11a", func(ctx context.Context, o experiments.Options, out *os.File) error {
+			r, err := experiments.Fig11a(ctx, o)
+			if err != nil {
+				return err
+			}
+			r.Write(out, o)
+			return nil
+		}},
+		{"11b", func(ctx context.Context, o experiments.Options, out *os.File) error {
+			r, err := experiments.Fig11b(ctx, o)
+			if err != nil {
+				return err
+			}
+			r.Write(out, o)
+			return nil
+		}},
+		{"12", func(ctx context.Context, o experiments.Options, out *os.File) error {
+			r, err := experiments.Fig12(ctx, o)
+			if err != nil {
+				return err
+			}
+			r.Write(out, o)
+			return nil
+		}},
+		{"13", func(_ context.Context, o experiments.Options, out *os.File) error {
+			r, err := experiments.Fig13(o)
+			if err != nil {
+				return err
+			}
+			r.Write(out, o)
+			return nil
+		}},
+		{"ablation-window", func(ctx context.Context, o experiments.Options, out *os.File) error {
+			r, err := experiments.AblationWindow(ctx, o, nil)
+			if err != nil {
+				return err
+			}
+			r.Write(out, o)
+			return nil
+		}},
+		{"ablation-blend", func(ctx context.Context, o experiments.Options, out *os.File) error {
+			r, err := experiments.AblationBlend(ctx, o)
+			if err != nil {
+				return err
+			}
+			r.Write(out, o)
+			return nil
+		}},
+	}
+}

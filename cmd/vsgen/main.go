@@ -1,0 +1,104 @@
+// Command vsgen renders a synthetic aerial input video to disk as a
+// PGM frame sequence plus a ground-truth pose file, so the inputs can
+// be inspected or fed to external tools.
+//
+// Usage:
+//
+//	vsgen -input 1 -scale bench -outdir ./input1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vsresil/internal/imgproc"
+	"vsresil/internal/virat"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vsgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		input  = flag.Int("input", 1, "input video: 1 or 2")
+		scale  = flag.String("scale", "test", "input scale: test, bench or paper")
+		frames = flag.Int("frames", 0, "override the preset's frame count")
+		outdir = flag.String("outdir", "frames", "output directory")
+		world  = flag.Bool("world", false, "also write the full world bitmap")
+	)
+	flag.Parse()
+
+	var p virat.Preset
+	switch strings.ToLower(*scale) {
+	case "test":
+		p = virat.TestScale()
+	case "bench":
+		p = virat.BenchScale()
+	case "paper":
+		p = virat.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	if *frames > 0 {
+		p.Frames = *frames
+	}
+
+	var seq *virat.Sequence
+	switch *input {
+	case 1:
+		seq = virat.Input1(p)
+	case 2:
+		seq = virat.Input2(p)
+	default:
+		return fmt.Errorf("unknown input %d", *input)
+	}
+
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		return err
+	}
+	for i := 0; i < seq.Len(); i++ {
+		path := filepath.Join(*outdir, fmt.Sprintf("frame_%04d.pgm", i))
+		if err := imgproc.SavePGM(path, seq.Frame(i)); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d frames of %s to %s\n", seq.Len(), seq.Name, *outdir)
+
+	poses, err := os.Create(filepath.Join(*outdir, "poses.csv"))
+	if err != nil {
+		return err
+	}
+	defer poses.Close()
+	fmt.Fprintln(poses, "frame,x,y,heading,zoom,cut")
+	cutSet := map[int]bool{}
+	for _, c := range seq.Cuts {
+		cutSet[c] = true
+	}
+	for i, pose := range seq.Poses {
+		cut := 0
+		if cutSet[i] {
+			cut = 1
+		}
+		fmt.Fprintf(poses, "%d,%.3f,%.3f,%.5f,%.4f,%d\n", i, pose.X, pose.Y, pose.Heading, pose.Zoom, cut)
+	}
+	if err := poses.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote ground-truth poses.csv (%d cuts)\n", len(seq.Cuts))
+
+	if *world {
+		path := filepath.Join(*outdir, "world.pgm")
+		if err := imgproc.SavePGM(path, seq.World.Img); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%dx%d)\n", path, seq.World.Img.W, seq.World.Img.H)
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+// Command vsrun executes one VS variant on a synthetic input and
+// writes the resulting panorama(s) plus a run summary.
+//
+// Usage:
+//
+//	vsrun -input 1 -alg VS_RFD -scale bench -out pano.pgm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vsresil/internal/energy"
+	"vsresil/internal/fault"
+	"vsresil/internal/imgproc"
+	"vsresil/internal/stitch"
+	"vsresil/internal/virat"
+	"vsresil/internal/vs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vsrun:", err)
+		os.Exit(1)
+	}
+}
+
+// parseAlgorithm maps a paper name to a variant.
+func parseAlgorithm(name string) (vs.Algorithm, error) {
+	for _, a := range vs.Algorithms() {
+		if strings.EqualFold(a.String(), name) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (want VS, VS_RFD, VS_KDS or VS_SM)", name)
+}
+
+// parsePreset maps a scale name to a preset, with optional frame
+// override.
+func parsePreset(scale string, frames int) (virat.Preset, error) {
+	var p virat.Preset
+	switch strings.ToLower(scale) {
+	case "test":
+		p = virat.TestScale()
+	case "bench":
+		p = virat.BenchScale()
+	case "paper":
+		p = virat.PaperScale()
+	default:
+		return p, fmt.Errorf("unknown scale %q (want test, bench or paper)", scale)
+	}
+	if frames > 0 {
+		p.Frames = frames
+	}
+	return p, nil
+}
+
+// sequenceFor builds the requested input.
+func sequenceFor(input int, p virat.Preset) (*virat.Sequence, error) {
+	switch input {
+	case 1:
+		return virat.Input1(p), nil
+	case 2:
+		return virat.Input2(p), nil
+	default:
+		return nil, fmt.Errorf("unknown input %d (want 1 or 2)", input)
+	}
+}
+
+func run() error {
+	var (
+		input   = flag.Int("input", 1, "input video: 1 (fast pan, scene cuts) or 2 (slow sweep)")
+		algName = flag.String("alg", "VS", "algorithm: VS, VS_RFD, VS_KDS or VS_SM")
+		scale   = flag.String("scale", "bench", "input scale: test, bench or paper")
+		frames  = flag.Int("frames", 0, "override the preset's frame count")
+		out     = flag.String("out", "panorama.pgm", "output path for the primary panorama (.pgm or .png)")
+		allOut  = flag.String("all-out", "", "optional directory to write every mini-panorama into")
+		seed    = flag.Uint64("seed", 0x5EED, "pipeline seed")
+		quiet   = flag.Bool("q", false, "suppress the per-frame report")
+	)
+	flag.Parse()
+
+	alg, err := parseAlgorithm(*algName)
+	if err != nil {
+		return err
+	}
+	preset, err := parsePreset(*scale, *frames)
+	if err != nil {
+		return err
+	}
+	seq, err := sequenceFor(*input, preset)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("rendering %s: %d frames %dx%d\n", seq.Name, seq.Len(), seq.FrameW, seq.FrameH)
+	vframes := seq.Frames()
+
+	cfg := vs.DefaultConfig(alg)
+	cfg.Seed = *seed
+	app := vs.New(cfg, len(vframes))
+	m := fault.New()
+	res, err := app.Run(vframes, m)
+	if err != nil {
+		return fmt.Errorf("pipeline: %w", err)
+	}
+
+	if !*quiet {
+		printReport(res)
+	}
+	met := energy.DefaultModel().Measure(m)
+	fmt.Printf("model: %d instructions, IPC %.3f, time %.3fs, energy %.1fJ\n",
+		met.Instructions, met.IPC, met.TimeSec, met.EnergyJ)
+
+	prim := res.Primary()
+	fmt.Printf("primary panorama: %dx%d from %d frames (%d mini-panoramas, %d discarded)\n",
+		prim.Image.W, prim.Image.H, prim.Frames, len(res.Panoramas), res.Discarded)
+	if err := saveImage(*out, prim.Image); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if *allOut != "" {
+		if err := os.MkdirAll(*allOut, 0o755); err != nil {
+			return err
+		}
+		for i, p := range res.Panoramas {
+			path := fmt.Sprintf("%s/mini_%02d.pgm", *allOut, i)
+			if err := imgproc.SavePGM(path, p.Image); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d frames)\n", path, p.Frames)
+		}
+	}
+	return nil
+}
+
+func printReport(res *stitch.Result) {
+	var hom, aff, disc, segs int
+	for _, r := range res.Reports {
+		switch r.Status {
+		case stitch.StatusHomography:
+			hom++
+		case stitch.StatusAffine:
+			aff++
+		case stitch.StatusDiscarded:
+			disc++
+		case stitch.StatusNewSegment:
+			segs++
+		}
+	}
+	fmt.Printf("registration: %d homography, %d affine fallback, %d discarded, %d segment starts\n",
+		hom, aff, disc, segs)
+}
+
+func saveImage(path string, img *imgproc.Gray) error {
+	if strings.HasSuffix(strings.ToLower(path), ".png") {
+		return imgproc.SavePNG(path, img)
+	}
+	return imgproc.SavePGM(path, img)
+}

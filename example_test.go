@@ -1,0 +1,32 @@
+package vsresil_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"vsresil"
+)
+
+// Example demonstrates the minimal end-to-end flow: generate a
+// synthetic aerial input, run the precise VS algorithm, and inspect
+// the result.
+func Example() {
+	preset := vsresil.TestScale()
+	preset.Frames = 6
+	seq := vsresil.Input2(preset)
+
+	res, err := vsresil.RunStudy(context.Background(), vsresil.StudyConfig{
+		Input:     seq,
+		Algorithm: vsresil.AlgVS,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("panoramas: %d\n", len(res.Golden.Panoramas))
+	fmt.Printf("frames stitched: %d\n", res.Golden.Primary().Frames)
+	// Output:
+	// panoramas: 1
+	// frames stitched: 6
+}

@@ -1,0 +1,71 @@
+// Surveillance mission planning: compare the precise VS algorithm with
+// its three approximations on both mission profiles (a fast-panning
+// multi-target sweep and a slow corridor sweep), reporting the
+// energy/time savings and the output-quality cost of each knob — the
+// trade-off a UAV operator would tune before a mission (paper §IV-A).
+//
+//	go run ./examples/surveillance
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"vsresil"
+	"vsresil/internal/energy"
+	"vsresil/internal/quality"
+)
+
+func main() {
+	preset := vsresil.TestScale()
+	preset.Frames = 20
+
+	for _, seq := range []*vsresil.Sequence{
+		vsresil.Input1(preset),
+		vsresil.Input2(preset),
+	} {
+		fmt.Printf("=== mission profile %s ===\n", seq.Name)
+
+		// Baseline first: everything is reported relative to it.
+		base, err := vsresil.RunStudy(context.Background(), vsresil.StudyConfig{
+			Input: seq, Algorithm: vsresil.AlgVS, Seed: 7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %8s %8s %10s  %s\n", "alg", "time", "energy", "output-ED", "panorama")
+
+		for _, alg := range vsresil.Algorithms() {
+			res, err := vsresil.RunStudy(context.Background(), vsresil.StudyConfig{
+				Input: seq, Algorithm: alg, Seed: 7,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			norm, err := energy.Normalize(res.Metrics, base.Metrics)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Quality cost of the approximation itself: the ED of its
+			// golden output vs the precise golden output, compared in
+			// shared panorama coordinates.
+			bp := base.Golden.Primary()
+			rp := res.Golden.Primary()
+			ed := quality.ClassifyPlaced(bp.Image, rp.Image,
+				bp.Bounds.MinX, bp.Bounds.MinY, rp.Bounds.MinX, rp.Bounds.MinY,
+				quality.DefaultConfig())
+			edStr := fmt.Sprintf("%d", ed.Degree)
+			if ed.Egregious {
+				edStr = "egregious"
+			}
+			fmt.Printf("%-8s %7.0f%% %7.0f%% %10s  %dx%d\n",
+				alg, norm.Time*100, norm.Energy*100, edStr,
+				res.GoldenImage.W, res.GoldenImage.H)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Reading the table: time/energy are relative to the precise VS baseline")
+	fmt.Println("(lower is better); output-ED is the approximation's quality cost under")
+	fmt.Println("the paper's egregiousness metric (0 = identical output).")
+}

@@ -1,0 +1,3 @@
+module vsresil
+
+go 1.22

@@ -1,0 +1,173 @@
+// Package core implements the paper's primary contribution: the
+// joint study of software approximation and application resiliency.
+// A Study runs one VS variant on one input and produces everything the
+// paper derives from that combination — the golden output and its
+// performance/energy metrics, a fault-injection campaign with the
+// Mask/Crash/SDC/Hang breakdown, and the SDC quality (Egregiousness
+// Degree) analysis against both the variant's own golden output and
+// the precise baseline's.
+//
+// The package is the high-level entry point a downstream user adopts;
+// the root vsresil package re-exports its API.
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"vsresil/internal/energy"
+	"vsresil/internal/fault"
+	"vsresil/internal/imgproc"
+	"vsresil/internal/quality"
+	"vsresil/internal/stitch"
+	"vsresil/internal/virat"
+	"vsresil/internal/vs"
+)
+
+// StudyConfig describes one (input, algorithm) resiliency study.
+type StudyConfig struct {
+	// Input is the video under study. Use virat.Input1/Input2 for the
+	// paper's inputs or provide any synthetic sequence.
+	Input *virat.Sequence
+	// Algorithm selects the VS variant.
+	Algorithm vs.Algorithm
+	// Trials is the number of fault injections (paper: 1000 per
+	// register class; 0 skips the campaign).
+	Trials int
+	// Class selects the register file to inject into.
+	Class fault.Class
+	// AnalyzeSDCQuality computes EDs for every SDC (requires Trials).
+	AnalyzeSDCQuality bool
+	// Seed drives all stochastic components.
+	Seed uint64
+	// Workers bounds campaign parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// StudyResult aggregates everything the study produced.
+type StudyResult struct {
+	Config StudyConfig
+	// Golden is the fault-free stitching result.
+	Golden *stitch.Result
+	// GoldenImage is the primary panorama of the golden run.
+	GoldenImage *imgproc.Gray
+	// Metrics is the energy model's view of the golden run.
+	Metrics energy.Metrics
+	// Campaign holds the fault-injection outcome statistics (nil when
+	// Trials == 0).
+	Campaign *fault.Result
+	// EDsVsOwnGolden classifies each SDC against this variant's own
+	// golden output (the paper's Approx_golden comparison).
+	EDsVsOwnGolden []quality.ED
+	// EDsVsBaseline classifies each SDC against the precise VS golden
+	// output (the paper's VS_golden comparison). Populated only when
+	// AnalyzeSDCQuality is set; equal to EDsVsOwnGolden for AlgVS.
+	EDsVsBaseline []quality.ED
+}
+
+// Run executes the study.
+func Run(ctx context.Context, cfg StudyConfig) (*StudyResult, error) {
+	if cfg.Input == nil {
+		return nil, fmt.Errorf("core: nil input sequence")
+	}
+	frames := cfg.Input.Frames()
+	appCfg := vs.DefaultConfig(cfg.Algorithm)
+	appCfg.Seed = cfg.Seed
+	app := vs.New(appCfg, len(frames))
+
+	m := fault.New()
+	golden, err := app.Run(frames, m)
+	if err != nil {
+		return nil, fmt.Errorf("core: golden run: %w", err)
+	}
+	res := &StudyResult{
+		Config:      cfg,
+		Golden:      golden,
+		GoldenImage: golden.Primary().Image,
+		Metrics:     energy.DefaultModel().Measure(m),
+	}
+
+	if cfg.Trials <= 0 {
+		return res, nil
+	}
+	campaign, err := fault.RunCampaign(ctx, fault.Config{
+		Trials:         cfg.Trials,
+		Class:          cfg.Class,
+		Region:         fault.RAny,
+		Seed:           cfg.Seed,
+		Workers:        cfg.Workers,
+		KeepSDCOutputs: cfg.AnalyzeSDCQuality,
+	}, app.RunEncoded(frames))
+	if err != nil {
+		return nil, fmt.Errorf("core: campaign: %w", err)
+	}
+	res.Campaign = campaign
+
+	if !cfg.AnalyzeSDCQuality {
+		return res, nil
+	}
+	ownPrim := res.Golden.Primary()
+	baselineImage := res.GoldenImage
+	baseOX, baseOY := ownPrim.Bounds.MinX, ownPrim.Bounds.MinY
+	if cfg.Algorithm != vs.AlgVS {
+		baseCfg := vs.DefaultConfig(vs.AlgVS)
+		baseCfg.Seed = cfg.Seed
+		baseApp := vs.New(baseCfg, len(frames))
+		baseGolden, err := baseApp.Run(frames, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: baseline golden run: %w", err)
+		}
+		basePrim := baseGolden.Primary()
+		baselineImage = basePrim.Image
+		baseOX, baseOY = basePrim.Bounds.MinX, basePrim.Bounds.MinY
+	}
+	qcfg := quality.DefaultConfig()
+	for _, enc := range campaign.SDCOutputs() {
+		faulty, fox, foy, err := stitch.DecodePrimary(enc)
+		if err != nil {
+			faulty = nil // undecodable output: maximally corrupt
+		}
+		res.EDsVsOwnGolden = append(res.EDsVsOwnGolden,
+			quality.ClassifyPlaced(res.GoldenImage, faulty, ownPrim.Bounds.MinX, ownPrim.Bounds.MinY, fox, foy, qcfg))
+		res.EDsVsBaseline = append(res.EDsVsBaseline,
+			quality.ClassifyPlaced(baselineImage, faulty, baseOX, baseOY, fox, foy, qcfg))
+	}
+	return res, nil
+}
+
+// Rates returns the campaign's outcome rates, or zeros when no
+// campaign ran.
+func (r *StudyResult) Rates() [fault.NumOutcomes]float64 {
+	if r.Campaign == nil {
+		return [fault.NumOutcomes]float64{}
+	}
+	return r.Campaign.Rates()
+}
+
+// TolerableSDCFraction returns the fraction of this study's SDCs with
+// an ED at or below maxED (measured against the variant's own golden
+// output) — the paper's "a large majority of the SDC causing
+// error-sites need not be protected if an error of 10% is acceptable".
+func (r *StudyResult) TolerableSDCFraction(maxED int) float64 {
+	if len(r.EDsVsOwnGolden) == 0 {
+		return 0
+	}
+	curve := quality.NewCurve(r.EDsVsOwnGolden, maxED)
+	return curve.FractionAtOrBelow(maxED)
+}
+
+// ProtectionBudget quantifies §VI-D's protection-cost argument: the
+// fraction of all error sites that still needs expensive protection
+// (i.e. produces an SDC whose ED exceeds the tolerance), assuming
+// crashes and hangs are covered by cheap symptom-based detectors as
+// the paper argues. Requires a campaign with AnalyzeSDCQuality.
+func (r *StudyResult) ProtectionBudget(maxTolerableED int) float64 {
+	if r.Campaign == nil {
+		return 0
+	}
+	sdcRate := r.Campaign.Rate(fault.OutcomeSDC)
+	if len(r.EDsVsOwnGolden) == 0 {
+		return sdcRate // no quality data: protect every SDC site
+	}
+	return sdcRate * (1 - r.TolerableSDCFraction(maxTolerableED))
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"vsresil/internal/fault"
+	"vsresil/internal/virat"
+	"vsresil/internal/vs"
+)
+
+func tinyInput() *virat.Sequence {
+	p := virat.TestScale()
+	p.Frames = 8
+	return virat.Input2(p)
+}
+
+func TestRunGoldenOnly(t *testing.T) {
+	res, err := Run(context.Background(), StudyConfig{
+		Input:     tinyInput(),
+		Algorithm: vs.AlgVS,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Golden == nil || res.GoldenImage == nil {
+		t.Fatal("missing golden output")
+	}
+	if res.Metrics.Instructions == 0 {
+		t.Error("no metrics collected")
+	}
+	if res.Campaign != nil {
+		t.Error("campaign ran with Trials == 0")
+	}
+	zero := res.Rates()
+	for _, r := range zero {
+		if r != 0 {
+			t.Error("rates should be zero without a campaign")
+		}
+	}
+}
+
+func TestRunWithCampaign(t *testing.T) {
+	res, err := Run(context.Background(), StudyConfig{
+		Input:     tinyInput(),
+		Algorithm: vs.AlgVS,
+		Trials:    60,
+		Class:     fault.GPR,
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Campaign == nil {
+		t.Fatal("campaign missing")
+	}
+	var sum float64
+	for _, r := range res.Rates() {
+		sum += r
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("rates sum %v", sum)
+	}
+}
+
+func TestRunWithSDCQuality(t *testing.T) {
+	res, err := Run(context.Background(), StudyConfig{
+		Input:             tinyInput(),
+		Algorithm:         vs.AlgRFD,
+		Trials:            150,
+		Class:             fault.GPR,
+		AnalyzeSDCQuality: true,
+		Seed:              3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	sdcs := res.Campaign.Counts[fault.OutcomeSDC]
+	if len(res.EDsVsOwnGolden) != sdcs || len(res.EDsVsBaseline) != sdcs {
+		t.Errorf("ED counts %d/%d, want %d each",
+			len(res.EDsVsOwnGolden), len(res.EDsVsBaseline), sdcs)
+	}
+	if sdcs > 0 {
+		frac := res.TolerableSDCFraction(100)
+		if frac < 0 || frac > 1 {
+			t.Errorf("tolerable fraction %v", frac)
+		}
+	}
+}
+
+func TestRunNilInput(t *testing.T) {
+	if _, err := Run(context.Background(), StudyConfig{}); err == nil {
+		t.Error("expected error for nil input")
+	}
+}
+
+func TestTolerableFractionEmpty(t *testing.T) {
+	r := &StudyResult{}
+	if r.TolerableSDCFraction(10) != 0 {
+		t.Error("empty study should report 0")
+	}
+	if r.ProtectionBudget(10) != 0 {
+		t.Error("no campaign should need no budget")
+	}
+}
+
+func TestProtectionBudgetBounds(t *testing.T) {
+	res, err := Run(context.Background(), StudyConfig{
+		Input:             tinyInput(),
+		Algorithm:         vs.AlgVS,
+		Trials:            200,
+		Class:             fault.GPR,
+		AnalyzeSDCQuality: true,
+		Seed:              4,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	sdcRate := res.Campaign.Rate(fault.OutcomeSDC)
+	for _, tol := range []int{0, 10, 100} {
+		b := res.ProtectionBudget(tol)
+		if b < 0 || b > sdcRate+1e-12 {
+			t.Errorf("budget(%d) = %v outside [0, %v]", tol, b, sdcRate)
+		}
+	}
+	// Budget must be non-increasing in the tolerance.
+	if res.ProtectionBudget(0) < res.ProtectionBudget(100) {
+		t.Error("budget not monotone in tolerance")
+	}
+}

@@ -1,0 +1,116 @@
+// Package energy models the performance and energy characterization
+// of Fig 5. The paper measures IPC, execution time and energy on an
+// IBM POWER server and observes that (a) IPC — and therefore power —
+// stays nearly constant across the baseline and the approximate
+// algorithms, and (b) energy consequently tracks execution time.
+//
+// This reproduction derives the same quantities from the operation
+// accounting gathered by the fault machine during a run: each
+// operation class has a nominal CPI, cycles follow from the op mix,
+// and the energy model charges a constant-power core for the computed
+// runtime. Because approximations reduce the *amount* of work (frames
+// dropped, key points skipped, single-NN matching) without changing
+// the *kind* of work, IPC stays flat and energy scales with time —
+// the exact mechanism behind Fig 5.
+package energy
+
+import (
+	"fmt"
+
+	"vsresil/internal/fault"
+)
+
+// Model holds the machine parameters of the simulated core, loosely
+// based on a server-class in-order issue approximation of the paper's
+// POWER machine.
+type Model struct {
+	// CPI is the average cycles per operation for each op class.
+	CPI [fault.NumOpClasses]float64
+	// FrequencyHz is the core clock.
+	FrequencyHz float64
+	// StaticPowerW is the leakage + uncore power drawn regardless of
+	// activity.
+	StaticPowerW float64
+	// DynamicPowerW is the switching power at full activity (IPC = 1).
+	DynamicPowerW float64
+}
+
+// DefaultModel returns the parameters used throughout the
+// reproduction.
+func DefaultModel() Model {
+	return Model{
+		CPI: [fault.NumOpClasses]float64{
+			fault.OpInt:    1.0,
+			fault.OpFloat:  2.0,
+			fault.OpLoad:   2.5,
+			fault.OpStore:  2.0,
+			fault.OpBranch: 1.3,
+		},
+		FrequencyHz:   3.0e9,
+		StaticPowerW:  35,
+		DynamicPowerW: 85,
+	}
+}
+
+// Metrics summarizes one application run.
+type Metrics struct {
+	Instructions uint64
+	Cycles       float64
+	IPC          float64
+	TimeSec      float64
+	PowerW       float64
+	EnergyJ      float64
+}
+
+// Measure derives run metrics from the op accounting of a completed
+// run's machine.
+func (mo Model) Measure(m *fault.Machine) Metrics {
+	var instructions uint64
+	var cycles float64
+	for c := fault.OpClass(0); c < fault.NumOpClasses; c++ {
+		n := m.TotalOps(c)
+		instructions += n
+		cycles += float64(n) * mo.CPI[c]
+	}
+	met := Metrics{Instructions: instructions, Cycles: cycles}
+	if cycles > 0 {
+		met.IPC = float64(instructions) / cycles
+	}
+	if mo.FrequencyHz > 0 {
+		met.TimeSec = cycles / mo.FrequencyHz
+	}
+	met.PowerW = mo.StaticPowerW + mo.DynamicPowerW*met.IPC
+	met.EnergyJ = met.PowerW * met.TimeSec
+	return met
+}
+
+// RegionCycles returns the cycles attributed to one region — the
+// per-function breakdown behind the Fig 8 execution profile.
+func (mo Model) RegionCycles(m *fault.Machine, r fault.Region) float64 {
+	var cycles float64
+	for c := fault.OpClass(0); c < fault.NumOpClasses; c++ {
+		cycles += float64(m.OpCount(r, c)) * mo.CPI[c]
+	}
+	return cycles
+}
+
+// Normalized expresses this run's metrics relative to a baseline run,
+// the form Fig 5 reports (values normalized to the corresponding
+// baseline VS).
+type Normalized struct {
+	IPC    float64
+	Time   float64
+	Energy float64
+}
+
+// Normalize divides the metrics by the baseline's.
+func Normalize(run, baseline Metrics) (Normalized, error) {
+	if baseline.IPC == 0 || baseline.TimeSec == 0 || baseline.EnergyJ == 0 {
+		return Normalized{}, fmt.Errorf("energy: degenerate baseline %+v", baseline)
+	}
+	return Normalized{
+		IPC:    run.IPC / baseline.IPC,
+		Time:   run.TimeSec / baseline.TimeSec,
+		Energy: run.EnergyJ / baseline.EnergyJ,
+	}, nil
+}

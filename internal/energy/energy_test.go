@@ -1,0 +1,125 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"vsresil/internal/fault"
+	"vsresil/internal/virat"
+	"vsresil/internal/vs"
+)
+
+func TestMeasureEmptyMachine(t *testing.T) {
+	m := fault.New()
+	met := DefaultModel().Measure(m)
+	if met.Instructions != 0 || met.Cycles != 0 || met.IPC != 0 {
+		t.Errorf("empty machine metrics: %+v", met)
+	}
+}
+
+func TestMeasureKnownOps(t *testing.T) {
+	m := fault.New()
+	m.Ops(fault.OpInt, 100)  // 100 cycles
+	m.Ops(fault.OpFloat, 50) // 100 cycles
+	m.Ops(fault.OpLoad, 10)  // 25 cycles
+	mo := DefaultModel()
+	met := mo.Measure(m)
+	if met.Instructions != 160 {
+		t.Errorf("instructions = %d", met.Instructions)
+	}
+	wantCycles := 100.0 + 100 + 25
+	if math.Abs(met.Cycles-wantCycles) > 1e-9 {
+		t.Errorf("cycles = %v, want %v", met.Cycles, wantCycles)
+	}
+	if math.Abs(met.IPC-160/wantCycles) > 1e-12 {
+		t.Errorf("IPC = %v", met.IPC)
+	}
+	if met.TimeSec <= 0 || met.PowerW <= mo.StaticPowerW || met.EnergyJ <= 0 {
+		t.Errorf("derived metrics: %+v", met)
+	}
+}
+
+func TestNormalizeBaselineIsUnity(t *testing.T) {
+	m := fault.New()
+	m.Ops(fault.OpInt, 1000)
+	met := DefaultModel().Measure(m)
+	n, err := Normalize(met, met)
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if n.IPC != 1 || n.Time != 1 || n.Energy != 1 {
+		t.Errorf("self-normalized = %+v", n)
+	}
+}
+
+func TestNormalizeDegenerate(t *testing.T) {
+	if _, err := Normalize(Metrics{}, Metrics{}); err == nil {
+		t.Error("expected error for degenerate baseline")
+	}
+}
+
+func TestRegionCycles(t *testing.T) {
+	m := fault.New()
+	restore := m.Enter(fault.RWarpInvoker)
+	m.Ops(fault.OpFloat, 10)
+	restore()
+	m.Ops(fault.OpFloat, 5)
+	mo := DefaultModel()
+	if got := mo.RegionCycles(m, fault.RWarpInvoker); got != 20 {
+		t.Errorf("warp cycles = %v, want 20", got)
+	}
+	if got := mo.RegionCycles(m, fault.RApp); got != 10 {
+		t.Errorf("app cycles = %v, want 10", got)
+	}
+}
+
+// The Fig 5 mechanism: approximate variants run fewer operations of
+// the same mix, so their normalized time and energy drop below 1 while
+// IPC stays close to 1.
+func TestApproximationsReduceEnergyNotIPC(t *testing.T) {
+	p := virat.TestScale()
+	p.Frames = 10
+	frames := virat.Input1(p).Frames()
+	mo := DefaultModel()
+
+	run := func(alg vs.Algorithm) Metrics {
+		app := vs.New(vs.DefaultConfig(alg), len(frames))
+		m := fault.New()
+		if _, err := app.Run(frames, m); err != nil {
+			t.Fatalf("%v run: %v", alg, err)
+		}
+		return mo.Measure(m)
+	}
+
+	base := run(vs.AlgVS)
+	for _, alg := range []vs.Algorithm{vs.AlgRFD, vs.AlgKDS, vs.AlgSM} {
+		met := run(alg)
+		n, err := Normalize(met, base)
+		if err != nil {
+			t.Fatalf("normalize %v: %v", alg, err)
+		}
+		if n.Time >= 1.02 {
+			t.Errorf("%v normalized time = %v, expected < 1", alg, n.Time)
+		}
+		if n.Energy >= 1.02 {
+			t.Errorf("%v normalized energy = %v, expected < 1", alg, n.Energy)
+		}
+		if n.IPC < 0.85 || n.IPC > 1.15 {
+			t.Errorf("%v normalized IPC = %v, expected ~1", alg, n.IPC)
+		}
+		// Energy tracks time when power is ~flat.
+		if math.Abs(n.Energy-n.Time) > 0.15 {
+			t.Errorf("%v energy (%v) does not track time (%v)", alg, n.Energy, n.Time)
+		}
+	}
+}
+
+func BenchmarkMeasure(b *testing.B) {
+	m := fault.New()
+	m.Ops(fault.OpInt, 12345)
+	m.Ops(fault.OpFloat, 999)
+	mo := DefaultModel()
+	for i := 0; i < b.N; i++ {
+		mo.Measure(m)
+	}
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"vsresil/internal/fault"
+	"vsresil/internal/stitch"
+	"vsresil/internal/virat"
+	"vsresil/internal/vs"
+	"vsresil/internal/warp"
+)
+
+// AblationWindowResult studies the fault model's one free parameter:
+// the register-liveness window (DESIGN.md §4). The paper's AFI works
+// on real hardware where liveness is physical; our reproduction models
+// it, so this ablation documents how sensitive the headline outcome
+// rates are to the chosen window.
+type AblationWindowResult struct {
+	// Windows holds the tested GPR window sizes.
+	Windows []uint64
+	// Rates[i] are the outcome rates at Windows[i].
+	Rates [][fault.NumOutcomes]float64
+}
+
+// AblationWindow sweeps the GPR liveness window on the baseline VS.
+func AblationWindow(ctx context.Context, o Options, windows []uint64) (*AblationWindowResult, error) {
+	o = o.withDefaults()
+	if len(windows) == 0 {
+		windows = []uint64{8, 32, 96, 256, 1024}
+	}
+	seq := virat.Input1(o.Preset)
+	frames := seq.Frames()
+	cfg := vs.DefaultConfig(vs.AlgVS)
+	cfg.Seed = o.Seed
+	app := vs.New(cfg, len(frames))
+
+	out := &AblationWindowResult{Windows: windows}
+	for _, w := range windows {
+		res, err := fault.RunCampaign(ctx, fault.Config{
+			Trials:  o.Trials,
+			Class:   fault.GPR,
+			Region:  fault.RAny,
+			Window:  w,
+			Seed:    o.Seed,
+			Workers: o.Workers,
+		}, app.RunEncoded(frames))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: window %d: %w", w, err)
+		}
+		out.Rates = append(out.Rates, res.Rates())
+	}
+	return out, nil
+}
+
+// Write prints the sweep.
+func (r *AblationWindowResult) Write(w io.Writer, o Options) {
+	writeHeader(w, "Ablation: GPR liveness-window sensitivity (baseline VS, Input 1)", o)
+	fmt.Fprintf(w, "%8s %8s %8s %8s %8s\n", "window", "Mask", "Crash", "SDC", "Hang")
+	for i, win := range r.Windows {
+		rates := r.Rates[i]
+		fmt.Fprintf(w, "%8d %8.3f %8.3f %8.3f %8.3f\n", win,
+			rates[fault.OutcomeMask], rates[fault.OutcomeCrash],
+			rates[fault.OutcomeSDC], rates[fault.OutcomeHang])
+	}
+	fmt.Fprintln(w, "expectation: masking falls monotonically as the window widens (more flips meet a live use)")
+}
+
+// AblationBlendResult compares the two compositing modes' effect on
+// the hot-function resiliency profile — the compositional-masking
+// design decision (DESIGN.md §4b). Injections are scoped to the warp
+// kernels, where the compositing mode decides whether a corrupted
+// output pixel can be stitched over (overwrite) or always bleeds into
+// the average (feather).
+type AblationBlendResult struct {
+	// Overwrite and Feather are the GPR outcome rates under each mode.
+	Overwrite, Feather [fault.NumOutcomes]float64
+}
+
+// AblationBlend runs warp-scoped GPR campaigns under both canvas
+// blend modes.
+func AblationBlend(ctx context.Context, o Options) (*AblationBlendResult, error) {
+	o = o.withDefaults()
+	seq := virat.Input1(o.Preset)
+	frames := seq.Frames()
+
+	runMode := func(mode warp.BlendMode, seedSalt uint64) ([fault.NumOutcomes]float64, error) {
+		scfg := stitch.DefaultConfig()
+		scfg.Blend = mode
+		cfg := vs.DefaultConfig(vs.AlgVS)
+		cfg.Seed = o.Seed
+		cfg.Stitch = &scfg
+		app := vs.New(cfg, len(frames))
+		res, err := fault.RunCampaign(ctx, fault.Config{
+			Trials:  o.Trials,
+			Class:   fault.GPR,
+			Region:  fault.RWarpInvoker,
+			Seed:    o.Seed + seedSalt,
+			Workers: o.Workers,
+		}, app.RunEncoded(frames))
+		if err != nil {
+			return [fault.NumOutcomes]float64{}, err
+		}
+		return res.Rates(), nil
+	}
+
+	out := &AblationBlendResult{}
+	var err error
+	if out.Overwrite, err = runMode(warp.BlendOverwrite, 0); err != nil {
+		return nil, fmt.Errorf("experiments: overwrite mode: %w", err)
+	}
+	if out.Feather, err = runMode(warp.BlendFeather, 0); err != nil {
+		return nil, fmt.Errorf("experiments: feather mode: %w", err)
+	}
+	return out, nil
+}
+
+// Write prints the comparison.
+func (r *AblationBlendResult) Write(w io.Writer, o Options) {
+	writeHeader(w, "Ablation: canvas compositing mode (warp-scoped GPR faults)", o)
+	fmt.Fprintf(w, "%-10s %8s %8s %8s %8s\n", "blend", "Mask", "Crash", "SDC", "Hang")
+	fmt.Fprintf(w, "%-10s %8.3f %8.3f %8.3f %8.3f\n", "overwrite",
+		r.Overwrite[fault.OutcomeMask], r.Overwrite[fault.OutcomeCrash],
+		r.Overwrite[fault.OutcomeSDC], r.Overwrite[fault.OutcomeHang])
+	fmt.Fprintf(w, "%-10s %8.3f %8.3f %8.3f %8.3f\n", "feather",
+		r.Feather[fault.OutcomeMask], r.Feather[fault.OutcomeCrash],
+		r.Feather[fault.OutcomeSDC], r.Feather[fault.OutcomeHang])
+	fmt.Fprintln(w, "expectation: feather averaging leaks corrupted pixels into the output (higher SDC, lower Mask)")
+}

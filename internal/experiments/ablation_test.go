@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"vsresil/internal/fault"
+	"vsresil/internal/virat"
+)
+
+func ablationOptions() Options {
+	p := virat.TestScale()
+	p.Frames = 8
+	return Options{Preset: p, Trials: 100, Seed: 1}
+}
+
+func TestAblationWindowMonotoneMasking(t *testing.T) {
+	res, err := AblationWindow(context.Background(), ablationOptions(), []uint64{4, 64, 512})
+	if err != nil {
+		t.Fatalf("AblationWindow: %v", err)
+	}
+	if len(res.Rates) != 3 {
+		t.Fatalf("rates = %d", len(res.Rates))
+	}
+	// Wider window => more flips land on live values => less masking.
+	// Allow small statistical slack at 100 trials.
+	first := res.Rates[0][fault.OutcomeMask]
+	last := res.Rates[len(res.Rates)-1][fault.OutcomeMask]
+	if last > first+0.05 {
+		t.Errorf("mask rate rose with window: %.3f -> %.3f", first, last)
+	}
+	var buf bytes.Buffer
+	res.Write(&buf, ablationOptions())
+	if buf.Len() == 0 {
+		t.Error("empty report")
+	}
+}
+
+func TestAblationBlendFeatherLeaksSDCs(t *testing.T) {
+	res, err := AblationBlend(context.Background(), ablationOptions())
+	if err != nil {
+		t.Fatalf("AblationBlend: %v", err)
+	}
+	// Feather averaging cannot erase corrupted warp output, so its SDC
+	// rate must be at least the overwrite mode's (allowing slack).
+	if res.Feather[fault.OutcomeSDC] < res.Overwrite[fault.OutcomeSDC]-0.05 {
+		t.Errorf("feather SDC %.3f below overwrite %.3f",
+			res.Feather[fault.OutcomeSDC], res.Overwrite[fault.OutcomeSDC])
+	}
+	var buf bytes.Buffer
+	res.Write(&buf, ablationOptions())
+	if buf.Len() == 0 {
+		t.Error("empty report")
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"vsresil/internal/fault"
+	"vsresil/internal/virat"
+	"vsresil/internal/vs"
+)
+
+// campaignFor runs a fault-injection campaign for one algorithm on one
+// input.
+func campaignFor(ctx context.Context, o Options, alg vs.Algorithm, seq *virat.Sequence,
+	class fault.Class, region fault.Region, trials int, keepSDC bool) (*fault.Result, error) {
+	frames := seq.Frames()
+	cfg := vs.DefaultConfig(alg)
+	cfg.Seed = o.Seed
+	app := vs.New(cfg, len(frames))
+	res, err := fault.RunCampaign(ctx, fault.Config{
+		Trials:         trials,
+		Class:          class,
+		Region:         region,
+		Seed:           o.Seed + uint64(alg)*101 + uint64(class)*7919,
+		Workers:        o.Workers,
+		KeepSDCOutputs: keepSDC,
+	}, app.RunEncoded(frames))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: campaign %v/%s/%v: %w", alg, seq.Name, class, err)
+	}
+	return res, nil
+}
+
+// Fig9Result reproduces Fig 9: (a) outcome rates vs number of
+// injections with the knee of the curves, and (b) the injections-per-
+// register coverage histogram.
+type Fig9Result struct {
+	Campaign *fault.Result
+	// Knee is the injection count after which all outcome rates stay
+	// within 2 percentage points of their final values.
+	Knee int
+	// Chi2 is the register histogram's chi-square against uniform
+	// (32 bins: values near 31 indicate uniform coverage).
+	Chi2 float64
+}
+
+// Fig9 runs the coverage study on baseline VS, Input 1, GPR faults.
+func Fig9(ctx context.Context, o Options) (*Fig9Result, error) {
+	o = o.withDefaults()
+	seq := virat.Input1(o.Preset)
+	res, err := campaignFor(ctx, o, vs.AlgVS, seq, fault.GPR, fault.RAny, o.Trials, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig9Result{
+		Campaign: res,
+		Knee:     res.Curve.Knee(0.02),
+		Chi2:     res.RegHist.ChiSquareUniform(),
+	}, nil
+}
+
+// Write prints the trend curve checkpoints and the register histogram.
+func (r *Fig9Result) Write(w io.Writer, o Options) {
+	writeHeader(w, "Fig 9a: outcome rates vs number of error injections", o)
+	fmt.Fprintf(w, "%8s %8s %8s %8s %8s\n", "inj", "Mask", "Crash", "SDC", "Hang")
+	for i, n := range r.Campaign.Curve.Checkpoints {
+		s := r.Campaign.Curve.Snapshots[i]
+		fmt.Fprintf(w, "%8d %8.3f %8.3f %8.3f %8.3f\n",
+			n, s[fault.OutcomeMask], s[fault.OutcomeCrash], s[fault.OutcomeSDC], s[fault.OutcomeHang])
+	}
+	fmt.Fprintf(w, "knee of the curves: ~%d injections (paper: ~1000)\n", r.Knee)
+	fmt.Fprintf(w, "\n== Fig 9b: injections per GPR register ==\n")
+	fmt.Fprintf(w, "%s\n", r.Campaign.RegHist)
+	fmt.Fprintf(w, "chi-square vs uniform over %d registers: %.1f (expect ~%d for uniform)\n",
+		fault.NumRegisters, r.Chi2, fault.NumRegisters-1)
+}
+
+// Fig10Cell is one bar group of Fig 10.
+type Fig10Cell struct {
+	Input string
+	Class fault.Class
+	Rates [fault.NumOutcomes]float64
+	// SegvFraction and AbortFraction subdivide the Crash rate
+	// (paper: 92% / 8%).
+	SegvFraction, AbortFraction float64
+}
+
+// Fig10Result reproduces Fig 10: the baseline VS resiliency profile
+// for GPR and FPR injections on both inputs.
+type Fig10Result struct {
+	Cells []Fig10Cell
+}
+
+// Fig10 runs four campaigns: {GPR, FPR} x {Input1, Input2} on VS.
+func Fig10(ctx context.Context, o Options) (*Fig10Result, error) {
+	o = o.withDefaults()
+	out := &Fig10Result{}
+	for _, seq := range virat.Inputs(o.Preset) {
+		for _, class := range []fault.Class{fault.GPR, fault.FPR} {
+			res, err := campaignFor(ctx, o, vs.AlgVS, seq, class, fault.RAny, o.Trials, false)
+			if err != nil {
+				return nil, err
+			}
+			cell := Fig10Cell{Input: seq.Name, Class: class, Rates: res.Rates()}
+			if crashes := res.Counts[fault.OutcomeCrash]; crashes > 0 {
+				cell.SegvFraction = float64(res.CrashCounts[fault.CrashSegv]) / float64(crashes)
+				cell.AbortFraction = float64(res.CrashCounts[fault.CrashAbort]) / float64(crashes)
+			}
+			out.Cells = append(out.Cells, cell)
+		}
+	}
+	return out, nil
+}
+
+// Write prints the resiliency profile table.
+func (r *Fig10Result) Write(w io.Writer, o Options) {
+	writeHeader(w, "Fig 10: VS resiliency profile (GPR vs FPR)", o)
+	fmt.Fprintf(w, "%-8s %-5s %8s %8s %8s %8s %14s\n",
+		"input", "class", "Mask", "Crash", "SDC", "Hang", "crash=segv/abort")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%-8s %-5s %8.3f %8.3f %8.3f %8.3f %7.0f%%/%2.0f%%\n",
+			c.Input, c.Class,
+			c.Rates[fault.OutcomeMask], c.Rates[fault.OutcomeCrash],
+			c.Rates[fault.OutcomeSDC], c.Rates[fault.OutcomeHang],
+			c.SegvFraction*100, c.AbortFraction*100)
+	}
+	fmt.Fprintln(w, "paper shape: GPR -> large Crash share (~40%); FPR -> Mask > 99.5%")
+}
+
+// Fig11aCell is one bar group of Fig 11a.
+type Fig11aCell struct {
+	Input     string
+	Algorithm vs.Algorithm
+	Rates     [fault.NumOutcomes]float64
+}
+
+// Fig11aResult reproduces Fig 11a: GPR resiliency of all four
+// algorithms on both inputs.
+type Fig11aResult struct {
+	Cells []Fig11aCell
+}
+
+// Fig11a runs eight campaigns: 4 algorithms x 2 inputs, GPR.
+func Fig11a(ctx context.Context, o Options) (*Fig11aResult, error) {
+	o = o.withDefaults()
+	out := &Fig11aResult{}
+	for _, seq := range virat.Inputs(o.Preset) {
+		for _, alg := range vs.Algorithms() {
+			res, err := campaignFor(ctx, o, alg, seq, fault.GPR, fault.RAny, o.Trials, false)
+			if err != nil {
+				return nil, err
+			}
+			out.Cells = append(out.Cells, Fig11aCell{
+				Input: seq.Name, Algorithm: alg, Rates: res.Rates(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Write prints the per-algorithm resiliency table.
+func (r *Fig11aResult) Write(w io.Writer, o Options) {
+	writeHeader(w, "Fig 11a: resiliency of VS and its approximations (GPR)", o)
+	fmt.Fprintf(w, "%-8s %-8s %8s %8s %8s %8s\n", "input", "alg", "Mask", "Crash", "SDC", "Hang")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%-8s %-8s %8.3f %8.3f %8.3f %8.3f\n",
+			c.Input, c.Algorithm,
+			c.Rates[fault.OutcomeMask], c.Rates[fault.OutcomeCrash],
+			c.Rates[fault.OutcomeSDC], c.Rates[fault.OutcomeHang])
+	}
+	fmt.Fprintln(w, "paper shape: profiles track the baseline; SDC rises at most a few points (RFD/KDS)")
+}

@@ -1,0 +1,80 @@
+// Package experiments regenerates every figure of the paper's
+// evaluation (Figs 5, 6, 8, 9, 10, 11, 12, 13). Each experiment is a
+// function that runs the required workloads/campaigns and returns a
+// typed result that knows how to print itself as the rows/series the
+// paper reports.
+//
+// The paper's absolute numbers came from an IBM POWER testbed and two
+// VIRAT clips; this reproduction targets the *shape* of each result
+// (who wins, by what rough factor, where curves sit) on the synthetic
+// substrate, at a configurable scale.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"vsresil/internal/virat"
+)
+
+// Options scales and seeds an experiment run.
+type Options struct {
+	// Preset sizes the synthetic inputs.
+	Preset virat.Preset
+	// Trials is the number of injections per campaign (paper: 1000).
+	Trials int
+	// QualityTrials is the number of injections for the SDC-quality
+	// study (paper: 5000).
+	QualityTrials int
+	// Seed drives every stochastic choice.
+	Seed uint64
+	// Workers bounds campaign parallelism (0 = GOMAXPROCS).
+	Workers int
+	// ImageDir receives the qualitative outputs of Figs 6 and 13
+	// ("" = do not write image files).
+	ImageDir string
+}
+
+// DefaultOptions returns a scale that exercises every experiment in
+// minutes on a small machine.
+func DefaultOptions() Options {
+	p := virat.TestScale()
+	p.Frames = 24
+	return Options{
+		Preset:        p,
+		Trials:        400,
+		QualityTrials: 1000,
+		Seed:          1,
+	}
+}
+
+// PaperOptions returns the paper's experiment sizes (1000 frames, 1000
+// injections per campaign, 5000 for SDC quality). Expect long runtimes.
+func PaperOptions() Options {
+	return Options{
+		Preset:        virat.PaperScale(),
+		Trials:        1000,
+		QualityTrials: 5000,
+		Seed:          1,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Preset.Frames == 0 {
+		o.Preset = DefaultOptions().Preset
+	}
+	if o.Trials <= 0 {
+		o.Trials = DefaultOptions().Trials
+	}
+	if o.QualityTrials <= 0 {
+		o.QualityTrials = DefaultOptions().QualityTrials
+	}
+	return o
+}
+
+// writeHeader prints a uniform experiment banner.
+func writeHeader(w io.Writer, title string, o Options) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "scale: %d frames %dx%d, seed %d\n",
+		o.Preset.Frames, o.Preset.FrameW, o.Preset.FrameH, o.Seed)
+}

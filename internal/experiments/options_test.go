@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDefaultOptionsComplete(t *testing.T) {
+	o := DefaultOptions()
+	if o.Preset.Frames <= 0 || o.Trials <= 0 || o.QualityTrials <= 0 {
+		t.Errorf("incomplete defaults: %+v", o)
+	}
+}
+
+func TestPaperOptionsMatchPaperSizes(t *testing.T) {
+	o := PaperOptions()
+	if o.Preset.Frames != 1000 {
+		t.Errorf("paper frames = %d, want 1000 (§III-B)", o.Preset.Frames)
+	}
+	if o.Trials != 1000 {
+		t.Errorf("paper trials = %d, want 1000 (§VI-A)", o.Trials)
+	}
+	if o.QualityTrials != 5000 {
+		t.Errorf("paper quality trials = %d, want 5000 (§VI-D)", o.QualityTrials)
+	}
+}
+
+func TestWithDefaultsFillsZeros(t *testing.T) {
+	o := (Options{}).withDefaults()
+	if o.Preset.Frames == 0 || o.Trials == 0 || o.QualityTrials == 0 {
+		t.Errorf("withDefaults left zeros: %+v", o)
+	}
+	// Explicit values survive.
+	o2 := (Options{Trials: 7}).withDefaults()
+	if o2.Trials != 7 {
+		t.Error("withDefaults overwrote explicit Trials")
+	}
+}
+
+func TestWriteHeader(t *testing.T) {
+	var buf bytes.Buffer
+	writeHeader(&buf, "title", DefaultOptions())
+	if buf.Len() == 0 {
+		t.Error("empty header")
+	}
+}

@@ -1,0 +1,139 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file implements the paper's §VI-A crash-site analysis: "we see
+// no clear trend that corruption of certain registers or bit positions
+// in the registers are more likely to result in a Crash". The
+// Analysis type cross-tabulates campaign trials by register id and bit
+// position so that claim can be checked quantitatively.
+
+// Analysis cross-tabulates a campaign's trials.
+type Analysis struct {
+	// ByRegister[r][o] counts outcome o for injections into register r.
+	ByRegister [NumRegisters][NumOutcomes]int
+	// ByBit[b][o] counts outcome o for injections into bit b.
+	ByBit [RegisterBits][NumOutcomes]int
+	// ByBitGroup aggregates ByBit into the three architectural groups.
+	ByBitGroup [NumBitGroups][NumOutcomes]int
+	// Total is the number of trials analyzed.
+	Total int
+}
+
+// Analyze builds the cross-tabulation from a campaign result.
+func Analyze(res *Result) *Analysis {
+	a := &Analysis{}
+	for _, t := range res.Trials {
+		if t.Plan.Reg >= 0 && t.Plan.Reg < NumRegisters {
+			a.ByRegister[t.Plan.Reg][t.Outcome]++
+		}
+		if t.Plan.Bit >= 0 && t.Plan.Bit < RegisterBits {
+			a.ByBit[t.Plan.Bit][t.Outcome]++
+			a.ByBitGroup[bitGroupOf(t.Plan.Bit)][t.Outcome]++
+		}
+		a.Total++
+	}
+	return a
+}
+
+// bitGroupOf maps a bit position to its group.
+func bitGroupOf(bit int) BitGroup {
+	switch {
+	case bit < 8:
+		return BitsLow
+	case bit < 32:
+		return BitsMid
+	default:
+		return BitsHigh
+	}
+}
+
+// CrashRateByRegister returns each register's crash rate (NaN-free: 0
+// when no injections hit the register).
+func (a *Analysis) CrashRateByRegister() [NumRegisters]float64 {
+	var out [NumRegisters]float64
+	for r := 0; r < NumRegisters; r++ {
+		total := 0
+		for _, c := range a.ByRegister[r] {
+			total += c
+		}
+		if total > 0 {
+			out[r] = float64(a.ByRegister[r][OutcomeCrash]) / float64(total)
+		}
+	}
+	return out
+}
+
+// RegisterCrashSpread returns the max-min crash rate across registers
+// with at least minSamples injections — the paper's "no clear trend"
+// is a small spread.
+func (a *Analysis) RegisterCrashSpread(minSamples int) float64 {
+	lo, hi := 1.0, 0.0
+	seen := false
+	for r := 0; r < NumRegisters; r++ {
+		total := 0
+		for _, c := range a.ByRegister[r] {
+			total += c
+		}
+		if total < minSamples {
+			continue
+		}
+		seen = true
+		rate := float64(a.ByRegister[r][OutcomeCrash]) / float64(total)
+		if rate < lo {
+			lo = rate
+		}
+		if rate > hi {
+			hi = rate
+		}
+	}
+	if !seen {
+		return 0
+	}
+	return hi - lo
+}
+
+// GroupRates returns the outcome rates of one bit group.
+func (a *Analysis) GroupRates(g BitGroup) [NumOutcomes]float64 {
+	var out [NumOutcomes]float64
+	total := 0
+	for _, c := range a.ByBitGroup[g] {
+		total += c
+	}
+	if total == 0 {
+		return out
+	}
+	for o, c := range a.ByBitGroup[g] {
+		out[o] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// Write renders the analysis tables.
+func (a *Analysis) Write(w io.Writer) {
+	fmt.Fprintf(w, "outcome rates by bit group (%d trials):\n", a.Total)
+	fmt.Fprintf(w, "%-10s %8s %8s %8s %8s\n", "bits", "Mask", "Crash", "SDC", "Hang")
+	for g := BitGroup(0); g < NumBitGroups; g++ {
+		r := a.GroupRates(g)
+		fmt.Fprintf(w, "%-10s %8.3f %8.3f %8.3f %8.3f\n", g,
+			r[OutcomeMask], r[OutcomeCrash], r[OutcomeSDC], r[OutcomeHang])
+	}
+	rates := a.CrashRateByRegister()
+	type regRate struct {
+		reg  int
+		rate float64
+	}
+	sorted := make([]regRate, NumRegisters)
+	for r := range rates {
+		sorted[r] = regRate{r, rates[r]}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].rate > sorted[j].rate })
+	fmt.Fprintf(w, "crash-rate spread across registers: %.3f (>=5 samples each)\n",
+		a.RegisterCrashSpread(5))
+	fmt.Fprintf(w, "most / least crash-prone registers: r%d (%.2f) / r%d (%.2f)\n",
+		sorted[0].reg, sorted[0].rate, sorted[NumRegisters-1].reg, sorted[NumRegisters-1].rate)
+}

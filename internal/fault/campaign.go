@@ -1,0 +1,366 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"vsresil/internal/stats"
+)
+
+// Outcome is the paper's four-way classification of an injected
+// fault's effect (§V-A).
+type Outcome uint8
+
+// Outcomes in the paper's order.
+const (
+	OutcomeMask Outcome = iota
+	OutcomeCrash
+	OutcomeSDC
+	OutcomeHang
+	NumOutcomes
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeMask:
+		return "Mask"
+	case OutcomeCrash:
+		return "Crash"
+	case OutcomeSDC:
+		return "SDC"
+	case OutcomeHang:
+		return "Hang"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// CrashKind subdivides crashes the way the paper's analysis does
+// (§VI-A): 92% segmentation-fault-like signals vs 8% application
+// aborts from internal constraint violations.
+type CrashKind uint8
+
+// Crash subcategories.
+const (
+	CrashNone  CrashKind = iota
+	CrashSegv            // recovered runtime panic (memory access violation analogue)
+	CrashAbort           // application returned an internal-constraint error
+)
+
+// String implements fmt.Stringer.
+func (k CrashKind) String() string {
+	switch k {
+	case CrashNone:
+		return "none"
+	case CrashSegv:
+		return "segv"
+	case CrashAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("CrashKind(%d)", uint8(k))
+	}
+}
+
+// App is one run of the application under test. It must be safe to
+// call concurrently with distinct machines and must produce a
+// deterministic output for a nil-plan machine (the golden run).
+// The returned bytes are the application's output artifact (for VS, an
+// encoded panorama); AFI's result check is a byte comparison.
+type App func(m *Machine) ([]byte, error)
+
+// Default liveness windows, in taps. GPR values (indices, bounds,
+// pixels in flight) stay live across many instructions; FPR values in
+// this workload are convert-transform-convert temporaries (§VI-A), so
+// a flipped FPR bit almost never meets a live use.
+const (
+	DefaultGPRWindow = 96
+	DefaultFPRWindow = 2
+)
+
+// DefaultStepFactor sizes the hang budget as a multiple of the golden
+// run's step count.
+const DefaultStepFactor = 4
+
+// Config parameterizes a fault-injection campaign.
+type Config struct {
+	// Trials is the number of error injections (the paper uses 1000
+	// per register class, 5000 for the SDC-quality study).
+	Trials int
+	// Class selects GPR or FPR injections.
+	Class Class
+	// Region restricts injections to one function (RAny = whole app).
+	Region Region
+	// Window overrides the liveness window (0 = class default).
+	Window uint64
+	// Seed makes the campaign reproducible.
+	Seed uint64
+	// Workers bounds campaign parallelism (0 = GOMAXPROCS).
+	Workers int
+	// StepFactor sizes the hang budget as a multiple of golden steps
+	// (0 = DefaultStepFactor).
+	StepFactor float64
+	// KeepSDCOutputs retains the corrupted output bytes of every SDC
+	// trial for quality analysis (Fig 12).
+	KeepSDCOutputs bool
+	// CheckpointEvery controls the rate-curve snapshot interval
+	// (0 = Trials/20, for Fig 9a).
+	CheckpointEvery int
+}
+
+// Trial records one injection experiment.
+type Trial struct {
+	Plan    Plan
+	Outcome Outcome
+	Crash   CrashKind
+	// Landed reports whether the flip hit a live value (false means
+	// the fault was masked by register deadness/rewrite).
+	Landed bool
+	// Output holds the corrupted output for SDC trials when
+	// Config.KeepSDCOutputs is set.
+	Output []byte
+	// Err records the crash error for CrashAbort/CrashSegv trials.
+	Err error
+}
+
+// Result aggregates a campaign.
+type Result struct {
+	Config Config
+	// GoldenOutput is the fault-free output the SDC check compares
+	// against.
+	GoldenOutput []byte
+	// GoldenSteps is the golden run's dynamic step count.
+	GoldenSteps uint64
+	// TotalTaps is the size of the injection site space.
+	TotalTaps uint64
+	// Counts holds the number of trials per outcome.
+	Counts [NumOutcomes]int
+	// CrashCounts subdivides OutcomeCrash by kind.
+	CrashCounts map[CrashKind]int
+	// RegHist and BitHist are the Fig 9b coverage histograms.
+	RegHist *stats.Histogram
+	BitHist *stats.Histogram
+	// Curve tracks outcome rates vs injection count (Fig 9a).
+	Curve *stats.RateCurve
+	// Trials holds every trial in plan order.
+	Trials []Trial
+}
+
+// Rate returns the fraction of trials with the given outcome.
+func (r *Result) Rate(o Outcome) float64 {
+	total := 0
+	for _, c := range r.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Counts[o]) / float64(total)
+}
+
+// Rates returns the Mask, Crash, SDC and Hang rates in outcome order.
+func (r *Result) Rates() [NumOutcomes]float64 {
+	var out [NumOutcomes]float64
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		out[o] = r.Rate(o)
+	}
+	return out
+}
+
+// SDCOutputs returns the retained corrupted outputs of SDC trials.
+func (r *Result) SDCOutputs() [][]byte {
+	var outs [][]byte
+	for _, t := range r.Trials {
+		if t.Outcome == OutcomeSDC && t.Output != nil {
+			outs = append(outs, t.Output)
+		}
+	}
+	return outs
+}
+
+// ErrNoTaps is returned when the golden run exposes no injection sites
+// for the requested class/region.
+var ErrNoTaps = errors.New("fault: golden run executed no taps for the requested class/region")
+
+// RunCampaign executes a statistical fault-injection campaign against
+// app: one golden run to size the site space and capture the reference
+// output, then cfg.Trials injected runs on a bounded worker pool.
+// Trials are deterministic in cfg.Seed regardless of worker count.
+func RunCampaign(ctx context.Context, cfg Config, app App) (*Result, error) {
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("fault: non-positive trial count %d", cfg.Trials)
+	}
+	golden := New()
+	goldenOut, err := app(golden)
+	if err != nil {
+		return nil, fmt.Errorf("fault: golden run failed: %w", err)
+	}
+
+	var totalTaps uint64
+	if cfg.Region == RAny {
+		if cfg.Class == GPR {
+			totalTaps = golden.GPRTaps()
+		} else {
+			totalTaps = golden.FPRTaps()
+		}
+	} else {
+		totalTaps = golden.RegionTaps(cfg.Class, cfg.Region)
+	}
+	if totalTaps == 0 {
+		return nil, ErrNoTaps
+	}
+
+	window := cfg.Window
+	if window == 0 {
+		if cfg.Class == GPR {
+			window = DefaultGPRWindow
+		} else {
+			window = DefaultFPRWindow
+		}
+	}
+	stepFactor := cfg.StepFactor
+	if stepFactor <= 0 {
+		stepFactor = DefaultStepFactor
+	}
+	budget := uint64(float64(golden.Steps()) * stepFactor)
+
+	// Pre-generate all plans from the seed so results do not depend on
+	// worker scheduling.
+	rng := stats.NewRNG(cfg.Seed)
+	plans := make([]Plan, cfg.Trials)
+	for i := range plans {
+		plans[i] = Plan{
+			Class:  cfg.Class,
+			Reg:    rng.Intn(NumRegisters),
+			Bit:    rng.Intn(RegisterBits),
+			Site:   rng.Uint64() % totalTaps,
+			Window: window,
+			Region: cfg.Region,
+		}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+
+	trials := make([]Trial, cfg.Trials)
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				trials[i] = runTrial(plans[i], budget, goldenOut, cfg.KeepSDCOutputs, app)
+			}
+		}()
+	}
+	var ctxErr error
+feed:
+	for i := 0; i < cfg.Trials; i++ {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+			break feed
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+	if ctxErr != nil {
+		return nil, fmt.Errorf("fault: campaign interrupted: %w", ctxErr)
+	}
+
+	every := cfg.CheckpointEvery
+	if every <= 0 {
+		every = cfg.Trials / 20
+		if every == 0 {
+			every = 1
+		}
+	}
+	res := &Result{
+		Config:       cfg,
+		GoldenOutput: goldenOut,
+		GoldenSteps:  golden.Steps(),
+		TotalTaps:    totalTaps,
+		CrashCounts:  make(map[CrashKind]int),
+		RegHist:      stats.NewHistogram(NumRegisters),
+		BitHist:      stats.NewHistogram(RegisterBits),
+		Curve:        stats.NewRateCurve(int(NumOutcomes), every),
+		Trials:       trials,
+	}
+	for _, t := range trials {
+		res.Counts[t.Outcome]++
+		if t.Outcome == OutcomeCrash {
+			res.CrashCounts[t.Crash]++
+		}
+		res.RegHist.Add(t.Plan.Reg)
+		res.BitHist.Add(t.Plan.Bit)
+		res.Curve.Add(int(t.Outcome))
+	}
+	return res, nil
+}
+
+// runTrial executes one injection and classifies it, recovering panics
+// the way AFI's Fault Monitor catches signals.
+func runTrial(plan Plan, budget uint64, goldenOut []byte, keepSDC bool, app App) (trial Trial) {
+	trial.Plan = plan
+	m := NewWithPlan(plan, budget)
+	defer func() {
+		trial.Landed = m.Injected()
+		if r := recover(); r != nil {
+			if h, ok := r.(hangError); ok {
+				trial.Outcome = OutcomeHang
+				trial.Err = h
+				return
+			}
+			trial.Outcome = OutcomeCrash
+			// Go runtime errors (slice bounds, nil dereference) are the
+			// analogue of release-build segmentation faults; explicit
+			// panics raised by application/library validation are the
+			// analogue of assertion aborts (the paper's 92%/8% split,
+			// §VI-A).
+			if _, isRuntime := r.(runtime.Error); isRuntime {
+				trial.Crash = CrashSegv
+			} else {
+				trial.Crash = CrashAbort
+			}
+			trial.Err = fmt.Errorf("fault: recovered panic: %v", r)
+		}
+	}()
+	out, err := app(m)
+	if err != nil {
+		trial.Outcome = OutcomeCrash
+		trial.Crash = CrashAbort
+		trial.Err = err
+		return trial
+	}
+	if bytesEqual(out, goldenOut) {
+		trial.Outcome = OutcomeMask
+		return trial
+	}
+	trial.Outcome = OutcomeSDC
+	if keepSDC {
+		trial.Output = out
+	}
+	return trial
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

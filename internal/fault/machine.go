@@ -1,0 +1,449 @@
+// Package fault reproduces the paper's Application Fault Injection
+// (AFI) tool: single-bit flips in the architectural register file
+// (GPRs and FPRs) at a uniformly random point of the application's
+// execution, with outcomes classified as Mask, SDC, Crash or Hang
+// (§V-A, §V-B).
+//
+// # Fault model
+//
+// The original AFI perturbs an unmodified binary's register state from
+// outside the process. A pure-Go reproduction cannot reach machine
+// registers, so the pipeline is instrumented with *taps*: every
+// architecturally meaningful value crossing (array indices, loop
+// bounds, packed pixel bytes, descriptor words, floating-point
+// intermediates) flows through a Machine. Each tap advances a
+// dynamic-instruction counter — the analogue of the execution cycle at
+// which AFI fires.
+//
+// A Plan picks a register class (GPR/FPR), a register id in [0,32), a
+// bit in [0,64) and a cycle (tap index). Because a bit flipped in a
+// physical register only matters if the register holds a live value
+// that is subsequently read, the machine models liveness with a
+// *window*: the flip lands at the planned cycle and corrupts the first
+// tapped value within the next Window taps whose attributed register
+// (a deterministic hash of the tap index) matches the planned
+// register. If no such tap occurs inside the window, the flipped
+// register was dead or is rewritten first and the fault is masked —
+// exactly the dominant masking mechanism the paper reports. GPR values
+// have long lifetimes (large window); FPR values in this workload are
+// transient conversions (§VI-A), giving them a small window and hence
+// the paper's >99% FPR masking.
+//
+// Values narrower than the 64-bit register (e.g. 8-bit pixels) are
+// truncated on write-back by the caller, so flips in high bits of
+// packed data are architecturally masked, again matching hardware.
+//
+// Outcome detection mirrors AFI's Fault Monitor: a recovered runtime
+// panic is a Crash (segmentation-fault analogue), an application error
+// return is a Crash (abort analogue), exceeding a step budget is a
+// Hang, a byte-identical output is a Mask and anything else is an SDC.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"vsresil/internal/stats"
+)
+
+// Class selects the register file under test.
+type Class uint8
+
+// Register classes, matching the paper's separate GPR and FPR
+// campaigns.
+const (
+	GPR Class = iota
+	FPR
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case GPR:
+		return "GPR"
+	case FPR:
+		return "FPR"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Region identifies the function-level scope a tap executes in. It
+// serves two purposes: the Fig 11b case study injects faults only
+// inside the hot functions, and the Fig 8 execution profile attributes
+// operation counts to functions.
+type Region uint8
+
+// Regions of the video summarization application. RWarpInvoker and
+// RRemapBilinear are the paper's two hot functions (WarpPerspective's
+// callees); the remaining vision kernels model the rest of the OpenCV
+// share; RApp covers application-level orchestration.
+const (
+	RApp Region = iota
+	RFASTDetect
+	RORBDescribe
+	RMatch
+	RRANSAC
+	RWarpInvoker
+	RRemapBilinear
+	RBlend
+	RDecode
+	NumRegions
+
+	// RAny is used in plans to mean "no region restriction".
+	RAny Region = 255
+)
+
+var regionNames = [NumRegions]string{
+	"app", "FASTDetect", "ORBDescribe", "match", "RANSAC",
+	"WarpPerspectiveInvoker", "remapBilinear", "blend", "decode",
+}
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	if r == RAny {
+		return "any"
+	}
+	if int(r) < len(regionNames) {
+		return regionNames[r]
+	}
+	return fmt.Sprintf("Region(%d)", uint8(r))
+}
+
+// OpClass categorizes accounted operations for the performance/energy
+// model (package energy).
+type OpClass uint8
+
+// Operation classes with distinct per-operation cycle costs.
+const (
+	OpInt OpClass = iota
+	OpFloat
+	OpLoad
+	OpStore
+	OpBranch
+	NumOpClasses
+)
+
+// String implements fmt.Stringer.
+func (o OpClass) String() string {
+	switch o {
+	case OpInt:
+		return "int"
+	case OpFloat:
+		return "float"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpBranch:
+		return "branch"
+	default:
+		return fmt.Sprintf("OpClass(%d)", uint8(o))
+	}
+}
+
+// NumRegisters is the architectural register file size per class (the
+// paper's POWER machine has 32 GPRs and 32 FPRs; Fig 9b histograms
+// injections over 32 GPRs).
+const NumRegisters = 32
+
+// RegisterBits is the width of each architectural register.
+const RegisterBits = 64
+
+// Plan describes a single fault-injection experiment.
+type Plan struct {
+	Class  Class
+	Reg    int    // register id in [0, NumRegisters)
+	Bit    int    // bit position in [0, RegisterBits)
+	Site   uint64 // dynamic tap index (the "cycle") within Class (and Region if set)
+	Window uint64 // liveness window in taps; 0 means never hits (always masked)
+	Region Region // RAny for whole-program injection
+}
+
+// String implements fmt.Stringer.
+func (p Plan) String() string {
+	return fmt.Sprintf("%s r%d bit%d site%d win%d region=%s",
+		p.Class, p.Reg, p.Bit, p.Site, p.Window, p.Region)
+}
+
+// hangError is the sentinel panic value raised when the step budget is
+// exhausted; the trial runner maps it to OutcomeHang.
+type hangError struct{ steps uint64 }
+
+func (h hangError) Error() string {
+	return fmt.Sprintf("fault: step budget exhausted after %d steps", h.steps)
+}
+
+// Machine carries fault-injection state and operation accounting
+// through one end-to-end run of the application. A nil *Machine is
+// valid and means "uninstrumented": every tap is an identity with no
+// accounting, so production use of the pipeline pays only a nil check.
+//
+// Machine is not safe for concurrent use; every trial gets its own.
+type Machine struct {
+	plan *Plan
+
+	region Region
+
+	gprCount uint64 // dynamic GPR-class taps so far
+	fprCount uint64 // dynamic FPR-class taps so far
+
+	// Region-scoped tap counters, used when the plan restricts the
+	// injection to a function (Fig 11b).
+	regionGPR [NumRegions]uint64
+	regionFPR [NumRegions]uint64
+
+	steps      uint64
+	stepBudget uint64 // 0 = unlimited
+
+	resolved bool // plan has fired or conclusively missed
+	injected bool // a bit was actually flipped
+
+	ops [NumRegions][NumOpClasses]uint64
+}
+
+// New returns a counting machine with no fault plan (a golden run).
+func New() *Machine {
+	return &Machine{region: RApp}
+}
+
+// NewWithPlan returns a machine that will execute the given plan.
+// stepBudget bounds total taps before the run is declared hung; use 0
+// for unlimited (golden runs).
+func NewWithPlan(p Plan, stepBudget uint64) *Machine {
+	return &Machine{plan: &p, stepBudget: stepBudget, region: RApp}
+}
+
+// Injected reports whether the plan's bit flip actually landed on a
+// live value during the run.
+func (m *Machine) Injected() bool {
+	if m == nil {
+		return false
+	}
+	return m.injected
+}
+
+// GPRTaps returns the number of GPR-class taps executed.
+func (m *Machine) GPRTaps() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.gprCount
+}
+
+// FPRTaps returns the number of FPR-class taps executed.
+func (m *Machine) FPRTaps() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.fprCount
+}
+
+// RegionTaps returns the number of taps of class c executed inside
+// region r.
+func (m *Machine) RegionTaps(c Class, r Region) uint64 {
+	if m == nil || r >= NumRegions {
+		return 0
+	}
+	if c == GPR {
+		return m.regionGPR[r]
+	}
+	return m.regionFPR[r]
+}
+
+// Steps returns the dynamic step count (total taps).
+func (m *Machine) Steps() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.steps
+}
+
+// OpCount returns the accounted operations of the given class within
+// region r.
+func (m *Machine) OpCount(r Region, c OpClass) uint64 {
+	if m == nil || r >= NumRegions || c >= NumOpClasses {
+		return 0
+	}
+	return m.ops[r][c]
+}
+
+// TotalOps returns the accounted operations of class c across all
+// regions.
+func (m *Machine) TotalOps(c OpClass) uint64 {
+	if m == nil {
+		return 0
+	}
+	var t uint64
+	for r := Region(0); r < NumRegions; r++ {
+		t += m.ops[r][c]
+	}
+	return t
+}
+
+// Enter switches the current region and returns a restore function;
+// use as: defer m.Enter(fault.RMatch)().
+func (m *Machine) Enter(r Region) func() {
+	if m == nil {
+		return func() {}
+	}
+	prev := m.region
+	if r < NumRegions {
+		m.region = r
+	}
+	return func() { m.region = prev }
+}
+
+// Swap switches the current region and returns the previous one. It
+// is the allocation-free alternative to Enter for per-pixel hot paths:
+//
+//	prev := m.Swap(fault.RRemapBilinear)
+//	...
+//	m.Swap(prev)
+func (m *Machine) Swap(r Region) Region {
+	if m == nil {
+		return RApp
+	}
+	prev := m.region
+	if r < NumRegions {
+		m.region = r
+	}
+	return prev
+}
+
+// CurrentRegion returns the active accounting region.
+func (m *Machine) CurrentRegion() Region {
+	if m == nil {
+		return RApp
+	}
+	return m.region
+}
+
+// Ops records n operations of class c in the current region. Kernels
+// call this with bulk counts (e.g. once per scanline) so accounting
+// overhead stays negligible.
+func (m *Machine) Ops(c OpClass, n uint64) {
+	if m == nil || c >= NumOpClasses {
+		return
+	}
+	m.ops[m.region][c] += n
+}
+
+func (m *Machine) bumpStep() {
+	m.steps++
+	if m.stepBudget != 0 && m.steps > m.stepBudget {
+		panic(hangError{steps: m.steps})
+	}
+}
+
+// tapGPR is the common GPR-class tap. It returns v with the planned
+// bit flipped if this tap is the injection target.
+func (m *Machine) tapGPR(v uint64) uint64 {
+	idx := m.gprCount
+	m.gprCount++
+	m.regionGPR[m.region]++
+	m.ops[m.region][OpInt]++
+	m.bumpStep()
+	p := m.plan
+	if p == nil || m.resolved || p.Class != GPR {
+		return v
+	}
+	site := idx
+	if p.Region != RAny {
+		if p.Region != m.region {
+			return v
+		}
+		site = m.regionGPR[m.region] - 1
+	}
+	if site < p.Site {
+		return v
+	}
+	if site >= p.Site+p.Window {
+		m.resolved = true // register rewritten or dead: fault masked
+		return v
+	}
+	if int(stats.Hash64(idx)%NumRegisters) != p.Reg {
+		return v
+	}
+	m.resolved = true
+	m.injected = true
+	return v ^ (1 << uint(p.Bit))
+}
+
+// tapFPR is the common FPR-class tap on the raw IEEE-754 bits.
+func (m *Machine) tapFPR(bits uint64) uint64 {
+	idx := m.fprCount
+	m.fprCount++
+	m.regionFPR[m.region]++
+	m.ops[m.region][OpFloat]++
+	m.bumpStep()
+	p := m.plan
+	if p == nil || m.resolved || p.Class != FPR {
+		return bits
+	}
+	site := idx
+	if p.Region != RAny {
+		if p.Region != m.region {
+			return bits
+		}
+		site = m.regionFPR[m.region] - 1
+	}
+	if site < p.Site {
+		return bits
+	}
+	if site >= p.Site+p.Window {
+		m.resolved = true
+		return bits
+	}
+	if int(stats.Hash64(idx^0xF0F0)%NumRegisters) != p.Reg {
+		return bits
+	}
+	m.resolved = true
+	m.injected = true
+	return bits ^ (1 << uint(p.Bit))
+}
+
+// Idx taps an address-forming integer (array index, offset, stride).
+// Corruption of high bits typically produces out-of-bounds accesses —
+// the paper's dominant GPR crash mechanism (92% segmentation faults).
+func (m *Machine) Idx(v int) int {
+	if m == nil {
+		return v
+	}
+	return int(int64(m.tapGPR(uint64(int64(v)))))
+}
+
+// Cnt taps a loop bound or trip count. Corruption can inflate the
+// bound, which the step budget eventually classifies as a Hang.
+func (m *Machine) Cnt(v int) int {
+	if m == nil {
+		return v
+	}
+	return int(int64(m.tapGPR(uint64(int64(v)))))
+}
+
+// Pix taps an 8-bit pixel held in a 64-bit register. The write-back
+// truncation masks flips in bits 8..63 exactly as a byte store from a
+// wide register would.
+func (m *Machine) Pix(v uint8) uint8 {
+	if m == nil {
+		return v
+	}
+	return uint8(m.tapGPR(uint64(v)))
+}
+
+// Word taps a full-width integer datum (descriptor word, accumulator).
+func (m *Machine) Word(v uint64) uint64 {
+	if m == nil {
+		return v
+	}
+	return m.tapGPR(v)
+}
+
+// F64 taps a floating-point intermediate held in an FPR.
+func (m *Machine) F64(v float64) float64 {
+	if m == nil {
+		return v
+	}
+	return math.Float64frombits(m.tapFPR(math.Float64bits(v)))
+}

@@ -1,0 +1,313 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"vsresil/internal/stats"
+)
+
+func TestNilMachineIsIdentity(t *testing.T) {
+	var m *Machine
+	if m.Idx(42) != 42 || m.Cnt(7) != 7 || m.Pix(9) != 9 || m.Word(1e6) != 1e6 {
+		t.Error("nil machine changed a value")
+	}
+	if m.F64(3.5) != 3.5 {
+		t.Error("nil machine changed a float")
+	}
+	if m.GPRTaps() != 0 || m.FPRTaps() != 0 || m.Steps() != 0 {
+		t.Error("nil machine counted")
+	}
+	if m.Injected() {
+		t.Error("nil machine injected")
+	}
+	m.Ops(OpInt, 5) // must not panic
+	m.Enter(RMatch)()
+	if m.CurrentRegion() != RApp {
+		t.Error("nil machine region")
+	}
+	if m.OpCount(RApp, OpInt) != 0 || m.TotalOps(OpInt) != 0 {
+		t.Error("nil machine op counts")
+	}
+	if m.RegionTaps(GPR, RApp) != 0 {
+		t.Error("nil machine region taps")
+	}
+}
+
+func TestGoldenMachineCountsButDoesNotCorrupt(t *testing.T) {
+	m := New()
+	for i := 0; i < 100; i++ {
+		if got := m.Idx(i); got != i {
+			t.Fatalf("golden machine corrupted %d -> %d", i, got)
+		}
+		if got := m.F64(float64(i)); got != float64(i) {
+			t.Fatalf("golden machine corrupted float %d", i)
+		}
+	}
+	if m.GPRTaps() != 100 || m.FPRTaps() != 100 {
+		t.Errorf("taps = %d/%d", m.GPRTaps(), m.FPRTaps())
+	}
+	if m.Steps() != 200 {
+		t.Errorf("steps = %d", m.Steps())
+	}
+}
+
+// findRegForSite returns the register that Hash64 attributes to the
+// given global GPR tap index, so tests can build plans that are
+// guaranteed to land.
+func findRegForSite(site uint64) int {
+	return int(stats.Hash64(site) % NumRegisters)
+}
+
+func TestPlanFlipsExactBit(t *testing.T) {
+	const site = 5
+	p := Plan{Class: GPR, Reg: findRegForSite(site), Bit: 3, Site: site, Window: 1, Region: RAny}
+	m := NewWithPlan(p, 0)
+	for i := 0; i < 10; i++ {
+		got := m.Idx(100)
+		if uint64(i) == site {
+			if got != 100^(1<<3) {
+				t.Errorf("tap %d = %d, want bit 3 flipped (=%d)", i, got, 100^(1<<3))
+			}
+		} else if got != 100 {
+			t.Errorf("tap %d corrupted to %d", i, got)
+		}
+	}
+	if !m.Injected() {
+		t.Error("plan did not report injection")
+	}
+}
+
+func TestPlanWindowMiss(t *testing.T) {
+	const site = 5
+	// Pick a register that does NOT match any tap in [site, site+window).
+	window := uint64(3)
+	used := map[int]bool{}
+	for s := uint64(site); s < site+window; s++ {
+		used[findRegForSite(s)] = true
+	}
+	reg := -1
+	for r := 0; r < NumRegisters; r++ {
+		if !used[r] {
+			reg = r
+			break
+		}
+	}
+	if reg < 0 {
+		t.Skip("all registers used in window (vanishingly unlikely)")
+	}
+	p := Plan{Class: GPR, Reg: reg, Bit: 0, Site: site, Window: window, Region: RAny}
+	m := NewWithPlan(p, 0)
+	for i := 0; i < 20; i++ {
+		if got := m.Idx(7); got != 7 {
+			t.Errorf("missed plan corrupted tap %d", i)
+		}
+	}
+	if m.Injected() {
+		t.Error("window miss should not inject")
+	}
+}
+
+func TestPlanInjectsOnlyOnce(t *testing.T) {
+	const site = 2
+	p := Plan{Class: GPR, Reg: findRegForSite(site), Bit: 0, Site: site, Window: 50, Region: RAny}
+	m := NewWithPlan(p, 0)
+	corrupted := 0
+	for i := 0; i < 100; i++ {
+		if m.Idx(0) != 0 {
+			corrupted++
+		}
+	}
+	if corrupted != 1 {
+		t.Errorf("corrupted %d taps, want exactly 1", corrupted)
+	}
+}
+
+func TestPixTruncationMasksHighBits(t *testing.T) {
+	const site = 0
+	p := Plan{Class: GPR, Reg: findRegForSite(site), Bit: 40, Site: site, Window: 1, Region: RAny}
+	m := NewWithPlan(p, 0)
+	if got := m.Pix(200); got != 200 {
+		t.Errorf("high-bit flip leaked into pixel: %d", got)
+	}
+	if !m.Injected() {
+		t.Error("flip should still count as injected (masked architecturally)")
+	}
+}
+
+func TestPixLowBitFlipVisible(t *testing.T) {
+	const site = 0
+	p := Plan{Class: GPR, Reg: findRegForSite(site), Bit: 2, Site: site, Window: 1, Region: RAny}
+	m := NewWithPlan(p, 0)
+	if got := m.Pix(200); got != 200^4 {
+		t.Errorf("Pix = %d, want %d", got, 200^4)
+	}
+}
+
+func TestF64Flip(t *testing.T) {
+	// Find the register for the first FPR tap (hash uses a different salt).
+	reg := int(stats.Hash64(0^0xF0F0) % NumRegisters)
+	p := Plan{Class: FPR, Reg: reg, Bit: 62, Site: 0, Window: 1, Region: RAny}
+	m := NewWithPlan(p, 0)
+	got := m.F64(1.0)
+	want := math.Float64frombits(math.Float64bits(1.0) ^ (1 << 62))
+	if got != want {
+		t.Errorf("F64 = %v, want %v", got, want)
+	}
+}
+
+func TestClassSeparation(t *testing.T) {
+	// A GPR plan must never corrupt FPR taps and vice versa.
+	p := Plan{Class: GPR, Reg: 0, Bit: 1, Site: 0, Window: 1 << 62, Region: RAny}
+	m := NewWithPlan(p, 0)
+	for i := 0; i < 50; i++ {
+		if got := m.F64(2.5); got != 2.5 {
+			t.Fatal("GPR plan corrupted an FPR tap")
+		}
+	}
+}
+
+func TestRegionScopedPlan(t *testing.T) {
+	// Inject at region-scoped site 0 of RMatch; taps outside RMatch
+	// must be untouched and must not consume the site.
+	reg := int(stats.Hash64(10) % NumRegisters) // global idx when RMatch tap runs
+	p := Plan{Class: GPR, Reg: reg, Bit: 0, Site: 0, Window: 1, Region: RMatch}
+	m := NewWithPlan(p, 0)
+	for i := 0; i < 10; i++ { // 10 taps in RApp, global idx 0..9
+		if got := m.Idx(4); got != 4 {
+			t.Fatal("out-of-region tap corrupted")
+		}
+	}
+	restore := m.Enter(RMatch)
+	got := m.Idx(4) // global idx 10, region-scoped idx 0
+	restore()
+	if got != 4^1 {
+		t.Errorf("region-scoped tap = %d, want %d", got, 4^1)
+	}
+}
+
+func TestRegionTapCounting(t *testing.T) {
+	m := New()
+	m.Idx(1)
+	restore := m.Enter(RRemapBilinear)
+	m.Idx(1)
+	m.Idx(1)
+	m.F64(1)
+	restore()
+	if got := m.RegionTaps(GPR, RRemapBilinear); got != 2 {
+		t.Errorf("region GPR taps = %d, want 2", got)
+	}
+	if got := m.RegionTaps(FPR, RRemapBilinear); got != 1 {
+		t.Errorf("region FPR taps = %d, want 1", got)
+	}
+	if got := m.RegionTaps(GPR, RApp); got != 1 {
+		t.Errorf("app GPR taps = %d, want 1", got)
+	}
+}
+
+func TestEnterRestoresNesting(t *testing.T) {
+	m := New()
+	r1 := m.Enter(RMatch)
+	if m.CurrentRegion() != RMatch {
+		t.Fatal("Enter did not switch")
+	}
+	r2 := m.Enter(RRANSAC)
+	if m.CurrentRegion() != RRANSAC {
+		t.Fatal("nested Enter did not switch")
+	}
+	r2()
+	if m.CurrentRegion() != RMatch {
+		t.Fatal("restore did not pop to RMatch")
+	}
+	r1()
+	if m.CurrentRegion() != RApp {
+		t.Fatal("restore did not pop to RApp")
+	}
+}
+
+func TestStepBudgetPanicsAsHang(t *testing.T) {
+	p := Plan{Class: GPR, Reg: 0, Bit: 0, Site: 1 << 62, Window: 1, Region: RAny}
+	m := NewWithPlan(p, 10)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected hang panic")
+		}
+		if _, ok := r.(hangError); !ok {
+			t.Fatalf("recovered %T, want hangError", r)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		m.Idx(i)
+	}
+}
+
+func TestOpsAccounting(t *testing.T) {
+	m := New()
+	m.Ops(OpLoad, 10)
+	restore := m.Enter(RWarpInvoker)
+	m.Ops(OpLoad, 5)
+	m.Ops(OpFloat, 3)
+	restore()
+	if got := m.OpCount(RApp, OpLoad); got != 10 {
+		t.Errorf("RApp loads = %d", got)
+	}
+	if got := m.OpCount(RWarpInvoker, OpLoad); got != 5 {
+		t.Errorf("warp loads = %d", got)
+	}
+	if got := m.TotalOps(OpLoad); got != 15 {
+		t.Errorf("total loads = %d", got)
+	}
+	if got := m.TotalOps(OpFloat); got != 3 {
+		t.Errorf("total floats = %d", got)
+	}
+}
+
+func TestTapsCountAsOps(t *testing.T) {
+	m := New()
+	m.Idx(1)
+	m.F64(1)
+	if m.TotalOps(OpInt) != 1 || m.TotalOps(OpFloat) != 1 {
+		t.Error("taps should count as ops")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if GPR.String() != "GPR" || FPR.String() != "FPR" {
+		t.Error("Class strings")
+	}
+	if Class(9).String() == "" {
+		t.Error("unknown class string empty")
+	}
+	if RAny.String() != "any" || RRemapBilinear.String() != "remapBilinear" {
+		t.Error("Region strings")
+	}
+	if Region(200).String() == "" {
+		t.Error("unknown region string empty")
+	}
+	for o := OpClass(0); o < NumOpClasses; o++ {
+		if o.String() == "" {
+			t.Error("op class string empty")
+		}
+	}
+	if OpClass(99).String() == "" {
+		t.Error("unknown op class string empty")
+	}
+	p := Plan{Class: FPR, Reg: 3, Bit: 17, Site: 42, Window: 2, Region: RAny}
+	if p.String() == "" {
+		t.Error("plan string empty")
+	}
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		if o.String() == "" {
+			t.Error("outcome string empty")
+		}
+	}
+	if Outcome(99).String() == "" {
+		t.Error("unknown outcome string empty")
+	}
+	for _, k := range []CrashKind{CrashNone, CrashSegv, CrashAbort, CrashKind(9)} {
+		if k.String() == "" {
+			t.Error("crash kind string empty")
+		}
+	}
+}

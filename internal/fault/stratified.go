@@ -1,0 +1,250 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"vsresil/internal/stats"
+)
+
+// The paper leaves "more comprehensive and higher precision techniques
+// such as Relyzer" to future work (§V-A). Relyzer's key idea is fault-
+// site equivalence: many dynamic fault sites behave alike, so
+// injecting into a few representatives of each equivalence class and
+// weighting by class population estimates full-coverage resiliency at
+// a fraction of the cost. This file implements a statistical variant:
+// the site space is stratified by (function region, bit group) — the
+// two strongest behavioral predictors in this workload — and each
+// stratum is sampled independently.
+
+// BitGroup partitions register bit positions by architectural effect:
+// low bits perturb values slightly, middle bits produce large value
+// and address errors, high bits flip signs and magnitudes.
+type BitGroup uint8
+
+// Bit groups.
+const (
+	BitsLow  BitGroup = iota // bits 0-7
+	BitsMid                  // bits 8-31
+	BitsHigh                 // bits 32-63
+	NumBitGroups
+)
+
+// String implements fmt.Stringer.
+func (b BitGroup) String() string {
+	switch b {
+	case BitsLow:
+		return "bits0-7"
+	case BitsMid:
+		return "bits8-31"
+	case BitsHigh:
+		return "bits32-63"
+	default:
+		return fmt.Sprintf("BitGroup(%d)", uint8(b))
+	}
+}
+
+// bounds returns the inclusive bit range of the group.
+func (b BitGroup) bounds() (int, int) {
+	switch b {
+	case BitsLow:
+		return 0, 7
+	case BitsMid:
+		return 8, 31
+	default:
+		return 32, 63
+	}
+}
+
+// groupWidth returns the number of bit positions in the group.
+func (b BitGroup) groupWidth() int {
+	lo, hi := b.bounds()
+	return hi - lo + 1
+}
+
+// Stratum is one fault-site equivalence class.
+type Stratum struct {
+	Region Region
+	Bits   BitGroup
+	// Population is the stratum's share of the total site space
+	// (region taps × bit positions).
+	Population uint64
+	// Counts are the sampled outcome counts within the stratum.
+	Counts [NumOutcomes]int
+}
+
+// Rates returns the stratum's outcome rates.
+func (s *Stratum) Rates() [NumOutcomes]float64 {
+	total := 0
+	for _, c := range s.Counts {
+		total += c
+	}
+	var out [NumOutcomes]float64
+	if total == 0 {
+		return out
+	}
+	for o := range s.Counts {
+		out[o] = float64(s.Counts[o]) / float64(total)
+	}
+	return out
+}
+
+// StratifiedConfig parameterizes an equivalence-class campaign.
+type StratifiedConfig struct {
+	// TrialsPerStratum is the number of injections sampled from each
+	// non-empty stratum (default 20).
+	TrialsPerStratum int
+	// Class selects the register file.
+	Class Class
+	// Seed, Workers, StepFactor, Window as in Config.
+	Seed       uint64
+	Workers    int
+	StepFactor float64
+	Window     uint64
+}
+
+// StratifiedResult aggregates an equivalence-class campaign.
+type StratifiedResult struct {
+	Strata []Stratum
+	// TotalPopulation is the size of the whole weighted site space.
+	TotalPopulation uint64
+	// Trials is the total number of injections performed.
+	Trials int
+}
+
+// WeightedRates estimates the whole-program outcome rates by weighting
+// each stratum's sampled rates with its population share — the
+// Relyzer-style full-coverage estimate.
+func (r *StratifiedResult) WeightedRates() [NumOutcomes]float64 {
+	var out [NumOutcomes]float64
+	if r.TotalPopulation == 0 {
+		return out
+	}
+	for i := range r.Strata {
+		s := &r.Strata[i]
+		rates := s.Rates()
+		w := float64(s.Population) / float64(r.TotalPopulation)
+		for o := range out {
+			out[o] += w * rates[o]
+		}
+	}
+	return out
+}
+
+// RunStratifiedCampaign executes the equivalence-class campaign: one
+// golden run sizes every stratum, then TrialsPerStratum injections are
+// sampled per non-empty stratum on a bounded worker pool.
+func RunStratifiedCampaign(ctx context.Context, cfg StratifiedConfig, app App) (*StratifiedResult, error) {
+	if cfg.TrialsPerStratum <= 0 {
+		cfg.TrialsPerStratum = 20
+	}
+	golden := New()
+	goldenOut, err := app(golden)
+	if err != nil {
+		return nil, fmt.Errorf("fault: golden run failed: %w", err)
+	}
+	window := cfg.Window
+	if window == 0 {
+		if cfg.Class == GPR {
+			window = DefaultGPRWindow
+		} else {
+			window = DefaultFPRWindow
+		}
+	}
+	stepFactor := cfg.StepFactor
+	if stepFactor <= 0 {
+		stepFactor = DefaultStepFactor
+	}
+	budget := uint64(float64(golden.Steps()) * stepFactor)
+
+	res := &StratifiedResult{}
+	rng := stats.NewRNG(cfg.Seed)
+	type job struct {
+		stratum int
+		plan    Plan
+	}
+	var jobs []job
+	for region := Region(0); region < NumRegions; region++ {
+		taps := golden.RegionTaps(cfg.Class, region)
+		if taps == 0 {
+			continue
+		}
+		for bg := BitGroup(0); bg < NumBitGroups; bg++ {
+			st := Stratum{
+				Region:     region,
+				Bits:       bg,
+				Population: taps * uint64(bg.groupWidth()),
+			}
+			res.TotalPopulation += st.Population
+			idx := len(res.Strata)
+			res.Strata = append(res.Strata, st)
+			lo, hi := bg.bounds()
+			for t := 0; t < cfg.TrialsPerStratum; t++ {
+				jobs = append(jobs, job{stratum: idx, plan: Plan{
+					Class:  cfg.Class,
+					Reg:    rng.Intn(NumRegisters),
+					Bit:    lo + rng.Intn(hi-lo+1),
+					Site:   rng.Uint64() % taps,
+					Window: window,
+					Region: region,
+				}})
+			}
+		}
+	}
+	if len(jobs) == 0 {
+		return nil, ErrNoTaps
+	}
+
+	outcomes := make([]Outcome, len(jobs))
+	if err := runJobs(ctx, cfg.Workers, len(jobs), func(i int) {
+		trial := runTrial(jobs[i].plan, budget, goldenOut, false, app)
+		outcomes[i] = trial.Outcome
+	}); err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		res.Strata[j.stratum].Counts[outcomes[i]]++
+	}
+	res.Trials = len(jobs)
+	return res, nil
+}
+
+// runJobs executes fn(0..n-1) on a bounded worker pool, stopping early
+// on context cancellation.
+func runJobs(ctx context.Context, workers, n int, fn func(int)) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	idxCh := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range idxCh {
+				fn(i)
+			}
+			done <- struct{}{}
+		}()
+	}
+	var ctxErr error
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+			break feed
+		}
+	}
+	close(idxCh)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if ctxErr != nil {
+		return fmt.Errorf("fault: stratified campaign interrupted: %w", ctxErr)
+	}
+	return nil
+}

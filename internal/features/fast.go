@@ -1,0 +1,245 @@
+// Package features implements the key-point pipeline of the VS
+// algorithm (§III-A): FAST corner detection (Rosten & Drummond) and
+// ORB descriptors (Rublee et al.: intensity-centroid orientation plus
+// rotation-steered BRIEF), the exact detector/descriptor pair the
+// paper's OpenCV pipeline uses.
+//
+// All pixel and index traffic flows through fault-machine taps so the
+// AFI reproduction can corrupt the detector the same way a register
+// bit flip would.
+package features
+
+import (
+	"sort"
+
+	"vsresil/internal/fault"
+	"vsresil/internal/imgproc"
+)
+
+// KeyPoint is a detected corner with its FAST score and ORB
+// orientation.
+type KeyPoint struct {
+	X, Y  int
+	Score int     // FAST corner score (sum of absolute threshold excess)
+	Angle float64 // intensity-centroid orientation, radians
+}
+
+// Pt returns the key point location as a float pair for geometry code.
+func (k KeyPoint) Pt() (float64, float64) { return float64(k.X), float64(k.Y) }
+
+// circleOffsets16 is the Bresenham circle of radius 3 used by FAST-9,
+// in clockwise order starting from (0,-3).
+var circleOffsets16 = [16][2]int{
+	{0, -3}, {1, -3}, {2, -2}, {3, -1},
+	{3, 0}, {3, 1}, {2, 2}, {1, 3},
+	{0, 3}, {-1, 3}, {-2, 2}, {-3, 1},
+	{-3, 0}, {-3, -1}, {-2, -2}, {-1, -3},
+}
+
+// FASTConfig parameterizes the detector.
+type FASTConfig struct {
+	// Threshold is the intensity difference needed for a circle pixel
+	// to count as brighter/darker than the center (OpenCV default 20).
+	Threshold int
+	// Arc is the contiguous arc length required (9 for FAST-9).
+	Arc int
+	// NonMaxSuppress enables 3x3 non-maximum suppression on scores.
+	NonMaxSuppress bool
+	// MaxFeatures caps the number of returned key points, keeping the
+	// strongest (0 = unlimited).
+	MaxFeatures int
+	// Border excludes a margin from detection so descriptor patches
+	// stay inside the image.
+	Border int
+}
+
+// DefaultFASTConfig mirrors the pipeline defaults used throughout the
+// reproduction.
+func DefaultFASTConfig() FASTConfig {
+	return FASTConfig{
+		Threshold:      15,
+		Arc:            9,
+		NonMaxSuppress: true,
+		MaxFeatures:    500,
+		Border:         16,
+	}
+}
+
+// DetectFAST finds FAST corners in g. The machine m may be nil for
+// uninstrumented runs.
+func DetectFAST(g *imgproc.Gray, cfg FASTConfig, m *fault.Machine) []KeyPoint {
+	defer m.Enter(fault.RFASTDetect)()
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 20
+	}
+	if cfg.Arc <= 0 || cfg.Arc > 16 {
+		cfg.Arc = 9
+	}
+	border := cfg.Border
+	if border < 3 {
+		border = 3
+	}
+	w := m.Cnt(g.W)
+	h := m.Cnt(g.H)
+	if w != g.W || h != g.H {
+		// A corrupted dimension register: accesses below will use the
+		// corrupted bound and fault naturally, as on real hardware.
+	}
+	if w-border <= border || h-border <= border {
+		return nil
+	}
+
+	// scores is indexed by the uncorrupted geometry; a corrupted index
+	// from a tap panics inside At(), which the campaign classifies as
+	// a crash — the segmentation-fault analogue.
+	var scores *imgproc.Gray
+	if cfg.NonMaxSuppress {
+		scores = imgproc.NewGray(g.W, g.H)
+	}
+
+	var raw []KeyPoint
+	for y := border; y < h-border; y++ {
+		m.Ops(fault.OpBranch, uint64(w-2*border))
+		for x := border; x < w-border; x++ {
+			center := int(m.Pix(g.At(m.Idx(x), m.Idx(y))))
+			lo := center - cfg.Threshold
+			hi := center + cfg.Threshold
+
+			// Fast rejection: for arc >= 9 at least one of each
+			// opposing cardinal pair must be outside the band.
+			p0 := int(g.At(x, y-3))
+			p8 := int(g.At(x, y+3))
+			if cfg.Arc >= 9 && !(p0 > hi || p0 < lo || p8 > hi || p8 < lo) {
+				p4 := int(g.At(x+3, y))
+				p12 := int(g.At(x-3, y))
+				if !(p4 > hi || p4 < lo || p12 > hi || p12 < lo) {
+					continue
+				}
+			}
+
+			score := fastScore(g, x, y, lo, hi, cfg.Arc, m)
+			if score <= 0 {
+				continue
+			}
+			m.Ops(fault.OpLoad, 16)
+			if scores != nil {
+				s := score
+				if s > 255 {
+					s = 255
+				}
+				scores.Set(x, y, uint8(s))
+			}
+			raw = append(raw, KeyPoint{X: x, Y: y, Score: score})
+		}
+	}
+
+	kps := raw
+	if cfg.NonMaxSuppress {
+		kps = kps[:0]
+		for _, kp := range raw {
+			if isLocalMax(scores, kp.X, kp.Y) {
+				kps = append(kps, kp)
+			}
+		}
+	}
+
+	if cfg.MaxFeatures > 0 && len(kps) > cfg.MaxFeatures {
+		sort.Slice(kps, func(i, j int) bool {
+			if kps[i].Score != kps[j].Score {
+				return kps[i].Score > kps[j].Score
+			}
+			if kps[i].Y != kps[j].Y {
+				return kps[i].Y < kps[j].Y
+			}
+			return kps[i].X < kps[j].X
+		})
+		kps = kps[:cfg.MaxFeatures]
+	}
+	// Deterministic order for downstream stages.
+	sort.Slice(kps, func(i, j int) bool {
+		if kps[i].Y != kps[j].Y {
+			return kps[i].Y < kps[j].Y
+		}
+		return kps[i].X < kps[j].X
+	})
+	return kps
+}
+
+// fastScore checks the contiguous-arc criterion at (x, y) and returns
+// a corner score (0 = not a corner). The score is the larger of the
+// bright-arc and dark-arc total threshold excess, the same measure
+// OpenCV uses for non-max suppression.
+func fastScore(g *imgproc.Gray, x, y, lo, hi, arc int, m *fault.Machine) int {
+	var bright, dark [16]bool
+	var diffs [16]int
+	for i, off := range circleOffsets16 {
+		v := int(g.At(x+off[0], y+off[1]))
+		diffs[i] = v
+		bright[i] = v > hi
+		dark[i] = v < lo
+	}
+	center := (lo + hi) / 2
+	th := (hi - lo) / 2
+
+	best := 0
+	// Check both polarities by scanning the doubled circle for a run
+	// of length >= arc.
+	for polarity := 0; polarity < 2; polarity++ {
+		flags := bright
+		if polarity == 1 {
+			flags = dark
+		}
+		run := 0
+		sum := 0
+		for i := 0; i < 32; i++ {
+			idx := i & 15
+			if flags[idx] {
+				run++
+				d := diffs[idx] - center
+				if d < 0 {
+					d = -d
+				}
+				sum += d - th
+				if run >= arc && sum > best {
+					best = sum
+				}
+			} else {
+				run = 0
+				sum = 0
+			}
+			if run >= 16 {
+				break
+			}
+		}
+	}
+	if best > 0 {
+		// Tap the score: it is an integer register value that decides
+		// downstream control flow (key point selection).
+		best = m.Cnt(best)
+		if best < 0 {
+			best = 0
+		}
+	}
+	return best
+}
+
+// isLocalMax reports whether (x, y) has the strictly greatest score in
+// its 3x3 neighborhood (ties broken toward the earlier raster pixel).
+func isLocalMax(scores *imgproc.Gray, x, y int) bool {
+	s := scores.At(x, y)
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			n := scores.AtClamped(x+dx, y+dy)
+			if n > s {
+				return false
+			}
+			if n == s && (dy < 0 || (dy == 0 && dx < 0)) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,193 @@
+package features
+
+import (
+	"math"
+
+	"vsresil/internal/fault"
+	"vsresil/internal/imgproc"
+	"vsresil/internal/stats"
+)
+
+// DescriptorWords is the number of 64-bit words per ORB descriptor
+// (256 bits, as in the original rBRIEF).
+const DescriptorWords = 4
+
+// DescriptorBits is the descriptor length in bits.
+const DescriptorBits = DescriptorWords * 64
+
+// Descriptor is a 256-bit binary feature descriptor.
+type Descriptor [DescriptorWords]uint64
+
+// Hamming returns the Hamming distance between two descriptors,
+// accumulating through fault-machine taps (the accumulator and the
+// descriptor words are GPR state in the original binary).
+func (d Descriptor) Hamming(o Descriptor, m *fault.Machine) int {
+	dist := 0
+	for i := 0; i < DescriptorWords; i++ {
+		x := m.Word(d[i]) ^ o[i]
+		dist += onesCount64(x)
+	}
+	return m.Cnt(dist)
+}
+
+// onesCount64 is a branch-free popcount (math/bits is stdlib, but an
+// explicit implementation keeps the op accounting story simple and
+// mirrors the scalar code the paper's binary runs).
+func onesCount64(x uint64) int {
+	x -= (x >> 1) & 0x5555555555555555
+	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
+	return int((x * 0x0101010101010101) >> 56)
+}
+
+// Pattern is the BRIEF point-pair sampling pattern. ORB uses a fixed
+// learned pattern; we generate a deterministic pseudo-random pattern
+// (isotropic Gaussian around the patch center, as in the original
+// BRIEF paper) from a fixed seed so every run of the reproduction uses
+// identical descriptors.
+type Pattern struct {
+	Radius int
+	pairs  [DescriptorBits][4]int8 // x1, y1, x2, y2
+}
+
+// NewPattern builds a sampling pattern for the given patch radius.
+func NewPattern(radius int, seed uint64) *Pattern {
+	if radius < 2 {
+		radius = 2
+	}
+	if radius > 127 {
+		radius = 127
+	}
+	p := &Pattern{Radius: radius}
+	rng := stats.NewRNG(seed)
+	sigma := float64(radius) / 2
+	sample := func() int8 {
+		for {
+			v := rng.NormFloat64() * sigma
+			if v > -float64(radius) && v < float64(radius) {
+				return int8(math.Round(v))
+			}
+		}
+	}
+	for i := range p.pairs {
+		p.pairs[i] = [4]int8{sample(), sample(), sample(), sample()}
+	}
+	return p
+}
+
+// ORBConfig parameterizes descriptor extraction.
+type ORBConfig struct {
+	// PatchRadius is the half-size of the square patch used for
+	// orientation and sampling (ORB uses 15 → 31x31 patches).
+	PatchRadius int
+	// PatternSeed seeds the deterministic BRIEF pattern.
+	PatternSeed uint64
+	// AngleBins quantizes the steering rotation (ORB uses 30 bins of
+	// 12 degrees).
+	AngleBins int
+}
+
+// DefaultORBConfig mirrors the original ORB parameters.
+func DefaultORBConfig() ORBConfig {
+	return ORBConfig{PatchRadius: 15, PatternSeed: 0x08b, AngleBins: 30}
+}
+
+// Extractor computes oriented BRIEF descriptors with a shared pattern.
+type Extractor struct {
+	cfg     ORBConfig
+	pattern *Pattern
+}
+
+// NewExtractor builds an extractor for the given configuration.
+func NewExtractor(cfg ORBConfig) *Extractor {
+	if cfg.PatchRadius <= 0 {
+		cfg.PatchRadius = 15
+	}
+	if cfg.AngleBins <= 0 {
+		cfg.AngleBins = 30
+	}
+	return &Extractor{cfg: cfg, pattern: NewPattern(cfg.PatchRadius, cfg.PatternSeed)}
+}
+
+// Orientation computes the intensity-centroid angle of the patch
+// around (x, y): atan2(m01, m10) over the circular patch, as in ORB.
+func (e *Extractor) Orientation(g *imgproc.Gray, x, y int, m *fault.Machine) float64 {
+	r := e.cfg.PatchRadius
+	var m01, m10 float64
+	r2 := r * r
+	for dy := -r; dy <= r; dy++ {
+		yy := y + dy
+		m.Ops(fault.OpLoad, uint64(2*r+1))
+		m.Ops(fault.OpFloat, uint64(2*(2*r+1)))
+		for dx := -r; dx <= r; dx++ {
+			if dx*dx+dy*dy > r2 {
+				continue
+			}
+			v := float64(g.AtClamped(x+dx, yy))
+			m10 += float64(dx) * v
+			m01 += float64(dy) * v
+		}
+	}
+	// The moments are floating-point register values.
+	m01 = m.F64(m01)
+	m10 = m.F64(m10)
+	a := math.Atan2(m01, m10)
+	if math.IsNaN(a) {
+		a = 0
+	}
+	return a
+}
+
+// Describe computes ORB descriptors for the key points, filling in
+// their Angle fields. Key points too close to the border for the
+// patch are dropped; the returned slices are parallel.
+func (e *Extractor) Describe(g *imgproc.Gray, kps []KeyPoint, m *fault.Machine) ([]KeyPoint, []Descriptor) {
+	defer m.Enter(fault.RORBDescribe)()
+	r := e.cfg.PatchRadius
+	binWidth := 2 * math.Pi / float64(e.cfg.AngleBins)
+
+	outKps := make([]KeyPoint, 0, len(kps))
+	outDescs := make([]Descriptor, 0, len(kps))
+	n := m.Cnt(len(kps))
+	for i := 0; i < n; i++ {
+		kp := kps[m.Idx(i)]
+		if kp.X < r || kp.Y < r || kp.X >= g.W-r || kp.Y >= g.H-r {
+			continue
+		}
+		angle := e.Orientation(g, kp.X, kp.Y, m)
+		// Quantize the steering angle like ORB (12-degree bins) so the
+		// rotated pattern can be reused across features.
+		bin := math.Round(angle / binWidth)
+		qa := bin * binWidth
+		sin, cos := math.Sincos(qa)
+		sin = m.F64(sin)
+		cos = m.F64(cos)
+
+		var d Descriptor
+		for b := 0; b < DescriptorBits; b++ {
+			pr := e.pattern.pairs[b]
+			x1, y1 := rotatePoint(int(pr[0]), int(pr[1]), sin, cos)
+			x2, y2 := rotatePoint(int(pr[2]), int(pr[3]), sin, cos)
+			p1 := m.Pix(g.AtClamped(kp.X+x1, kp.Y+y1))
+			p2 := g.AtClamped(kp.X+x2, kp.Y+y2)
+			if p1 < p2 {
+				d[b>>6] |= 1 << uint(b&63)
+			}
+		}
+		m.Ops(fault.OpLoad, DescriptorBits*2)
+		m.Ops(fault.OpInt, DescriptorBits)
+
+		kp.Angle = angle
+		outKps = append(outKps, kp)
+		outDescs = append(outDescs, d)
+	}
+	return outKps, outDescs
+}
+
+// rotatePoint rotates the integer offset (x, y) by the angle whose
+// sine/cosine are given, rounding to the nearest pixel.
+func rotatePoint(x, y int, sin, cos float64) (int, int) {
+	fx := float64(x)
+	fy := float64(y)
+	return int(math.Round(cos*fx - sin*fy)), int(math.Round(sin*fx + cos*fy))
+}

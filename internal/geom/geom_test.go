@@ -1,0 +1,353 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func homographyApproxEq(a, b Homography, tol float64) bool {
+	an, bn := a.Normalize(), b.Normalize()
+	for i := range an {
+		if !approxEq(an[i], bn[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIdentityApply(t *testing.T) {
+	h := Identity()
+	pts := []Pt{{0, 0}, {1, 2}, {-3.5, 7.25}, {1e4, -1e4}}
+	for _, p := range pts {
+		if got := h.Apply(p); got != p {
+			t.Errorf("Identity.Apply(%v) = %v", p, got)
+		}
+	}
+}
+
+func TestTranslationApply(t *testing.T) {
+	h := Translation(3, -4)
+	got := h.Apply(Pt{1, 1})
+	want := Pt{4, -3}
+	if got != want {
+		t.Errorf("Translation.Apply = %v, want %v", got, want)
+	}
+}
+
+func TestRotationApply(t *testing.T) {
+	h := Rotation(math.Pi / 2)
+	got := h.Apply(Pt{1, 0})
+	if !approxEq(got.X, 0, 1e-12) || !approxEq(got.Y, 1, 1e-12) {
+		t.Errorf("Rotation(90deg).Apply(1,0) = %v, want (0,1)", got)
+	}
+}
+
+func TestRotationAboutFixedPoint(t *testing.T) {
+	c := Pt{5, 7}
+	h := RotationAbout(1.234, c.X, c.Y)
+	got := h.Apply(c)
+	if !approxEq(got.X, c.X, 1e-9) || !approxEq(got.Y, c.Y, 1e-9) {
+		t.Errorf("rotation about %v moved the center to %v", c, got)
+	}
+}
+
+func TestMulComposition(t *testing.T) {
+	g := Translation(2, 3)
+	h := Scaling(2, 2)
+	// (h∘g)(p) must equal h(g(p)).
+	p := Pt{1, 1}
+	composed := h.Mul(g).Apply(p)
+	sequential := h.Apply(g.Apply(p))
+	if !approxEq(composed.X, sequential.X, 1e-12) || !approxEq(composed.Y, sequential.Y, 1e-12) {
+		t.Errorf("composition mismatch: %v vs %v", composed, sequential)
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	h := Translation(10, -5).Mul(Rotation(0.3)).Mul(Scaling(1.5, 0.8))
+	inv, err := h.Inverse()
+	if err != nil {
+		t.Fatalf("Inverse: %v", err)
+	}
+	prod := h.Mul(inv)
+	if !homographyApproxEq(prod, Identity(), 1e-9) {
+		t.Errorf("h * h^-1 = %v, want identity", prod)
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	var h Homography // all zeros: singular
+	if _, err := h.Inverse(); err == nil {
+		t.Error("Inverse of zero matrix should fail")
+	}
+}
+
+func TestApplyNearInfinity(t *testing.T) {
+	// A transform whose denominator vanishes at (1, 0) must still
+	// return finite coordinates.
+	h := Homography{1, 0, 0, 0, 1, 0, -1, 0, 1}
+	got := h.Apply(Pt{1, 0})
+	if math.IsInf(got.X, 0) || math.IsNaN(got.X) {
+		t.Errorf("Apply at horizon produced %v", got)
+	}
+}
+
+func TestEstimateHomographyExact(t *testing.T) {
+	want := Translation(12, -7).Mul(Rotation(0.25)).Mul(Scaling(1.3, 1.3))
+	src := []Pt{{0, 0}, {100, 0}, {100, 80}, {0, 80}}
+	dst := make([]Pt, len(src))
+	for i, p := range src {
+		dst[i] = want.Apply(p)
+	}
+	got, err := EstimateHomography(src, dst)
+	if err != nil {
+		t.Fatalf("EstimateHomography: %v", err)
+	}
+	if !homographyApproxEq(got, want, 1e-6) {
+		t.Errorf("EstimateHomography = %v, want %v", got, want)
+	}
+}
+
+func TestEstimateHomographyOverdetermined(t *testing.T) {
+	want := Homography{1.02, 0.05, 14, -0.03, 0.98, -22, 1e-5, -2e-5, 1}
+	rng := rand.New(rand.NewSource(7))
+	var src, dst []Pt
+	for i := 0; i < 40; i++ {
+		p := Pt{rng.Float64() * 320, rng.Float64() * 240}
+		src = append(src, p)
+		dst = append(dst, want.Apply(p))
+	}
+	got, err := EstimateHomography(src, dst)
+	if err != nil {
+		t.Fatalf("EstimateHomography: %v", err)
+	}
+	if !homographyApproxEq(got, want, 1e-5) {
+		t.Errorf("EstimateHomography = %v, want %v", got, want)
+	}
+}
+
+func TestEstimateHomographyDegenerate(t *testing.T) {
+	// All four source points collinear: the DLT system is singular.
+	src := []Pt{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	dst := []Pt{{0, 0}, {2, 2}, {4, 4}, {6, 6}}
+	if _, err := EstimateHomography(src, dst); err == nil {
+		t.Error("expected error for collinear points")
+	}
+}
+
+func TestEstimateHomographyTooFew(t *testing.T) {
+	src := []Pt{{0, 0}, {1, 0}, {0, 1}}
+	if _, err := EstimateHomography(src, src); err == nil {
+		t.Error("expected error for 3 correspondences")
+	}
+}
+
+func TestEstimateAffineExact(t *testing.T) {
+	want := Affine{1.1, -0.2, 5, 0.3, 0.9, -8}
+	src := []Pt{{0, 0}, {50, 10}, {20, 70}}
+	dst := make([]Pt, len(src))
+	for i, p := range src {
+		dst[i] = want.Apply(p)
+	}
+	got, err := EstimateAffine(src, dst)
+	if err != nil {
+		t.Fatalf("EstimateAffine: %v", err)
+	}
+	for i := range want {
+		if !approxEq(got[i], want[i], 1e-8) {
+			t.Errorf("EstimateAffine[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEstimateAffineCollinear(t *testing.T) {
+	src := []Pt{{0, 0}, {1, 1}, {2, 2}}
+	if _, err := EstimateAffine(src, src); err == nil {
+		t.Error("expected error for collinear affine points")
+	}
+}
+
+func TestAffineHomographyLift(t *testing.T) {
+	a := Affine{1.5, 0.1, -3, -0.2, 0.8, 12}
+	h := a.Homography()
+	p := Pt{13, -4}
+	pa, ph := a.Apply(p), h.Apply(p)
+	if !approxEq(pa.X, ph.X, 1e-12) || !approxEq(pa.Y, ph.Y, 1e-12) {
+		t.Errorf("affine lift mismatch: %v vs %v", pa, ph)
+	}
+}
+
+func TestSolveLinearKnown(t *testing.T) {
+	// 2x + y = 5; x - y = 1  =>  x = 2, y = 1.
+	a := []float64{2, 1, 1, -1}
+	b := []float64{5, 1}
+	if err := SolveLinear(a, b, 2); err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	if !approxEq(b[0], 2, 1e-12) || !approxEq(b[1], 1, 1e-12) {
+		t.Errorf("solution = %v, want [2 1]", b)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := []float64{1, 2, 2, 4}
+	b := []float64{3, 6}
+	if err := SolveLinear(a, b, 2); err == nil {
+		t.Error("expected singular error")
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a := []float64{0, 1, 1, 0}
+	b := []float64{3, 7}
+	if err := SolveLinear(a, b, 2); err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	if !approxEq(b[0], 7, 1e-12) || !approxEq(b[1], 3, 1e-12) {
+		t.Errorf("solution = %v, want [7 3]", b)
+	}
+}
+
+func TestSolveLinearBadShape(t *testing.T) {
+	if err := SolveLinear([]float64{1}, []float64{1, 2}, 2); err == nil {
+		t.Error("expected error for mismatched shapes")
+	}
+}
+
+func TestCollinear(t *testing.T) {
+	if !Collinear(Pt{0, 0}, Pt{1, 1}, Pt{5, 5}) {
+		t.Error("points on y=x should be collinear")
+	}
+	if Collinear(Pt{0, 0}, Pt{1, 0}, Pt{0, 1}) {
+		t.Error("triangle corners are not collinear")
+	}
+}
+
+func TestReasonable(t *testing.T) {
+	cases := []struct {
+		name string
+		h    Homography
+		want bool
+	}{
+		{"identity", Identity(), true},
+		{"small rotation", Rotation(0.1), true},
+		{"huge scale", Scaling(100, 100), false},
+		{"tiny scale", Scaling(0.001, 0.001), false},
+		{"strong perspective", Homography{1, 0, 0, 0, 1, 0, 0.5, 0, 1}, false},
+		{"nan", Homography{math.NaN(), 0, 0, 0, 1, 0, 0, 0, 1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.h.Reasonable(0.3, 3); got != tc.want {
+				t.Errorf("Reasonable = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPtOps(t *testing.T) {
+	p, q := Pt{3, 4}, Pt{1, 1}
+	if got := p.Add(q); got != (Pt{4, 5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Pt{2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Pt{6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dist(Pt{0, 0}); !approxEq(got, 5, 1e-12) {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := p.Dist2(Pt{0, 0}); !approxEq(got, 25, 1e-12) {
+		t.Errorf("Dist2 = %v", got)
+	}
+}
+
+// Property: estimating a homography from points generated by a known
+// valid transform recovers that transform.
+func TestPropertyEstimateRecovers(t *testing.T) {
+	f := func(txRaw, tyRaw, thetaRaw, scaleRaw uint16) bool {
+		tx := float64(txRaw)/655.36 - 50 // [-50, 50)
+		ty := float64(tyRaw)/655.36 - 50 // [-50, 50)
+		th := float64(thetaRaw) / 65536 * 0.8
+		sc := 0.5 + float64(scaleRaw)/65536*1.5 // [0.5, 2)
+		want := Translation(tx, ty).Mul(Rotation(th)).Mul(Scaling(sc, sc))
+		src := []Pt{{0, 0}, {200, 0}, {200, 150}, {0, 150}, {100, 75}, {37, 113}}
+		dst := make([]Pt, len(src))
+		for i, p := range src {
+			dst[i] = want.Apply(p)
+		}
+		got, err := EstimateHomography(src, dst)
+		if err != nil {
+			return false
+		}
+		return homographyApproxEq(got, want, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a homography times its inverse is the identity for
+// well-conditioned similarity transforms.
+func TestPropertyInverseIdentity(t *testing.T) {
+	f := func(txRaw, thetaRaw uint16) bool {
+		tx := float64(txRaw)/256 - 128
+		th := float64(thetaRaw) / 65536 * 6.28
+		h := Translation(tx, -tx/2).Mul(Rotation(th))
+		inv, err := h.Inverse()
+		if err != nil {
+			return false
+		}
+		return homographyApproxEq(h.Mul(inv), Identity(), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Apply and the lifted affine Homography agree everywhere.
+func TestPropertyAffineLiftAgrees(t *testing.T) {
+	f := func(xRaw, yRaw int16) bool {
+		a := Affine{1.2, -0.1, 4, 0.2, 0.9, -3}
+		p := Pt{float64(xRaw) / 16, float64(yRaw) / 16}
+		pa, ph := a.Apply(p), a.Homography().Apply(p)
+		return approxEq(pa.X, ph.X, 1e-9) && approxEq(pa.Y, ph.Y, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEstimateHomography(b *testing.B) {
+	want := Translation(12, -7).Mul(Rotation(0.25))
+	rng := rand.New(rand.NewSource(1))
+	var src, dst []Pt
+	for i := 0; i < 50; i++ {
+		p := Pt{rng.Float64() * 320, rng.Float64() * 240}
+		src = append(src, p)
+		dst = append(dst, want.Apply(p))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateHomography(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHomographyApply(b *testing.B) {
+	h := Translation(12, -7).Mul(Rotation(0.25))
+	p := Pt{100, 100}
+	for i := 0; i < b.N; i++ {
+		p = h.Apply(Pt{float64(i % 320), p.Y})
+	}
+	_ = p
+}

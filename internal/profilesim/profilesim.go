@@ -1,0 +1,84 @@
+// Package profilesim reproduces the Fig 8 execution profile: the
+// distribution of execution time over the application's functions,
+// which the paper extracts with Linux perf. Here the same breakdown
+// comes from the per-region operation accounting of an instrumented
+// run, weighted by the energy model's per-class CPIs.
+//
+// The paper's headline numbers: ~68% of execution time inside OpenCV
+// library functions, with a single function — WarpPerspectiveInvoker —
+// consuming 54.4% on its own, which motivates the WP hot-function case
+// study (§V-C).
+package profilesim
+
+import (
+	"sort"
+
+	"vsresil/internal/energy"
+	"vsresil/internal/fault"
+)
+
+// FunctionShare is one row of the profile.
+type FunctionShare struct {
+	Region   fault.Region
+	Cycles   float64
+	Fraction float64
+}
+
+// Profile summarizes a run's execution-time distribution.
+type Profile struct {
+	// ByFunction lists every region's share, largest first.
+	ByFunction []FunctionShare
+	// LibraryFraction is the share spent in the vision-library
+	// regions (the paper's "OpenCV" share, ~68%).
+	LibraryFraction float64
+	// WarpFraction is the share of WarpPerspectiveInvoker +
+	// remapBilinear (the paper's 54.4% hot function).
+	WarpFraction float64
+	// TotalCycles is the denominator.
+	TotalCycles float64
+}
+
+// libraryRegions are the regions that correspond to vision-library
+// code in the original binary.
+var libraryRegions = map[fault.Region]bool{
+	fault.RFASTDetect:    true,
+	fault.RORBDescribe:   true,
+	fault.RMatch:         true,
+	fault.RRANSAC:        true,
+	fault.RWarpInvoker:   true,
+	fault.RRemapBilinear: true,
+	fault.RBlend:         true,
+}
+
+// Collect builds the execution profile from a completed run's machine.
+func Collect(m *fault.Machine, model energy.Model) Profile {
+	var p Profile
+	for r := fault.Region(0); r < fault.NumRegions; r++ {
+		cycles := model.RegionCycles(m, r)
+		if cycles == 0 {
+			continue
+		}
+		p.ByFunction = append(p.ByFunction, FunctionShare{Region: r, Cycles: cycles})
+		p.TotalCycles += cycles
+	}
+	if p.TotalCycles == 0 {
+		return p
+	}
+	for i := range p.ByFunction {
+		f := &p.ByFunction[i]
+		f.Fraction = f.Cycles / p.TotalCycles
+		if libraryRegions[f.Region] {
+			p.LibraryFraction += f.Fraction
+		}
+		if f.Region == fault.RWarpInvoker || f.Region == fault.RRemapBilinear {
+			p.WarpFraction += f.Fraction
+		}
+	}
+	sort.Slice(p.ByFunction, func(i, j int) bool {
+		if p.ByFunction[i].Cycles != p.ByFunction[j].Cycles {
+			return p.ByFunction[i].Cycles > p.ByFunction[j].Cycles
+		}
+		return p.ByFunction[i].Region < p.ByFunction[j].Region
+	})
+	return p
+}

@@ -1,0 +1,65 @@
+package profilesim
+
+import (
+	"testing"
+
+	"vsresil/internal/energy"
+	"vsresil/internal/fault"
+	"vsresil/internal/virat"
+	"vsresil/internal/vs"
+)
+
+func TestCollectEmpty(t *testing.T) {
+	p := Collect(fault.New(), energy.DefaultModel())
+	if p.TotalCycles != 0 || len(p.ByFunction) != 0 {
+		t.Errorf("empty profile: %+v", p)
+	}
+}
+
+func TestCollectFractionsSumToOne(t *testing.T) {
+	m := fault.New()
+	m.Ops(fault.OpInt, 100)
+	restore := m.Enter(fault.RWarpInvoker)
+	m.Ops(fault.OpFloat, 500)
+	restore()
+	p := Collect(m, energy.DefaultModel())
+	var sum float64
+	for _, f := range p.ByFunction {
+		sum += f.Fraction
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+	// Sorted descending.
+	for i := 1; i < len(p.ByFunction); i++ {
+		if p.ByFunction[i].Cycles > p.ByFunction[i-1].Cycles {
+			t.Error("profile not sorted by cycles")
+		}
+	}
+}
+
+func TestVSProfileShape(t *testing.T) {
+	// The Fig 8 shape: the warp kernels dominate, and the
+	// vision-library share is the clear majority of execution time.
+	p := virat.TestScale()
+	p.Frames = 8
+	frames := virat.Input2(p).Frames()
+	app := vs.New(vs.DefaultConfig(vs.AlgVS), len(frames))
+	m := fault.New()
+	if _, err := app.Run(frames, m); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	prof := Collect(m, energy.DefaultModel())
+	if prof.TotalCycles == 0 {
+		t.Fatal("no cycles accounted")
+	}
+	if prof.WarpFraction < 0.25 {
+		t.Errorf("warp fraction = %v, want the dominant share (paper: 54.4%%)", prof.WarpFraction)
+	}
+	if prof.LibraryFraction < 0.45 {
+		t.Errorf("library fraction = %v, want the majority (paper: ~68%%)", prof.LibraryFraction)
+	}
+	if prof.LibraryFraction <= prof.WarpFraction-1e-9 {
+		t.Error("library share must include the warp share")
+	}
+}

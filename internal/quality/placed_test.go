@@ -1,0 +1,82 @@
+package quality
+
+import (
+	"testing"
+
+	"vsresil/internal/imgproc"
+)
+
+func TestPlacePairAlignsOrigins(t *testing.T) {
+	g := imgproc.NewGray(4, 4)
+	g.Fill(100)
+	f := imgproc.NewGray(4, 4)
+	f.Fill(200)
+	// Same content placed at offset origins: union support is 8x4.
+	gp, fp := PlacePair(g, f, 0, 0, 4, 0)
+	if gp.W != 8 || fp.W != 8 || gp.H != 4 || fp.H != 4 {
+		t.Fatalf("placed sizes %dx%d / %dx%d", gp.W, gp.H, fp.W, fp.H)
+	}
+	if gp.At(0, 0) != 100 || gp.At(7, 0) != 0 {
+		t.Error("golden placement wrong")
+	}
+	if fp.At(0, 0) != 0 || fp.At(7, 0) != 200 {
+		t.Error("faulty placement wrong")
+	}
+}
+
+func TestClassifyPlacedRemovesOriginShift(t *testing.T) {
+	// Identical content, but the faulty canvas's origin differs by 20
+	// px (more than any alignment search could recover). Placed
+	// comparison must report zero corruption.
+	g := imgproc.NewGray(32, 32)
+	for i := range g.Pix {
+		g.Pix[i] = uint8(i % 251)
+	}
+	f := g.Clone()
+	cfg := Config{} // no residual alignment
+	naive := Classify(g, f, cfg)
+	if naive.Degree != 0 {
+		t.Fatalf("sanity: identical images should classify clean, got %+v", naive)
+	}
+	placed := ClassifyPlaced(g, f, -20, 13, -20, 13, cfg)
+	if placed.Degree != 0 || placed.Egregious {
+		t.Errorf("shared-origin placement should be clean: %+v", placed)
+	}
+}
+
+func TestClassifyPlacedChargesCoverageLoss(t *testing.T) {
+	// The faulty panorama genuinely lost half its coverage: placed
+	// comparison must still report corruption.
+	g := imgproc.NewGray(32, 32)
+	g.Fill(200)
+	f := imgproc.NewGray(16, 32)
+	f.Fill(200)
+	ed := ClassifyPlaced(g, f, 0, 0, 0, 0, Config{})
+	if ed.Degree == 0 && !ed.Egregious {
+		t.Errorf("coverage loss not charged: %+v", ed)
+	}
+}
+
+func TestClassifyPlacedNilFaulty(t *testing.T) {
+	g := imgproc.NewGray(8, 8)
+	g.Fill(50)
+	ed := ClassifyPlaced(g, nil, 0, 0, 0, 0, DefaultConfig())
+	if !ed.Egregious {
+		t.Errorf("missing output should be egregious: %+v", ed)
+	}
+}
+
+func TestClassifyPlacedDifferentOrigins(t *testing.T) {
+	// Faulty content identical but shifted in panorama coordinates by
+	// its recorded origin — the origins encode the shift, so placement
+	// realigns it perfectly.
+	g := imgproc.NewGray(16, 16)
+	for i := range g.Pix {
+		g.Pix[i] = uint8(i * 3)
+	}
+	f := g.Clone()
+	ed := ClassifyPlaced(g, f, 5, -2, 5, -2, Config{})
+	if ed.Degree != 0 {
+		t.Errorf("identical panoramas at same origin: %+v", ed)
+	}
+}

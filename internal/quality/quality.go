@@ -1,0 +1,367 @@
+// Package quality implements the paper's SDC quality metric (§V-D):
+// given a golden output image and a faulty output image, apply global
+// corrective transformations (alignment and lighting), take the pixel
+// difference, keep only differences above half the 8-bit range
+// (pixel_128_diff_img), and report the relative L2 norm in percent:
+//
+//	relative_l2_norm = ||pixel_128_diff_img||2 / ||g_img_tr||2 * 100
+//
+// Each SDC is then assigned an integer Egregiousness Degree (ED) —
+// the floor of its relative_l2_norm — and SDCs above 100% are
+// classified as egregious (they must be protected and get no ED).
+package quality
+
+import (
+	"math"
+	"sort"
+
+	"vsresil/internal/imgproc"
+)
+
+// DiffThreshold is the paper's half-range pixel difference cutoff.
+const DiffThreshold = 128
+
+// EgregiousLimit is the relative_l2_norm above which an SDC is
+// "automatically categorized as an egregious SDC that must be
+// protected" (§V-D).
+const EgregiousLimit = 100.0
+
+// Config tunes the corrective transformations applied before
+// comparison.
+type Config struct {
+	// AlignSearch is the translation search radius (pixels) used to
+	// remove global offsets between the two images (the paper removes
+	// perspective/camera-angle differences before differencing); 0
+	// disables alignment.
+	AlignSearch int
+	// NormalizeLighting scales the faulty image to the golden image's
+	// mean intensity before differencing.
+	NormalizeLighting bool
+}
+
+// DefaultConfig mirrors the paper's corrective step.
+func DefaultConfig() Config {
+	return Config{AlignSearch: 4, NormalizeLighting: true}
+}
+
+// RelativeL2Norm computes the paper's quality metric between a golden
+// and a faulty output image, in percent. Larger is worse; identical
+// images yield 0.
+func RelativeL2Norm(golden, faulty *imgproc.Gray, cfg Config) float64 {
+	if golden == nil || len(golden.Pix) == 0 {
+		return 0
+	}
+	if faulty == nil || len(faulty.Pix) == 0 {
+		return EgregiousLimit * 2 // missing output: maximally corrupt
+	}
+
+	gT, fT, mask := correctiveTransform(golden, faulty, cfg)
+
+	// pixel_diff_img, thresholded at > DiffThreshold, restricted to
+	// the support where both (aligned) images have data — the border
+	// introduced by the corrective shift carries no content and must
+	// not count as corruption.
+	var diffSq, goldSq float64
+	anyOverlap := false
+	w, h := gT.W, gT.H
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			if !mask[i] {
+				continue
+			}
+			anyOverlap = true
+			d := int(gT.Pix[i]) - int(fT.Pix[i])
+			if d < 0 {
+				d = -d
+			}
+			if d > DiffThreshold {
+				diffSq += float64(d) * float64(d)
+			}
+			goldSq += float64(gT.Pix[i]) * float64(gT.Pix[i])
+		}
+	}
+	if !anyOverlap {
+		return EgregiousLimit * 2 // disjoint outputs: maximally corrupt
+	}
+	if goldSq == 0 {
+		if diffSq == 0 {
+			return 0
+		}
+		return EgregiousLimit * 2
+	}
+	return math.Sqrt(diffSq) / math.Sqrt(goldSq) * 100
+}
+
+// correctiveTransform implements the paper's global corrections: the
+// images are placed on a common support (union of sizes), the faulty
+// image is shifted by the translation that best aligns it with the
+// golden image, and its lighting is normalized to the golden mean.
+// The returned images have identical dimensions.
+//
+// The boolean mask marks pixels that participate in the comparison.
+// Pixels are excluded only in the thin band (at most the alignment
+// search radius wide) that the corrective shift itself slides out of
+// the faulty support: that band carries no information about the
+// fault. Pixels missing because the faulty output is genuinely
+// smaller than that band still count as corruption.
+func correctiveTransform(golden, faulty *imgproc.Gray, cfg Config) (*imgproc.Gray, *imgproc.Gray, []bool) {
+	f := faulty
+	if cfg.NormalizeLighting {
+		f = normalizeLighting(golden, faulty)
+	}
+	dx, dy := 0, 0
+	if cfg.AlignSearch > 0 {
+		dx, dy = bestShift(golden, f, cfg.AlignSearch)
+	}
+	w := maxInt(golden.W, f.W)
+	h := maxInt(golden.H, f.H)
+	gT := embed(golden, w, h, 0, 0)
+	fT := embed(f, w, h, dx, dy)
+
+	mask := make([]bool, w*h)
+	// Faulty support after the shift, in output coordinates.
+	sx0, sx1 := -dx, f.W-dx
+	sy0, sy1 := -dy, f.H-dy
+	r := cfg.AlignSearch
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			inSupport := x >= sx0 && x < sx1 && y >= sy0 && y < sy1
+			if inSupport {
+				mask[y*w+x] = true
+				continue
+			}
+			// Outside the shifted support: exclude only if the pixel
+			// is within the search radius of it (the slide band).
+			nearX := x >= sx0-r && x < sx1+r
+			nearY := y >= sy0-r && y < sy1+r
+			if nearX && nearY {
+				continue // slide band: excluded
+			}
+			mask[y*w+x] = true
+		}
+	}
+	return gT, fT, mask
+}
+
+// normalizeLighting scales the faulty image so its mean matches the
+// golden image's mean.
+func normalizeLighting(golden, faulty *imgproc.Gray) *imgproc.Gray {
+	gm := golden.Mean()
+	fm := faulty.Mean()
+	if fm < 1e-9 {
+		return faulty.Clone()
+	}
+	scale := gm / fm
+	if math.Abs(scale-1) < 1e-3 {
+		return faulty.Clone()
+	}
+	out := imgproc.NewGray(faulty.W, faulty.H)
+	for i, v := range faulty.Pix {
+		out.Pix[i] = imgproc.SaturateUint8(float64(v) * scale)
+	}
+	return out
+}
+
+// bestShift finds the integer translation of f (within +/- radius)
+// minimizing the sum of absolute differences against g on a subsampled
+// grid. Candidates are visited in order of increasing displacement so
+// that on periodic content (where several shifts tie) the smallest
+// shift — including zero for identical images — wins.
+func bestShift(g, f *imgproc.Gray, radius int) (int, int) {
+	type shift struct{ dx, dy int }
+	candidates := make([]shift, 0, (2*radius+1)*(2*radius+1))
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			candidates = append(candidates, shift{dx, dy})
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		di := candidates[i].dx*candidates[i].dx + candidates[i].dy*candidates[i].dy
+		dj := candidates[j].dx*candidates[j].dx + candidates[j].dy*candidates[j].dy
+		if di != dj {
+			return di < dj
+		}
+		if candidates[i].dy != candidates[j].dy {
+			return candidates[i].dy < candidates[j].dy
+		}
+		return candidates[i].dx < candidates[j].dx
+	})
+	bestDx, bestDy := 0, 0
+	bestCost := math.Inf(1)
+	step := maxInt(1, minInt(g.W, g.H)/64)
+	for _, c := range candidates {
+		dx, dy := c.dx, c.dy
+		{
+			var cost float64
+			var n int
+			for y := 0; y < g.H; y += step {
+				fy := y + dy
+				if fy < 0 || fy >= f.H {
+					continue
+				}
+				for x := 0; x < g.W; x += step {
+					fx := x + dx
+					if fx < 0 || fx >= f.W {
+						continue
+					}
+					d := int(g.Pix[y*g.W+x]) - int(f.Pix[fy*f.W+fx])
+					if d < 0 {
+						d = -d
+					}
+					cost += float64(d)
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			cost /= float64(n)
+			if cost < bestCost {
+				bestCost = cost
+				bestDx, bestDy = dx, dy
+			}
+		}
+	}
+	return bestDx, bestDy
+}
+
+// embed copies img into a w x h frame at offset (-dx, -dy), padding
+// with zeros.
+func embed(img *imgproc.Gray, w, h, dx, dy int) *imgproc.Gray {
+	out := imgproc.NewGray(w, h)
+	for y := 0; y < h; y++ {
+		sy := y + dy
+		if sy < 0 || sy >= img.H {
+			continue
+		}
+		for x := 0; x < w; x++ {
+			sx := x + dx
+			if sx < 0 || sx >= img.W {
+				continue
+			}
+			out.Pix[y*w+x] = img.Pix[sy*img.W+sx]
+		}
+	}
+	return out
+}
+
+// ED holds the egregiousness classification of one SDC.
+type ED struct {
+	// Norm is the relative_l2_norm in percent.
+	Norm float64
+	// Degree is floor(Norm) when the SDC is assigned an ED.
+	Degree int
+	// Egregious marks SDCs with Norm > 100 that "must be protected"
+	// and receive no ED.
+	Egregious bool
+}
+
+// Classify computes the ED of a faulty output against a golden output.
+func Classify(golden, faulty *imgproc.Gray, cfg Config) ED {
+	norm := RelativeL2Norm(golden, faulty, cfg)
+	if norm > EgregiousLimit {
+		return ED{Norm: norm, Egregious: true}
+	}
+	return ED{Norm: norm, Degree: int(math.Floor(norm))}
+}
+
+// ClassifyPlaced classifies a faulty panorama against a golden
+// panorama with each image placed at its own panorama-coordinate
+// origin. Two runs of the pipeline can produce canvases with different
+// extents (e.g. an approximation drops frames and the panorama
+// shrinks); both panoramas are registered to the same first frame, so
+// comparing them in panorama coordinates — rather than corner-aligned
+// — removes the spurious shift while still charging genuine coverage
+// loss.
+func ClassifyPlaced(golden, faulty *imgproc.Gray, gx, gy, fx, fy int, cfg Config) ED {
+	if golden == nil || len(golden.Pix) == 0 || faulty == nil || len(faulty.Pix) == 0 {
+		return Classify(golden, faulty, cfg)
+	}
+	minX := minInt(gx, fx)
+	minY := minInt(gy, fy)
+	w := maxInt(gx+golden.W, fx+faulty.W) - minX
+	h := maxInt(gy+golden.H, fy+faulty.H) - minY
+	gPlaced := embed(golden, w, h, -(gx - minX), -(gy - minY))
+	fPlaced := embed(faulty, w, h, -(fx - minX), -(fy - minY))
+	return Classify(gPlaced, fPlaced, cfg)
+}
+
+// PlacePair embeds two panoramas on a common support using their
+// panorama-coordinate origins, returning same-sized images suitable
+// for pixel-wise comparison or difference visualization (Fig 13).
+func PlacePair(g, f *imgproc.Gray, gx, gy, fx, fy int) (*imgproc.Gray, *imgproc.Gray) {
+	minX := minInt(gx, fx)
+	minY := minInt(gy, fy)
+	w := maxInt(gx+g.W, fx+f.W) - minX
+	h := maxInt(gy+g.H, fy+f.H) - minY
+	return embed(g, w, h, -(gx - minX), -(gy - minY)),
+		embed(f, w, h, -(fx - minX), -(fy - minY))
+}
+
+// Curve summarizes a set of EDs as the Fig 12 CDF: point k is the
+// fraction of SDCs with an assigned ED <= k. Egregious SDCs never
+// enter the curve, which is why the paper's curves can top out below
+// 100%.
+type Curve struct {
+	// Fraction[k] is the cumulative fraction of all SDCs with ED <= k.
+	Fraction []float64
+	// Total is the number of SDCs (including egregious ones).
+	Total int
+	// Egregious is the number of unassigned (ED-less) SDCs.
+	Egregious int
+}
+
+// NewCurve builds the cumulative ED distribution up to maxED.
+func NewCurve(eds []ED, maxED int) Curve {
+	c := Curve{Fraction: make([]float64, maxED+1), Total: len(eds)}
+	if len(eds) == 0 {
+		return c
+	}
+	counts := make([]int, maxED+1)
+	for _, e := range eds {
+		if e.Egregious {
+			c.Egregious++
+			continue
+		}
+		d := e.Degree
+		if d > maxED {
+			d = maxED
+		}
+		counts[d]++
+	}
+	cum := 0
+	for k := 0; k <= maxED; k++ {
+		cum += counts[k]
+		c.Fraction[k] = float64(cum) / float64(len(eds))
+	}
+	return c
+}
+
+// FractionAtOrBelow returns the fraction of SDCs with ED <= k.
+func (c Curve) FractionAtOrBelow(k int) float64 {
+	if len(c.Fraction) == 0 {
+		return 0
+	}
+	if k < 0 {
+		return 0
+	}
+	if k >= len(c.Fraction) {
+		k = len(c.Fraction) - 1
+	}
+	return c.Fraction[k]
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

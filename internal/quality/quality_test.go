@@ -1,0 +1,252 @@
+package quality
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vsresil/internal/imgproc"
+)
+
+func flat(w, h int, v uint8) *imgproc.Gray {
+	g := imgproc.NewGray(w, h)
+	g.Fill(v)
+	return g
+}
+
+func textured(w, h int) *imgproc.Gray {
+	g := imgproc.NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.Set(x, y, uint8(40+((x/4+y/4)%2)*150))
+		}
+	}
+	return g
+}
+
+func TestIdenticalImagesZeroNorm(t *testing.T) {
+	g := textured(32, 32)
+	if n := RelativeL2Norm(g, g.Clone(), DefaultConfig()); n != 0 {
+		t.Errorf("identical images norm = %v", n)
+	}
+}
+
+func TestSmallDifferencesBelowThresholdIgnored(t *testing.T) {
+	g := flat(16, 16, 100)
+	f := flat(16, 16, 150) // diff 50 < 128: ignored by the threshold
+	cfg := Config{}        // no corrections, isolate the threshold behavior
+	if n := RelativeL2Norm(g, f, cfg); n != 0 {
+		t.Errorf("sub-threshold diff norm = %v, want 0", n)
+	}
+}
+
+func TestLargeDifferencesCounted(t *testing.T) {
+	g := flat(16, 16, 10)
+	f := flat(16, 16, 250) // diff 240 > 128 everywhere
+	cfg := Config{}
+	n := RelativeL2Norm(g, f, cfg)
+	// ||diff|| = 240*sqrt(256), ||g|| = 10*sqrt(256) -> 2400%.
+	if math.Abs(n-2400) > 1 {
+		t.Errorf("norm = %v, want ~2400", n)
+	}
+}
+
+func TestSinglePixelCorruption(t *testing.T) {
+	g := textured(64, 64)
+	f := g.Clone()
+	f.Set(30, 30, 255) // on a dark cell: diff 215
+	cfg := Config{}
+	n := RelativeL2Norm(g, f, cfg)
+	if n <= 0 {
+		t.Error("corruption not detected")
+	}
+	if n > 5 {
+		t.Errorf("single pixel norm = %v, unexpectedly large", n)
+	}
+}
+
+func TestMissingFaultyOutputIsEgregious(t *testing.T) {
+	g := textured(8, 8)
+	if n := RelativeL2Norm(g, nil, DefaultConfig()); n <= EgregiousLimit {
+		t.Errorf("missing output norm = %v", n)
+	}
+	if n := RelativeL2Norm(g, imgproc.NewGray(0, 0), DefaultConfig()); n <= EgregiousLimit {
+		t.Errorf("empty output norm = %v", n)
+	}
+}
+
+func TestEmptyGoldenZero(t *testing.T) {
+	if n := RelativeL2Norm(nil, textured(4, 4), DefaultConfig()); n != 0 {
+		t.Errorf("nil golden norm = %v", n)
+	}
+}
+
+func TestAlignmentRemovesTranslation(t *testing.T) {
+	// A 2px shifted copy: without alignment the checker pattern
+	// misregisters (large norm); with alignment the norm collapses.
+	g := textured(64, 64)
+	f := imgproc.NewGray(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			f.Set(x, y, g.AtClamped(x-2, y))
+		}
+	}
+	noAlign := RelativeL2Norm(g, f, Config{})
+	aligned := RelativeL2Norm(g, f, Config{AlignSearch: 4})
+	if aligned >= noAlign {
+		t.Errorf("alignment did not reduce norm: %v -> %v", noAlign, aligned)
+	}
+	if aligned > 5 {
+		t.Errorf("aligned norm still %v", aligned)
+	}
+}
+
+func TestLightingNormalization(t *testing.T) {
+	// A dark checker (10/100) brightened by 2.5x (25/250): the bright
+	// cells differ by 150 > 128 without correction; normalizing the
+	// faulty mean back to the golden mean removes the difference.
+	g := imgproc.NewGray(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			g.Set(x, y, uint8(10+((x/4+y/4)%2)*90))
+		}
+	}
+	f := imgproc.NewGray(32, 32)
+	for i, v := range g.Pix {
+		f.Pix[i] = imgproc.SaturateUint8(float64(v) * 2.5)
+	}
+	raw := RelativeL2Norm(g, f, Config{})
+	corrected := RelativeL2Norm(g, f, Config{NormalizeLighting: true})
+	if raw <= 0 {
+		t.Fatalf("fixture broken: raw norm %v", raw)
+	}
+	if corrected >= raw {
+		t.Errorf("lighting normalization did not reduce norm: %v -> %v", raw, corrected)
+	}
+}
+
+func TestDifferentSizesComparable(t *testing.T) {
+	g := textured(32, 32)
+	f := textured(40, 28)
+	// Must not panic; the union support pads with zeros which count as
+	// large differences where the golden is bright.
+	n := RelativeL2Norm(g, f, Config{})
+	if n <= 0 {
+		t.Errorf("size-mismatched images norm = %v, want > 0", n)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	g := textured(32, 32)
+	ed := Classify(g, g.Clone(), DefaultConfig())
+	if ed.Degree != 0 || ed.Egregious || ed.Norm != 0 {
+		t.Errorf("identical classify = %+v", ed)
+	}
+	// A blown-out white output against a dark golden: relative norm
+	// far above 100% -> egregious.
+	dark := flat(32, 32, 30)
+	white := flat(32, 32, 255)
+	ed = Classify(dark, white, Config{})
+	if !ed.Egregious {
+		t.Errorf("blown-out image not egregious: %+v", ed)
+	}
+}
+
+func TestClassifyFloorSemantics(t *testing.T) {
+	// The paper: relative_l2_norm of 10.25%% -> ED 10.
+	g := flat(100, 1, 100)
+	// Build a faulty image whose norm lands strictly between 10 and 11.
+	f := g.Clone()
+	// One pixel with diff 250 over ||g|| = 100*sqrt(100) = 1000:
+	// norm = 250/1000*100 = 25 -> too big; use diff 105? < 128 ignored.
+	// Use 2 pixels of diff 150: sqrt(2*150^2)=212 -> 21.2%.
+	f.Pix[0] = 250
+	ed := Classify(g, f, Config{})
+	if ed.Egregious {
+		t.Fatalf("unexpected egregious: %+v", ed)
+	}
+	if ed.Degree != int(math.Floor(ed.Norm)) {
+		t.Errorf("ED %d != floor(%v)", ed.Degree, ed.Norm)
+	}
+}
+
+func TestNewCurve(t *testing.T) {
+	eds := []ED{
+		{Degree: 0}, {Degree: 2}, {Degree: 2}, {Degree: 5},
+		{Egregious: true},
+	}
+	c := NewCurve(eds, 10)
+	if c.Total != 5 || c.Egregious != 1 {
+		t.Errorf("curve totals: %+v", c)
+	}
+	if got := c.FractionAtOrBelow(0); got != 0.2 {
+		t.Errorf("F(0) = %v", got)
+	}
+	if got := c.FractionAtOrBelow(2); got != 0.6 {
+		t.Errorf("F(2) = %v", got)
+	}
+	if got := c.FractionAtOrBelow(10); got != 0.8 {
+		t.Errorf("F(10) = %v, egregious must not be counted", got)
+	}
+	if got := c.FractionAtOrBelow(-1); got != 0 {
+		t.Errorf("F(-1) = %v", got)
+	}
+	if got := c.FractionAtOrBelow(99); got != 0.8 {
+		t.Errorf("F(99) clamps = %v", got)
+	}
+}
+
+func TestNewCurveEmpty(t *testing.T) {
+	c := NewCurve(nil, 5)
+	if c.Total != 0 || c.FractionAtOrBelow(5) != 0 {
+		t.Errorf("empty curve: %+v", c)
+	}
+}
+
+func TestCurveDegreeAboveMaxClamped(t *testing.T) {
+	eds := []ED{{Degree: 50}}
+	c := NewCurve(eds, 10)
+	if got := c.FractionAtOrBelow(10); got != 1 {
+		t.Errorf("clamped degree fraction = %v", got)
+	}
+	if got := c.FractionAtOrBelow(9); got != 0 {
+		t.Errorf("below clamp fraction = %v", got)
+	}
+}
+
+// Property: the metric is zero iff thresholded differences are absent,
+// and always non-negative and monotone under growing corruption.
+func TestPropertyNormMonotoneInCorruption(t *testing.T) {
+	g := textured(24, 24)
+	f := func(k uint8) bool {
+		n := int(k) % 64
+		f1 := g.Clone()
+		f2 := g.Clone()
+		// f2 corrupts a superset of f1's pixels.
+		for i := 0; i < n; i++ {
+			f1.Pix[i*7%len(f1.Pix)] = 255
+		}
+		for i := 0; i < 2*n; i++ {
+			f2.Pix[i*7%len(f2.Pix)] = 255
+		}
+		cfg := Config{}
+		n1 := RelativeL2Norm(g, f1, cfg)
+		n2 := RelativeL2Norm(g, f2, cfg)
+		return n1 >= 0 && n2 >= n1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRelativeL2Norm(b *testing.B) {
+	g := textured(320, 240)
+	f := g.Clone()
+	f.Set(10, 10, 255)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RelativeL2Norm(g, f, cfg)
+	}
+}

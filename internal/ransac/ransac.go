@@ -1,0 +1,246 @@
+// Package ransac implements RANdom SAmple Consensus (Fischler &
+// Bolles) for estimating the homography — or, as the paper's fallback,
+// the affine transform — between two matched key-point sets (§III-A).
+//
+// The sampling is driven by a deterministic seeded RNG so that the
+// whole pipeline is replayable, which the fault-injection campaign
+// requires (a golden run and a faulty run must differ only by the
+// injected bit).
+package ransac
+
+import (
+	"errors"
+	"fmt"
+
+	"vsresil/internal/fault"
+	"vsresil/internal/geom"
+	"vsresil/internal/stats"
+)
+
+// Model selects what RANSAC estimates.
+type Model uint8
+
+// Estimated model kinds.
+const (
+	// ModelHomography fits a full 8-DOF projective transform from
+	// 4-point samples.
+	ModelHomography Model = iota
+	// ModelAffine fits a 6-DOF affine transform from 3-point samples —
+	// the paper's fallback when too few matches exist for a
+	// homography.
+	ModelAffine
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case ModelHomography:
+		return "homography"
+	case ModelAffine:
+		return "affine"
+	default:
+		return "unknown"
+	}
+}
+
+// minSamples returns the minimal correspondence count for the model.
+func (m Model) minSamples() int {
+	if m == ModelAffine {
+		return 3
+	}
+	return 4
+}
+
+// Config parameterizes the estimator.
+type Config struct {
+	Model Model
+	// Iterations is the number of random samples drawn (default 500).
+	Iterations int
+	// InlierThreshold is the max reprojection error in pixels for a
+	// correspondence to count as an inlier (default 3).
+	InlierThreshold float64
+	// MinInliers is the minimum consensus size for a model to be
+	// accepted (default minSamples+4).
+	MinInliers int
+	// Seed drives the deterministic sampler.
+	Seed uint64
+	// Refit re-estimates the model from the full inlier set of the
+	// best sample (default behavior unless DisableRefit).
+	DisableRefit bool
+}
+
+// DefaultConfig returns the pipeline defaults for the given model.
+func DefaultConfig(model Model) Config {
+	return Config{
+		Model:           model,
+		Iterations:      500,
+		InlierThreshold: 3,
+		MinInliers:      model.minSamples() + 4,
+	}
+}
+
+// Result is an accepted model with its consensus set.
+type Result struct {
+	// H is the estimated transform (for ModelAffine it is the lifted
+	// affine).
+	H geom.Homography
+	// Inliers indexes the correspondences within the threshold.
+	Inliers []int
+	// Error is the mean reprojection error over the inliers.
+	Error float64
+}
+
+// ErrNoConsensus is returned when no sampled model reaches MinInliers
+// — the pipeline reacts by falling back to affine or discarding the
+// frame, exactly like the paper's algorithm.
+var ErrNoConsensus = errors.New("ransac: no model reached the inlier threshold")
+
+// Estimate fits the configured model to the correspondences src[i] ->
+// dst[i]. The fault machine m may be nil.
+func Estimate(src, dst []geom.Pt, cfg Config, m *fault.Machine) (*Result, error) {
+	defer m.Enter(fault.RRANSAC)()
+	if len(src) != len(dst) {
+		return nil, fmt.Errorf("ransac: correspondence count mismatch %d vs %d", len(src), len(dst))
+	}
+	k := cfg.Model.minSamples()
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 500
+	}
+	if cfg.InlierThreshold <= 0 {
+		cfg.InlierThreshold = 3
+	}
+	if cfg.MinInliers < k {
+		cfg.MinInliers = k + 4
+	}
+	n := m.Cnt(len(src))
+	if n < k || n < cfg.MinInliers {
+		return nil, ErrNoConsensus
+	}
+
+	rng := stats.NewRNG(cfg.Seed)
+	thresh2 := cfg.InlierThreshold * cfg.InlierThreshold
+
+	bestCount := 0
+	var bestH geom.Homography
+	var sample [4]int
+
+	iters := m.Cnt(cfg.Iterations)
+	for it := 0; it < iters; it++ {
+		if !drawSample(rng, n, k, &sample) {
+			continue
+		}
+		h, ok := fitSample(src, dst, sample[:k], cfg.Model)
+		if !ok {
+			continue
+		}
+		count := 0
+		m.Ops(fault.OpFloat, uint64(n*8))
+		m.Ops(fault.OpBranch, uint64(n))
+		for i := 0; i < n; i++ {
+			p := h.Apply(src[m.Idx(i)])
+			if p.Dist2(dst[i]) <= thresh2 {
+				count++
+			}
+		}
+		if count > bestCount {
+			bestCount = count
+			bestH = h
+		}
+	}
+	if bestCount < cfg.MinInliers {
+		return nil, ErrNoConsensus
+	}
+
+	// Collect the consensus set of the best model.
+	inliers := collectInliers(bestH, src, dst, thresh2, n, m)
+
+	// Refit on all inliers for accuracy, keeping the sample model if
+	// the refit degenerates or loses consensus.
+	h := bestH
+	if !cfg.DisableRefit && len(inliers) > k {
+		if refit, ok := fitIndices(src, dst, inliers, cfg.Model); ok {
+			refitInliers := collectInliers(refit, src, dst, thresh2, n, m)
+			if len(refitInliers) >= len(inliers) {
+				h = refit
+				inliers = refitInliers
+			}
+		}
+	}
+
+	var errSum float64
+	for _, i := range inliers {
+		errSum += h.Apply(src[i]).Dist(dst[i])
+	}
+	meanErr := m.F64(errSum / float64(len(inliers)))
+	return &Result{H: h, Inliers: inliers, Error: meanErr}, nil
+}
+
+// drawSample fills sample[:k] with k distinct indices in [0, n).
+func drawSample(rng *stats.RNG, n, k int, sample *[4]int) bool {
+	if n < k {
+		return false
+	}
+	for i := 0; i < k; i++ {
+	retry:
+		v := rng.Intn(n)
+		for j := 0; j < i; j++ {
+			if sample[j] == v {
+				goto retry
+			}
+		}
+		sample[i] = v
+	}
+	return true
+}
+
+// fitSample fits the model to the sampled correspondences, rejecting
+// degenerate (collinear) samples.
+func fitSample(src, dst []geom.Pt, idx []int, model Model) (geom.Homography, bool) {
+	// Degeneracy check: any three sampled source points collinear.
+	for a := 0; a < len(idx); a++ {
+		for b := a + 1; b < len(idx); b++ {
+			for c := b + 1; c < len(idx); c++ {
+				if geom.Collinear(src[idx[a]], src[idx[b]], src[idx[c]]) {
+					return geom.Homography{}, false
+				}
+			}
+		}
+	}
+	return fitIndices(src, dst, idx, model)
+}
+
+// fitIndices fits the model to the given correspondence indices.
+func fitIndices(src, dst []geom.Pt, idx []int, model Model) (geom.Homography, bool) {
+	s := make([]geom.Pt, len(idx))
+	d := make([]geom.Pt, len(idx))
+	for i, j := range idx {
+		s[i] = src[j]
+		d[i] = dst[j]
+	}
+	if model == ModelAffine {
+		a, err := geom.EstimateAffine(s, d)
+		if err != nil {
+			return geom.Homography{}, false
+		}
+		return a.Homography(), true
+	}
+	h, err := geom.EstimateHomography(s, d)
+	if err != nil {
+		return geom.Homography{}, false
+	}
+	return h, true
+}
+
+// collectInliers returns the indices whose reprojection error is
+// within the squared threshold.
+func collectInliers(h geom.Homography, src, dst []geom.Pt, thresh2 float64, n int, m *fault.Machine) []int {
+	inliers := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		p := h.Apply(src[i])
+		d2 := m.F64(p.Dist2(dst[i]))
+		if d2 <= thresh2 {
+			inliers = append(inliers, i)
+		}
+	}
+	return inliers
+}

@@ -1,0 +1,75 @@
+package stitch
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vsresil/internal/imgproc"
+	"vsresil/internal/warp"
+)
+
+// DecodedPanorama is one panorama recovered from an encoded result.
+type DecodedPanorama struct {
+	Image            *imgproc.Gray
+	OriginX, OriginY int
+}
+
+// Decode parses the byte format produced by Result.Encode. It is used
+// by the SDC-quality analysis to recover corrupted output images from
+// campaign trials.
+func Decode(data []byte) ([]DecodedPanorama, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("stitch: encoded result too short (%d bytes)", len(data))
+	}
+	count := binary.LittleEndian.Uint32(data)
+	off := 4
+	if count > 1<<16 {
+		return nil, fmt.Errorf("stitch: implausible panorama count %d", count)
+	}
+	out := make([]DecodedPanorama, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if off+16 > len(data) {
+			return nil, fmt.Errorf("stitch: truncated panorama header %d", i)
+		}
+		w := int(binary.LittleEndian.Uint32(data[off:]))
+		h := int(binary.LittleEndian.Uint32(data[off+4:]))
+		ox := int(int32(binary.LittleEndian.Uint32(data[off+8:])))
+		oy := int(int32(binary.LittleEndian.Uint32(data[off+12:])))
+		off += 16
+		if w < 0 || h < 0 || w*h > warp.MaxCanvasPixels {
+			return nil, fmt.Errorf("stitch: implausible panorama size %dx%d", w, h)
+		}
+		if off+w*h > len(data) {
+			return nil, fmt.Errorf("stitch: truncated panorama pixels %d", i)
+		}
+		img := imgproc.NewGray(w, h)
+		copy(img.Pix, data[off:off+w*h])
+		off += w * h
+		out = append(out, DecodedPanorama{Image: img, OriginX: ox, OriginY: oy})
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("stitch: %d trailing bytes after %d panoramas", len(data)-off, count)
+	}
+	return out, nil
+}
+
+// DecodePrimary returns the largest-area panorama from an encoded
+// result — the representative output image used by the quality metric
+// — together with its panorama-coordinate origin.
+func DecodePrimary(data []byte) (*imgproc.Gray, int, int, error) {
+	ps, err := Decode(data)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var best *DecodedPanorama
+	for i := range ps {
+		p := &ps[i]
+		if best == nil || p.Image.W*p.Image.H > best.Image.W*best.Image.H {
+			best = p
+		}
+	}
+	if best == nil {
+		return nil, 0, 0, fmt.Errorf("stitch: encoded result holds no panoramas")
+	}
+	return best.Image, best.OriginX, best.OriginY, nil
+}

@@ -1,0 +1,125 @@
+package stitch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vsresil/internal/imgproc"
+	"vsresil/internal/warp"
+)
+
+// makeResult builds a Result with the given panorama dimensions.
+func makeResult(dims [][4]int) *Result {
+	r := &Result{}
+	for _, d := range dims {
+		img := imgproc.NewGray(d[0], d[1])
+		for i := range img.Pix {
+			img.Pix[i] = uint8(i * 7)
+		}
+		r.Panoramas = append(r.Panoramas, &Panorama{
+			Image:  img,
+			Bounds: warp.Bounds{MinX: d[2], MinY: d[3], MaxX: d[2] + d[0], MaxY: d[3] + d[1]},
+			Frames: 1,
+		})
+	}
+	return r
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := makeResult([][4]int{{8, 6, -3, 4}, {5, 5, 10, -10}})
+	dec, err := Decode(r.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(dec) != 2 {
+		t.Fatalf("decoded %d panoramas", len(dec))
+	}
+	for i, p := range dec {
+		if !p.Image.Equal(r.Panoramas[i].Image) {
+			t.Errorf("panorama %d pixels differ", i)
+		}
+		if p.OriginX != r.Panoramas[i].Bounds.MinX || p.OriginY != r.Panoramas[i].Bounds.MinY {
+			t.Errorf("panorama %d origin (%d,%d), want (%d,%d)", i,
+				p.OriginX, p.OriginY,
+				r.Panoramas[i].Bounds.MinX, r.Panoramas[i].Bounds.MinY)
+		}
+	}
+}
+
+func TestDecodePrimaryPicksLargest(t *testing.T) {
+	r := makeResult([][4]int{{4, 4, 0, 0}, {10, 10, 5, 7}, {6, 6, 0, 0}})
+	img, ox, oy, err := DecodePrimary(r.Encode())
+	if err != nil {
+		t.Fatalf("DecodePrimary: %v", err)
+	}
+	if img.W != 10 || img.H != 10 {
+		t.Errorf("primary %dx%d, want 10x10", img.W, img.H)
+	}
+	if ox != 5 || oy != 7 {
+		t.Errorf("origin (%d,%d), want (5,7)", ox, oy)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"too short":     {1, 2},
+		"huge count":    {0xff, 0xff, 0xff, 0x7f},
+		"truncated hdr": {1, 0, 0, 0, 9, 9},
+	}
+	r := makeResult([][4]int{{8, 8, 0, 0}})
+	enc := r.Encode()
+	cases["truncated pixels"] = enc[:len(enc)-5]
+	cases["trailing garbage"] = append(append([]byte{}, enc...), 0xAB)
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if name == "truncated hdr" {
+				data = data[:6]
+			}
+			if _, err := Decode(data); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestDecodePrimaryEmptyResult(t *testing.T) {
+	r := &Result{}
+	if _, _, _, err := DecodePrimary(r.Encode()); err == nil {
+		t.Error("expected error for zero panoramas")
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary small panorama sets.
+func TestPropertyEncodeRoundTrip(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		if len(sizes) > 4 {
+			sizes = sizes[:4]
+		}
+		var dims [][4]int
+		for i, s := range sizes {
+			w := 1 + int(s%13)
+			h := 1 + int(s/13%13)
+			dims = append(dims, [4]int{w, h, i * 3, -i})
+		}
+		if len(dims) == 0 {
+			return true
+		}
+		r := makeResult(dims)
+		dec, err := Decode(r.Encode())
+		if err != nil {
+			return false
+		}
+		if len(dec) != len(dims) {
+			return false
+		}
+		for i := range dec {
+			if !dec[i].Image.Equal(r.Panoramas[i].Image) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

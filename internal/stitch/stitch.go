@@ -1,0 +1,418 @@
+// Package stitch implements the VS algorithm's coverage-summarization
+// core (§III-A): successive frames are pairwise registered via
+// FAST+ORB key points, matched descriptors and a RANSAC homography
+// (with the paper's affine fallback when too few matches exist, and
+// frame discard when even the affine cannot be computed). Every frame
+// is aligned to the first frame of its segment and composited onto a
+// mini-panorama; hard registration breaks (scene changes) start new
+// mini-panoramas.
+package stitch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"vsresil/internal/fault"
+	"vsresil/internal/features"
+	"vsresil/internal/geom"
+	"vsresil/internal/imgproc"
+	"vsresil/internal/match"
+	"vsresil/internal/ransac"
+	"vsresil/internal/warp"
+)
+
+// FrameStatus records how a frame was incorporated.
+type FrameStatus uint8
+
+// Frame dispositions, in the order the paper describes them: full
+// homography, affine fallback, discarded, or the start of a new
+// segment.
+const (
+	StatusHomography FrameStatus = iota
+	StatusAffine
+	StatusDiscarded
+	StatusNewSegment
+)
+
+// String implements fmt.Stringer.
+func (s FrameStatus) String() string {
+	switch s {
+	case StatusHomography:
+		return "homography"
+	case StatusAffine:
+		return "affine"
+	case StatusDiscarded:
+		return "discarded"
+	case StatusNewSegment:
+		return "new-segment"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes the stitcher. The three approximation knobs of
+// the paper map to: KeyPointStride (VS_KDS), Match.Strategy
+// (VS_SM), and frame dropping applied by the caller (VS_RFD).
+type Config struct {
+	FAST features.FASTConfig
+	ORB  features.ORBConfig
+	// Match configures descriptor matching (RatioTest for baseline,
+	// SimpleNearest for VS_SM).
+	Match match.Config
+	// KeyPointStride > 1 enables VS_KDS: matching runs on every
+	// stride-th key point.
+	KeyPointStride int
+	// MinMatchesHomography is the absolute floor on the match count
+	// needed to attempt a homography (default 8).
+	MinMatchesHomography int
+	// MinMatchesAffine is the absolute floor for the affine fallback
+	// (default 6).
+	MinMatchesAffine int
+	// MinMatchFractionHomography is the required ratio of matches to
+	// query key points for a homography — the registration-confidence
+	// gate (default 0.14). The effective gate per pair is
+	// max(floor, fraction*queryKeyPoints). A relative gate keeps the
+	// behavior scale-free: a down-sampled key-point set (VS_KDS) is
+	// judged against its own size, as a confidence measure would be.
+	MinMatchFractionHomography float64
+	// MinMatchFractionAffine is the confidence gate for the affine
+	// fallback (default 0.12).
+	MinMatchFractionAffine float64
+	// CutThreshold is the number of consecutive registration failures
+	// that starts a new mini-panorama (default 3).
+	CutThreshold int
+	// Seed drives RANSAC sampling.
+	Seed uint64
+	// MaxPanoramaPixels caps each mini-panorama canvas; transforms
+	// that would exceed it are treated as registration failures
+	// (default 1<<22).
+	MaxPanoramaPixels int
+	// Blend selects the canvas compositing mode. The zero value
+	// (BlendOverwrite) is the paper-faithful mosaicking behavior;
+	// BlendFeather averages overlapping frames (see DESIGN.md §4b).
+	Blend warp.BlendMode
+	// ExposureCompensation scales each frame's intensity to match the
+	// panorama content it overlaps before compositing (seam
+	// reduction; off by default).
+	ExposureCompensation bool
+}
+
+// DefaultConfig returns the baseline (precise) VS configuration.
+func DefaultConfig() Config {
+	return Config{
+		FAST:                       features.DefaultFASTConfig(),
+		ORB:                        features.ORBConfig{PatchRadius: 12, AngleBins: 30},
+		Match:                      match.DefaultConfig(),
+		KeyPointStride:             1,
+		MinMatchesHomography:       8,
+		MinMatchesAffine:           6,
+		MinMatchFractionHomography: 0.26,
+		MinMatchFractionAffine:     0.22,
+		CutThreshold:               3,
+		MaxPanoramaPixels:          1 << 22,
+	}
+}
+
+// FrameReport records the disposition of one input frame.
+type FrameReport struct {
+	Index   int
+	Status  FrameStatus
+	Matches int
+	Inliers int
+	// H maps the frame into its segment's panorama coordinates (valid
+	// unless Status == StatusDiscarded).
+	H geom.Homography
+	// Segment is the mini-panorama index the frame belongs to.
+	Segment int
+}
+
+// Panorama is one rendered mini-panorama.
+type Panorama struct {
+	Image  *imgproc.Gray
+	Bounds warp.Bounds
+	// Frames is the number of frames composited into this panorama.
+	Frames int
+}
+
+// Result is the output of a stitching run.
+type Result struct {
+	Panoramas []*Panorama
+	Reports   []FrameReport
+	// Discarded counts frames dropped for insufficient matches.
+	Discarded int
+}
+
+// Primary returns the mini-panorama built from the most frames (the
+// representative output image the paper's quality metric compares),
+// or nil if nothing was stitched.
+func (r *Result) Primary() *Panorama {
+	var best *Panorama
+	for _, p := range r.Panoramas {
+		if best == nil || p.Frames > best.Frames {
+			best = p
+		}
+	}
+	return best
+}
+
+// Encode serializes every panorama (count, dimensions, pixels) — the
+// output artifact AFI's result check byte-compares.
+func (r *Result) Encode() []byte {
+	var size int
+	for _, p := range r.Panoramas {
+		size += 16 + len(p.Image.Pix)
+	}
+	out := make([]byte, 0, 4+size)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(r.Panoramas)))
+	out = append(out, hdr[:]...)
+	for _, p := range r.Panoramas {
+		var dims [16]byte
+		binary.LittleEndian.PutUint32(dims[0:], uint32(p.Image.W))
+		binary.LittleEndian.PutUint32(dims[4:], uint32(p.Image.H))
+		binary.LittleEndian.PutUint32(dims[8:], uint32(int32(p.Bounds.MinX)))
+		binary.LittleEndian.PutUint32(dims[12:], uint32(int32(p.Bounds.MinY)))
+		out = append(out, dims[:]...)
+		out = append(out, p.Image.Pix...)
+	}
+	return out
+}
+
+// ErrNoFrames is returned when the input holds no frames.
+var ErrNoFrames = errors.New("stitch: no input frames")
+
+// Stitcher runs the registration + compositing pipeline.
+type Stitcher struct {
+	cfg       Config
+	extractor *features.Extractor
+	matcher   *match.Matcher
+}
+
+// New builds a Stitcher, applying defaults for zero-valued knobs.
+func New(cfg Config) *Stitcher {
+	def := DefaultConfig()
+	if cfg.MinMatchesHomography <= 0 {
+		cfg.MinMatchesHomography = def.MinMatchesHomography
+	}
+	if cfg.MinMatchesAffine <= 0 {
+		cfg.MinMatchesAffine = def.MinMatchesAffine
+	}
+	if cfg.MinMatchFractionHomography <= 0 {
+		cfg.MinMatchFractionHomography = def.MinMatchFractionHomography
+	}
+	if cfg.MinMatchFractionAffine <= 0 {
+		cfg.MinMatchFractionAffine = def.MinMatchFractionAffine
+	}
+	if cfg.CutThreshold <= 0 {
+		cfg.CutThreshold = def.CutThreshold
+	}
+	if cfg.KeyPointStride <= 0 {
+		cfg.KeyPointStride = 1
+	}
+	if cfg.MaxPanoramaPixels <= 0 {
+		cfg.MaxPanoramaPixels = def.MaxPanoramaPixels
+	}
+	if cfg.FAST.Threshold == 0 {
+		cfg.FAST = def.FAST
+	}
+	if cfg.ORB.PatchRadius == 0 {
+		cfg.ORB = def.ORB
+	}
+	return &Stitcher{
+		cfg:       cfg,
+		extractor: features.NewExtractor(cfg.ORB),
+		matcher:   match.New(cfg.Match),
+	}
+}
+
+// Config returns the stitcher's effective configuration.
+func (st *Stitcher) Config() Config { return st.cfg }
+
+// frameFeatures caches per-frame detection results.
+type frameFeatures struct {
+	kps   []features.KeyPoint
+	descs []features.Descriptor
+}
+
+// registration is the transform of a frame into segment coordinates.
+type registration struct {
+	frame   int
+	segment int
+	h       geom.Homography
+}
+
+// Run stitches the frames into mini-panoramas. The fault machine m may
+// be nil for uninstrumented runs.
+func (st *Stitcher) Run(frames []*imgproc.Gray, m *fault.Machine) (*Result, error) {
+	defer m.Enter(fault.RApp)()
+	if len(frames) == 0 {
+		return nil, ErrNoFrames
+	}
+	res := &Result{Reports: make([]FrameReport, 0, len(frames))}
+
+	// Pass 1: register each frame against the previous good frame and
+	// accumulate segment-space transforms.
+	feats := make([]*frameFeatures, len(frames))
+	detect := func(i int) *frameFeatures {
+		if feats[i] == nil {
+			kps := features.DetectFAST(frames[i], st.cfg.FAST, m)
+			kps, descs := st.extractor.Describe(frames[i], kps, m)
+			feats[i] = &frameFeatures{kps: kps, descs: descs}
+		}
+		return feats[i]
+	}
+
+	var regs []registration
+	segment := 0
+	refFrame := 0
+	refToSegment := geom.Identity()
+	regs = append(regs, registration{frame: 0, segment: 0, h: geom.Identity()})
+	res.Reports = append(res.Reports, FrameReport{Index: 0, Status: StatusNewSegment, H: geom.Identity()})
+	failStreak := 0
+
+	n := m.Cnt(len(frames))
+	for i := 1; i < n; i++ {
+		rep := FrameReport{Index: i, Segment: segment}
+		h, status, matches, inliers := st.registerPair(detect(i), detect(refFrame), m)
+		rep.Matches = matches
+		rep.Inliers = inliers
+		if status == StatusDiscarded {
+			failStreak++
+			res.Discarded++
+			rep.Status = StatusDiscarded
+			if failStreak >= st.cfg.CutThreshold {
+				// Scene change: start a new mini-panorama at this frame.
+				segment++
+				refFrame = i
+				refToSegment = geom.Identity()
+				failStreak = 0
+				rep.Status = StatusNewSegment
+				rep.Segment = segment
+				rep.H = geom.Identity()
+				regs = append(regs, registration{frame: i, segment: segment, h: geom.Identity()})
+			}
+			res.Reports = append(res.Reports, rep)
+			continue
+		}
+		failStreak = 0
+		// Compose: frame -> ref -> segment origin.
+		toSegment := refToSegment.Mul(h)
+		if !toSegment.Reasonable(0.2, 5) {
+			res.Discarded++
+			rep.Status = StatusDiscarded
+			res.Reports = append(res.Reports, rep)
+			continue
+		}
+		rep.Status = status
+		rep.H = toSegment
+		res.Reports = append(res.Reports, rep)
+		regs = append(regs, registration{frame: i, segment: segment, h: toSegment})
+		refFrame = i
+		refToSegment = toSegment
+	}
+
+	// Pass 2: composite each segment.
+	if err := st.composite(frames, regs, segment+1, res, m); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// registerPair estimates the transform mapping frame `cur` onto frame
+// `ref`, trying a homography first and falling back to affine.
+func (st *Stitcher) registerPair(cur, ref *frameFeatures, m *fault.Machine) (geom.Homography, FrameStatus, int, int) {
+	curKps, curDescs := cur.kps, cur.descs
+	if st.cfg.KeyPointStride > 1 {
+		// VS_KDS: match only a fraction of the key points.
+		curKps, curDescs = match.SubsampleStrongest(curKps, curDescs, st.cfg.KeyPointStride)
+	}
+	matches := st.matcher.Match(curDescs, ref.descs, m)
+	nm := len(matches)
+	src := make([]geom.Pt, nm)
+	dst := make([]geom.Pt, nm)
+	for i, mm := range matches {
+		x, y := curKps[mm.Query].Pt()
+		src[i] = geom.Pt{X: x, Y: y}
+		x, y = ref.kps[mm.Train].Pt()
+		dst[i] = geom.Pt{X: x, Y: y}
+	}
+
+	// Confidence gates scale with the query key-point count (floored
+	// by the absolute minimums a model mathematically needs).
+	gateH := gate(st.cfg.MinMatchesHomography, st.cfg.MinMatchFractionHomography, len(curKps))
+	gateA := gate(st.cfg.MinMatchesAffine, st.cfg.MinMatchFractionAffine, len(curKps))
+	if nm >= gateH {
+		cfg := ransac.DefaultConfig(ransac.ModelHomography)
+		cfg.Seed = st.cfg.Seed
+		cfg.MinInliers = gateH
+		if r, err := ransac.Estimate(src, dst, cfg, m); err == nil {
+			return r.H, StatusHomography, nm, len(r.Inliers)
+		}
+	}
+	// Affine fallback: "we estimate a simpler affine transformation
+	// which requires fewer matching points" (§III-A).
+	if nm >= gateA {
+		cfg := ransac.DefaultConfig(ransac.ModelAffine)
+		cfg.Seed = st.cfg.Seed + 1
+		cfg.MinInliers = gateA
+		if r, err := ransac.Estimate(src, dst, cfg, m); err == nil {
+			return r.H, StatusAffine, nm, len(r.Inliers)
+		}
+	}
+	return geom.Homography{}, StatusDiscarded, nm, 0
+}
+
+// gate returns the effective minimum match count: the larger of the
+// absolute floor and the confidence fraction of the query size.
+func gate(floor int, fraction float64, queryKps int) int {
+	g := int(fraction * float64(queryKps))
+	if g < floor {
+		return floor
+	}
+	return g
+}
+
+// composite renders each segment's mini-panorama.
+func (st *Stitcher) composite(frames []*imgproc.Gray, regs []registration, segments int, res *Result, m *fault.Machine) error {
+	for seg := 0; seg < segments; seg++ {
+		var b warp.Bounds
+		count := 0
+		for _, r := range regs {
+			if r.segment != seg {
+				continue
+			}
+			fb := warp.ProjectBounds(r.h, frames[r.frame].W, frames[r.frame].H)
+			b = b.Union(fb)
+			count++
+		}
+		if count == 0 || b.Empty() {
+			continue
+		}
+		if b.W()*b.H() > st.cfg.MaxPanoramaPixels {
+			// A wildly wrong (possibly fault-corrupted) transform made
+			// it through: the application aborts, as the original
+			// would on a failed giant allocation.
+			return fmt.Errorf("stitch: segment %d panorama %dx%d exceeds pixel budget", seg, b.W(), b.H())
+		}
+		canvas := warp.NewCanvasMode(b, st.cfg.Blend)
+		canvas.GainCompensation = st.cfg.ExposureCompensation
+		for _, r := range regs {
+			if r.segment != seg {
+				continue
+			}
+			if _, err := warp.WarpOntoCanvas(frames[r.frame], r.h, canvas, m); err != nil {
+				return fmt.Errorf("stitch: warp frame %d: %w", r.frame, err)
+			}
+		}
+		res.Panoramas = append(res.Panoramas, &Panorama{
+			Image:  canvas.Resolve(m),
+			Bounds: b,
+			Frames: count,
+		})
+	}
+	if len(res.Panoramas) == 0 {
+		return errors.New("stitch: no panorama could be generated")
+	}
+	return nil
+}

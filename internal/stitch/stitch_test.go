@@ -1,0 +1,275 @@
+package stitch
+
+import (
+	"errors"
+	"testing"
+
+	"vsresil/internal/fault"
+	"vsresil/internal/imgproc"
+	"vsresil/internal/match"
+	"vsresil/internal/virat"
+)
+
+// testFrames renders a small Input2-style smooth sequence.
+func testFrames(t testing.TB, n int) []*imgproc.Gray {
+	t.Helper()
+	p := virat.TestScale()
+	p.Frames = n
+	return virat.Input2(p).Frames()
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	st := New(DefaultConfig())
+	if _, err := st.Run(nil, nil); !errors.Is(err, ErrNoFrames) {
+		t.Errorf("expected ErrNoFrames, got %v", err)
+	}
+}
+
+func TestRunSingleFrame(t *testing.T) {
+	frames := testFrames(t, 1)
+	st := New(DefaultConfig())
+	res, err := st.Run(frames, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Panoramas) != 1 {
+		t.Fatalf("panoramas = %d", len(res.Panoramas))
+	}
+	p := res.Primary()
+	if p == nil || p.Frames != 1 {
+		t.Fatalf("primary = %+v", p)
+	}
+	// A single identity-placed frame should reproduce itself closely.
+	img := p.Image
+	if img.W < frames[0].W || img.H < frames[0].H {
+		t.Errorf("panorama %dx%d smaller than frame", img.W, img.H)
+	}
+}
+
+func TestRunSmoothSequenceStitches(t *testing.T) {
+	frames := testFrames(t, 10)
+	st := New(DefaultConfig())
+	res, err := st.Run(frames, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Panoramas) != 1 {
+		t.Errorf("smooth sequence produced %d mini-panoramas, want 1", len(res.Panoramas))
+	}
+	if res.Discarded > 2 {
+		t.Errorf("discarded %d of 10 smooth frames", res.Discarded)
+	}
+	prim := res.Primary()
+	if prim.Frames < 8 {
+		t.Errorf("primary panorama has only %d frames", prim.Frames)
+	}
+	// The panorama must be larger than a single frame (the camera
+	// moved) and mostly covered.
+	if prim.Image.W <= frames[0].W && prim.Image.H <= frames[0].H {
+		t.Error("panorama no larger than one frame despite camera motion")
+	}
+}
+
+func TestRunDeterministicUnderInstrumentation(t *testing.T) {
+	frames := testFrames(t, 6)
+	st := New(DefaultConfig())
+	a, err := st.Run(frames, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.Run(frames, fault.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, bb := a.Encode(), b.Encode()
+	if len(ab) != len(bb) {
+		t.Fatalf("encoded lengths differ: %d vs %d", len(ab), len(bb))
+	}
+	for i := range ab {
+		if ab[i] != bb[i] {
+			t.Fatalf("outputs differ at byte %d", i)
+		}
+	}
+}
+
+func TestRunSceneCutsCreateMiniPanoramas(t *testing.T) {
+	p := virat.TestScale()
+	seq := virat.Input1(p)
+	st := New(DefaultConfig())
+	res, err := st.Run(seq.Frames(), nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Panoramas) < 2 {
+		t.Errorf("Input1 with cuts produced %d mini-panoramas, want >= 2", len(res.Panoramas))
+	}
+}
+
+func TestInput1MoreMiniPanoramasThanInput2(t *testing.T) {
+	// The paper's §III-B observation: Input 1 generates many more
+	// mini-panoramas than Input 2.
+	p := virat.TestScale()
+	st := New(DefaultConfig())
+	res1, err := st.Run(virat.Input1(p).Frames(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := st.Run(virat.Input2(p).Frames(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Panoramas) <= len(res2.Panoramas) {
+		t.Errorf("Input1 panoramas (%d) not more than Input2 (%d)",
+			len(res1.Panoramas), len(res2.Panoramas))
+	}
+}
+
+func TestKeyPointStrideReducesMatches(t *testing.T) {
+	frames := testFrames(t, 4)
+	base := New(DefaultConfig())
+	cfgKDS := DefaultConfig()
+	cfgKDS.KeyPointStride = 3
+	kds := New(cfgKDS)
+	resBase, err := base.Run(frames, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resKDS, err := kds.Run(frames, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mBase, mKDS int
+	for i := range resBase.Reports {
+		mBase += resBase.Reports[i].Matches
+	}
+	for i := range resKDS.Reports {
+		mKDS += resKDS.Reports[i].Matches
+	}
+	if mKDS >= mBase {
+		t.Errorf("KDS matches (%d) not fewer than baseline (%d)", mKDS, mBase)
+	}
+}
+
+func TestSimpleMatchingStrategyRuns(t *testing.T) {
+	frames := testFrames(t, 6)
+	cfg := DefaultConfig()
+	cfg.Match = match.SimpleConfig()
+	st := New(cfg)
+	res, err := st.Run(frames, nil)
+	if err != nil {
+		t.Fatalf("VS_SM run failed: %v", err)
+	}
+	if res.Primary() == nil {
+		t.Fatal("VS_SM produced no panorama")
+	}
+}
+
+func TestReportsCoverAllFrames(t *testing.T) {
+	frames := testFrames(t, 8)
+	st := New(DefaultConfig())
+	res, err := st.Run(frames, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 8 {
+		t.Fatalf("reports = %d, want 8", len(res.Reports))
+	}
+	for i, r := range res.Reports {
+		if r.Index != i {
+			t.Errorf("report %d has index %d", i, r.Index)
+		}
+	}
+}
+
+func TestEncodeFormat(t *testing.T) {
+	frames := testFrames(t, 3)
+	st := New(DefaultConfig())
+	res, err := st.Run(frames, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := res.Encode()
+	if len(enc) < 4 {
+		t.Fatal("encoding too short")
+	}
+	// First 4 bytes: panorama count (little endian).
+	count := int(enc[0]) | int(enc[1])<<8 | int(enc[2])<<16 | int(enc[3])<<24
+	if count != len(res.Panoramas) {
+		t.Errorf("encoded count %d, want %d", count, len(res.Panoramas))
+	}
+	// Encoding must be repeatable.
+	enc2 := res.Encode()
+	if len(enc) != len(enc2) {
+		t.Error("encoding not deterministic")
+	}
+}
+
+func TestPrimaryNilOnEmptyResult(t *testing.T) {
+	r := &Result{}
+	if r.Primary() != nil {
+		t.Error("empty result should have nil primary")
+	}
+}
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	st := New(Config{})
+	cfg := st.Config()
+	if cfg.MinMatchesHomography <= 0 || cfg.MinMatchesAffine <= 0 ||
+		cfg.CutThreshold <= 0 || cfg.KeyPointStride != 1 ||
+		cfg.MaxPanoramaPixels <= 0 || cfg.FAST.Threshold <= 0 ||
+		cfg.ORB.PatchRadius <= 0 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestFrameStatusString(t *testing.T) {
+	for s := FrameStatus(0); s < 5; s++ {
+		if s.String() == "" {
+			t.Error("empty status string")
+		}
+	}
+}
+
+func TestUnstitchableFramesDiscardedNotFatal(t *testing.T) {
+	// Alternate between two unrelated noise frames: almost nothing can
+	// register, but the run must still produce a (degenerate) result
+	// rather than an error — matching the paper's frame-discard path.
+	frames := testFrames(t, 2)
+	noise := imgproc.NewGray(frames[0].W, frames[0].H)
+	for i := range noise.Pix {
+		noise.Pix[i] = uint8((i*7919 + i*i*31) % 256)
+	}
+	seq := []*imgproc.Gray{frames[0], frames[1], noise, frames[0], frames[1]}
+	st := New(DefaultConfig())
+	res, err := st.Run(seq, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Discarded == 0 && len(res.Panoramas) < 2 {
+		t.Error("expected discards or segmentation with a noise frame")
+	}
+}
+
+func BenchmarkStitchSmooth(b *testing.B) {
+	frames := testFrames(b, 8)
+	st := New(DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Run(frames, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStitchInstrumented(b *testing.B) {
+	frames := testFrames(b, 8)
+	st := New(DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Run(frames, fault.New()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

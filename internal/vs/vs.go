@@ -1,0 +1,219 @@
+// Package vs assembles the end-to-end Video Summarization application
+// the paper studies (§III), together with its three approximate
+// variants (§IV):
+//
+//   - VS: the precise baseline (FAST+ORB, ratio-test matching, RANSAC
+//     homography with affine fallback, mini-panorama stitching).
+//   - VS_RFD: Random Frame Dropping — 10% of input frames are dropped
+//     (input sampling).
+//   - VS_KDS: Key Point Down Sampling — matching runs on one third of
+//     the key points (selective computation).
+//   - VS_SM: Simple Matching — single nearest neighbor under an
+//     absolute distance bound instead of the 2-NN ratio test
+//     (algorithmic transformation).
+//
+// An App is the unit the fault-injection campaign runs: one call of
+// Run is one execution of the paper's application binary.
+package vs
+
+import (
+	"fmt"
+
+	"vsresil/internal/fault"
+	"vsresil/internal/imgproc"
+	"vsresil/internal/match"
+	"vsresil/internal/stats"
+	"vsresil/internal/stitch"
+)
+
+// Algorithm identifies a VS variant.
+type Algorithm uint8
+
+// The four algorithms of the paper, in its presentation order.
+const (
+	AlgVS Algorithm = iota
+	AlgRFD
+	AlgKDS
+	AlgSM
+	NumAlgorithms
+)
+
+// String implements fmt.Stringer using the paper's names.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgVS:
+		return "VS"
+	case AlgRFD:
+		return "VS_RFD"
+	case AlgKDS:
+		return "VS_KDS"
+	case AlgSM:
+		return "VS_SM"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", uint8(a))
+	}
+}
+
+// Algorithms returns all four variants in paper order.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgVS, AlgRFD, AlgKDS, AlgSM}
+}
+
+// Config parameterizes an App.
+type Config struct {
+	Algorithm Algorithm
+	// DropFraction is the VS_RFD input sampling rate (default 0.10,
+	// the paper's "up to 10% of the input frames being dropped").
+	DropFraction float64
+	// KeyPointStride is the VS_KDS down-sampling stride (default 3:
+	// "matching on a fraction (one-third) of the key points").
+	KeyPointStride int
+	// Seed fixes all stochastic choices (RFD frame selection, RANSAC
+	// sampling) so golden and faulty runs differ only by the injected
+	// bit.
+	Seed uint64
+	// Stitch optionally overrides the stitcher configuration; leave
+	// zero for defaults.
+	Stitch *stitch.Config
+}
+
+// DefaultConfig returns the standard configuration for an algorithm.
+func DefaultConfig(a Algorithm) Config {
+	return Config{Algorithm: a, DropFraction: 0.10, KeyPointStride: 3, Seed: 0x5EED}
+}
+
+// App is one configured VS application instance. It is immutable after
+// construction and safe to share across campaign workers (each Run
+// call uses only its own state).
+type App struct {
+	cfg      Config
+	stitcher *stitch.Stitcher
+	dropSet  map[int]bool // precomputed VS_RFD frame drops, by input index
+	nFrames  int          // the input length dropSet was computed for (-1 = none)
+}
+
+// New builds an App for the given input length. The input length is
+// needed up front because VS_RFD's dropped-frame set must be identical
+// across the golden run and every injected run.
+func New(cfg Config, nFrames int) *App {
+	if cfg.DropFraction <= 0 || cfg.DropFraction >= 1 {
+		cfg.DropFraction = 0.10
+	}
+	if cfg.KeyPointStride <= 1 {
+		cfg.KeyPointStride = 3
+	}
+
+	scfg := stitch.DefaultConfig()
+	if cfg.Stitch != nil {
+		scfg = *cfg.Stitch
+	}
+	scfg.Seed = cfg.Seed
+	switch cfg.Algorithm {
+	case AlgKDS:
+		scfg.KeyPointStride = cfg.KeyPointStride
+	case AlgSM:
+		scfg.Match = match.SimpleConfig()
+	}
+
+	app := &App{cfg: cfg, stitcher: stitch.New(scfg), nFrames: nFrames}
+	if cfg.Algorithm == AlgRFD {
+		app.dropSet = selectDrops(nFrames, cfg.DropFraction, cfg.Seed)
+	}
+	return app
+}
+
+// selectDrops picks the frames VS_RFD removes, deterministically in
+// the seed. Frame 0 is never dropped (it anchors the first segment).
+func selectDrops(n int, frac float64, seed uint64) map[int]bool {
+	drops := make(map[int]bool)
+	if n <= 1 {
+		return drops
+	}
+	k := int(float64(n) * frac)
+	if k > n-1 {
+		k = n - 1
+	}
+	r := stats.NewRNG(seed*0x9e3779b97f4a7c15 + 17)
+	for len(drops) < k {
+		i := 1 + r.Intn(n-1)
+		drops[i] = true
+	}
+	return drops
+}
+
+// Config returns the app's configuration.
+func (a *App) Config() Config { return a.cfg }
+
+// Dropped returns how many input frames VS_RFD removes for the
+// configured input length.
+func (a *App) Dropped() int { return len(a.dropSet) }
+
+// Run executes the application on the input frames. The frame slice
+// must have the length passed to New. The fault machine m may be nil.
+//
+// Run first "decodes" the input (copying each retained frame through
+// instrumented pixel traffic, the analogue of the video decode and
+// downsampling stage) and then stitches.
+func (a *App) Run(frames []*imgproc.Gray, m *fault.Machine) (*stitch.Result, error) {
+	if a.nFrames >= 0 && len(frames) != a.nFrames {
+		return nil, fmt.Errorf("vs: got %d frames, configured for %d", len(frames), a.nFrames)
+	}
+	retained, err := a.decode(frames, m)
+	if err != nil {
+		return nil, err
+	}
+	return a.stitcher.Run(retained, m)
+}
+
+// RunEncoded is the fault.App adapter: it runs the application and
+// returns the serialized panorama set.
+func (a *App) RunEncoded(frames []*imgproc.Gray) fault.App {
+	return func(m *fault.Machine) ([]byte, error) {
+		res, err := a.Run(frames, m)
+		if err != nil {
+			return nil, err
+		}
+		return res.Encode(), nil
+	}
+}
+
+// decode copies the retained input frames into run-private buffers,
+// passing a sample of the pixel traffic through fault taps. Corrupted
+// writes land only in the private copy, exactly like a decoder writing
+// a corrupted frame buffer.
+func (a *App) decode(frames []*imgproc.Gray, m *fault.Machine) ([]*imgproc.Gray, error) {
+	defer m.Enter(fault.RDecode)()
+	out := make([]*imgproc.Gray, 0, len(frames))
+	n := m.Cnt(len(frames))
+	if n < 0 || n > len(frames) {
+		return nil, fmt.Errorf("vs: corrupted frame count %d", n)
+	}
+	for i := 0; i < n; i++ {
+		if a.dropSet[i] {
+			continue // VS_RFD input sampling
+		}
+		src := frames[m.Idx(i)]
+		w := m.Idx(src.W)
+		h := src.H
+		dst := imgproc.NewGray(w, h)
+		copy(dst.Pix, src.Pix)
+		// Instrument a strided sample of the pixel stream (tapping
+		// every byte would dominate the tap space; the decode stage is
+		// a small share of the paper's profile, Fig 8).
+		for j := 0; j < len(dst.Pix); j += 97 {
+			idx := m.Idx(j)
+			dst.Pix[idx] = m.Pix(dst.Pix[idx])
+		}
+		// Representative video-decode arithmetic (entropy decoding,
+		// inverse transform, motion compensation): the non-library
+		// share of the paper's Fig 8 profile is dominated by this
+		// stage in the original application.
+		px := uint64(len(dst.Pix))
+		m.Ops(fault.OpInt, px*14)
+		m.Ops(fault.OpLoad, px*6)
+		m.Ops(fault.OpStore, px*4)
+		m.Ops(fault.OpBranch, px*3)
+		out = append(out, dst)
+	}
+	return out, nil
+}

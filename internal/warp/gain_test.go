@@ -1,0 +1,77 @@
+package warp
+
+import (
+	"testing"
+
+	"vsresil/internal/geom"
+	"vsresil/internal/imgproc"
+)
+
+func TestGainCompensationBrightensDimFrame(t *testing.T) {
+	// First frame at intensity 180, second (overlapping) at 90: with
+	// compensation the second frame is scaled toward the first, so the
+	// non-overlap area it contributes is brighter than 90.
+	a := imgproc.NewGray(20, 20)
+	a.Fill(180)
+	b := imgproc.NewGray(20, 20)
+	b.Fill(90)
+
+	run := func(comp bool) uint8 {
+		c := NewCanvas(Bounds{0, 0, 30, 20})
+		c.GainCompensation = comp
+		if _, err := WarpOntoCanvas(a, geom.Identity(), c, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := WarpOntoCanvas(b, geom.Translation(10, 0), c, nil); err != nil {
+			t.Fatal(err)
+		}
+		return c.Resolve(nil).At(27, 10) // area only frame b covers
+	}
+	plain := run(false)
+	comp := run(true)
+	if plain != 90 {
+		t.Fatalf("uncompensated intensity = %d, want 90", plain)
+	}
+	if comp <= plain {
+		t.Errorf("compensated intensity = %d, want > %d", comp, plain)
+	}
+	// Gain is clamped at MaxGain: 90*1.5 = 135.
+	if comp > 136 {
+		t.Errorf("compensated intensity = %d exceeds the gain clamp", comp)
+	}
+}
+
+func TestGainCompensationIdentityWhenMatched(t *testing.T) {
+	// Equal-exposure frames: gain ~1, output unchanged.
+	a := imgproc.NewGray(20, 20)
+	a.Fill(120)
+	c := NewCanvas(Bounds{0, 0, 30, 20})
+	c.GainCompensation = true
+	if _, err := WarpOntoCanvas(a, geom.Identity(), c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WarpOntoCanvas(a, geom.Translation(10, 0), c, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := c.Resolve(nil)
+	for _, x := range []int{5, 15, 27} {
+		if v := out.At(x, 10); v < 119 || v > 121 {
+			t.Errorf("pixel at x=%d is %d, want ~120", x, v)
+		}
+	}
+}
+
+func TestGainSkippedWithoutOverlap(t *testing.T) {
+	// A frame landing on untouched canvas has no overlap to estimate
+	// from: gain must stay 1.
+	a := imgproc.NewGray(10, 10)
+	a.Fill(60)
+	c := NewCanvas(Bounds{0, 0, 10, 10})
+	c.GainCompensation = true
+	if _, err := WarpOntoCanvas(a, geom.Identity(), c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v := c.Resolve(nil).At(5, 5); v != 60 {
+		t.Errorf("no-overlap frame scaled: %d", v)
+	}
+}

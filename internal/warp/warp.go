@@ -1,0 +1,471 @@
+// Package warp implements perspective warping — the paper's hot
+// function. OpenCV's WarpPerspective accounts for 54.4% of the VS
+// application's execution time (Fig 8); it is implemented here, as in
+// OpenCV, as an invoker loop (warpPerspectiveInvoker) that inverse-maps
+// destination pixels and a bilinear remapper (remapBilinear) that
+// samples the source.
+//
+// The package also provides the panorama canvas that frames are
+// composited onto. Compositing overlap is the paper's "compositional
+// masking" mechanism (§VI-C): a corrupted frame region can be stitched
+// over by a later frame, converting a would-be SDC into a Mask.
+package warp
+
+import (
+	"math"
+
+	"vsresil/internal/fault"
+	"vsresil/internal/geom"
+	"vsresil/internal/imgproc"
+)
+
+// Bounds is an axis-aligned integer rectangle [MinX,MaxX)x[MinY,MaxY).
+type Bounds struct {
+	MinX, MinY, MaxX, MaxY int
+}
+
+// W returns the rectangle width (0 when empty).
+func (b Bounds) W() int {
+	if b.MaxX <= b.MinX {
+		return 0
+	}
+	return b.MaxX - b.MinX
+}
+
+// H returns the rectangle height (0 when empty).
+func (b Bounds) H() int {
+	if b.MaxY <= b.MinY {
+		return 0
+	}
+	return b.MaxY - b.MinY
+}
+
+// Empty reports whether the rectangle has no area.
+func (b Bounds) Empty() bool { return b.W() == 0 || b.H() == 0 }
+
+// Union returns the smallest rectangle covering both.
+func (b Bounds) Union(o Bounds) Bounds {
+	if b.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return b
+	}
+	return Bounds{
+		MinX: minInt(b.MinX, o.MinX),
+		MinY: minInt(b.MinY, o.MinY),
+		MaxX: maxInt(b.MaxX, o.MaxX),
+		MaxY: maxInt(b.MaxY, o.MaxY),
+	}
+}
+
+// Intersect returns the overlap of both rectangles (possibly empty).
+func (b Bounds) Intersect(o Bounds) Bounds {
+	r := Bounds{
+		MinX: maxInt(b.MinX, o.MinX),
+		MinY: maxInt(b.MinY, o.MinY),
+		MaxX: minInt(b.MaxX, o.MaxX),
+		MaxY: minInt(b.MaxY, o.MaxY),
+	}
+	if r.MaxX < r.MinX {
+		r.MaxX = r.MinX
+	}
+	if r.MaxY < r.MinY {
+		r.MaxY = r.MinY
+	}
+	return r
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ProjectBounds returns the integer bounding box of the four corners
+// of a wxh image transformed by h.
+func ProjectBounds(h geom.Homography, w, ht int) Bounds {
+	corners := [4]geom.Pt{
+		{X: 0, Y: 0},
+		{X: float64(w - 1), Y: 0},
+		{X: float64(w - 1), Y: float64(ht - 1)},
+		{X: 0, Y: float64(ht - 1)},
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, c := range corners {
+		p := h.Apply(c)
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if math.IsInf(minX, 0) || math.IsInf(minY, 0) || math.IsInf(maxX, 0) || math.IsInf(maxY, 0) ||
+		math.IsNaN(minX) || math.IsNaN(minY) || math.IsNaN(maxX) || math.IsNaN(maxY) {
+		return Bounds{}
+	}
+	return Bounds{
+		MinX: int(math.Floor(minX)),
+		MinY: int(math.Floor(minY)),
+		MaxX: int(math.Ceil(maxX)) + 1,
+		MaxY: int(math.Ceil(maxY)) + 1,
+	}
+}
+
+// MaxCanvasPixels guards against corrupted transforms exploding the
+// panorama allocation; exceeding it panics, which the fault monitor
+// classifies as a crash (the original application would be killed by
+// the OOM killer or fail allocation — also a crash).
+const MaxCanvasPixels = 1 << 26
+
+// BlendMode selects how overlapping frames combine on a canvas.
+type BlendMode uint8
+
+// Blend modes.
+const (
+	// BlendOverwrite composites frames in order with later frames
+	// replacing earlier content — the mosaicking behavior of the
+	// paper's pipeline, and the mechanism behind compositional
+	// masking (§VI-C): corrupted output of an early frame is erased
+	// wherever a later frame covers it.
+	BlendOverwrite BlendMode = iota
+	// BlendFeather averages overlapping frames with border-feathered
+	// weights for seamless blends (an optional quality refinement).
+	BlendFeather
+)
+
+// Canvas accumulates warped frames in global panorama coordinates.
+type Canvas struct {
+	B    Bounds
+	Mode BlendMode
+	// GainCompensation enables per-frame exposure compensation: before
+	// a frame is composited, its intensity is scaled so its mean over
+	// the already-covered overlap matches the canvas — one of the
+	// pipeline's rendering refinements against visible seams (§III-A's
+	// "corrective actions"). The gain is clamped to [1/MaxGain, MaxGain].
+	GainCompensation bool
+	weights          []float64
+	values           []float64
+	touched          []bool
+}
+
+// MaxGain bounds exposure-compensation gains.
+const MaxGain = 1.5
+
+// NewCanvas allocates an overwrite-mode canvas covering b.
+func NewCanvas(b Bounds) *Canvas {
+	return NewCanvasMode(b, BlendOverwrite)
+}
+
+// NewCanvasMode allocates a canvas covering b with the given blend
+// mode.
+func NewCanvasMode(b Bounds, mode BlendMode) *Canvas {
+	n := b.W() * b.H()
+	if n > MaxCanvasPixels {
+		panic("warp: canvas size exceeds safety bound")
+	}
+	return &Canvas{
+		B:       b,
+		Mode:    mode,
+		weights: make([]float64, n),
+		values:  make([]float64, n),
+		touched: make([]bool, n),
+	}
+}
+
+// idx maps global coordinates to buffer offset; callers must ensure
+// containment.
+func (c *Canvas) idx(x, y int) int {
+	return (y-c.B.MinY)*c.B.W() + (x - c.B.MinX)
+}
+
+// Contains reports whether the global coordinate lies on the canvas.
+func (c *Canvas) Contains(x, y int) bool {
+	return x >= c.B.MinX && x < c.B.MaxX && y >= c.B.MinY && y < c.B.MaxY
+}
+
+// Accumulate adds a weighted sample at global (x, y), ignoring
+// off-canvas coordinates. This is the checked entry point; the warp
+// hot loop uses writeIdx with precomputed (crash-prone) indices.
+func (c *Canvas) Accumulate(x, y int, v float64, w float64) {
+	if !c.Contains(x, y) || w <= 0 {
+		return
+	}
+	c.writeIdx(c.idx(x, y), v, w)
+}
+
+// writeIdx stores a sample at a raw buffer offset. Like the compiled
+// store through a computed address in the original binary, a corrupted
+// offset faults (slice bounds panic -> campaign Crash).
+func (c *Canvas) writeIdx(i int, v, w float64) {
+	switch c.Mode {
+	case BlendFeather:
+		c.values[i] += v * w
+		c.weights[i] += w
+	default: // BlendOverwrite: later frames replace earlier content.
+		c.values[i] = v
+		c.weights[i] = 1
+	}
+	c.touched[i] = true
+}
+
+// Resolve renders the canvas to an 8-bit image; untouched pixels are
+// black. The divide-and-saturate step is floating point funneled
+// through the uint8 clamp — the FPR masking path.
+func (c *Canvas) Resolve(m *fault.Machine) *imgproc.Gray {
+	defer m.Enter(fault.RBlend)()
+	out := imgproc.NewGray(c.B.W(), c.B.H())
+	w := m.Cnt(c.B.W())
+	h := m.Cnt(c.B.H())
+	for y := 0; y < h; y++ {
+		m.Ops(fault.OpFloat, uint64(w))
+		m.Ops(fault.OpStore, uint64(w))
+		rowBase := m.Idx(y * out.W)
+		for x := 0; x < w; x++ {
+			i := rowBase + x
+			if !c.touched[i] {
+				continue
+			}
+			v := c.values[i] / c.weights[i]
+			out.Pix[i] = imgproc.SaturateUint8(v)
+		}
+	}
+	return out
+}
+
+// Coverage returns the fraction of canvas pixels that received at
+// least one sample.
+func (c *Canvas) Coverage() float64 {
+	if len(c.touched) == 0 {
+		return 0
+	}
+	n := 0
+	for _, t := range c.touched {
+		if t {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.touched))
+}
+
+// WarpOntoCanvas composites src onto the canvas through the transform
+// h (src coordinates -> global coordinates). It reproduces OpenCV's
+// warpPerspectiveInvoker structure: iterate destination pixels inside
+// the projected bounds, inverse-map each through h^-1, and sample the
+// source with remapBilinear. Samples are feather-weighted by their
+// distance to the source frame border so overlapping frames blend
+// smoothly.
+//
+// It returns the number of destination pixels written.
+func WarpOntoCanvas(src *imgproc.Gray, h geom.Homography, c *Canvas, m *fault.Machine) (int, error) {
+	defer m.Enter(fault.RWarpInvoker)()
+	inv, err := h.Inverse()
+	if err != nil {
+		return 0, err
+	}
+	region := ProjectBounds(h, src.W, src.H).Intersect(c.B)
+	if region.Empty() {
+		return 0, nil
+	}
+	// Stage 1 (the hot function): warp the source into a temporary
+	// frame-extent image, exactly like OpenCV's warpPerspective
+	// producing a `warped` Mat. Corrupted destination addresses here
+	// displace rows *within the frame extent* (or fault), matching
+	// the original binary where the invoker writes into the warped
+	// temp image rather than the final panorama.
+	tw, th := region.W(), region.H()
+	vals := make([]float64, tw*th)
+	wts := make([]float64, tw*th) // 0 = pixel not produced
+	written := 0
+	halfW := float64(src.W) / 2
+	halfH := float64(src.H) / 2
+	y0 := m.Cnt(0)
+	y1 := m.Cnt(th)
+	for ty := y0; ty < y1; ty++ {
+		m.Ops(fault.OpInt, uint64(tw)*6)
+		m.Ops(fault.OpLoad, uint64(tw)*4)
+		// Per-pixel arithmetic of the inverse map + bilinear sample:
+		// 3x3 matrix-vector product (15 flops), perspective divide (2)
+		// and bilinear interpolation (7).
+		m.Ops(fault.OpFloat, uint64(tw)*24)
+		// Destination row base: address arithmetic through a GPR, as
+		// in the compiled invoker. Corruption displaces or faults the
+		// row's stores.
+		rowIdx := m.Idx(ty * tw)
+		fy := float64(region.MinY + ty)
+		for tx := 0; tx < tw; tx++ {
+			// Inverse map the destination pixel to source coordinates.
+			// These coordinate temporaries are the workload's dominant
+			// floating-point state.
+			sp := inv.Apply(geom.Pt{X: float64(region.MinX + tx), Y: fy})
+			sx := m.F64(sp.X)
+			sy := m.F64(sp.Y)
+			v, ok := remapBilinear(src, sx, sy, m)
+			if !ok {
+				continue
+			}
+			weight := 1.0
+			if c.Mode == BlendFeather {
+				// Feather weight: 1 at frame center falling toward the
+				// border, so seams blend.
+				wx := 1 - math.Abs(sx-halfW)/halfW
+				wy := 1 - math.Abs(sy-halfH)/halfH
+				weight = wx * wy
+				if weight < 0.05 {
+					weight = 0.05
+				}
+			}
+			// Per-pixel destination address (base + row + column), as
+			// the compiled store computes it.
+			i := m.Idx(rowIdx + tx)
+			vals[i] = float64(v)
+			wts[i] = weight
+			written++
+		}
+	}
+
+	// Stage 2: composite the warped frame onto the panorama canvas —
+	// the stitching copy of the original pipeline (blend region,
+	// bounds-checked like the library's ROI copy).
+	restore := m.Enter(fault.RBlend)
+	gain := 1.0
+	if c.GainCompensation {
+		gain = c.frameGain(region, vals, wts, m)
+	}
+	for ty := 0; ty < th; ty++ {
+		m.Ops(fault.OpLoad, uint64(tw))
+		m.Ops(fault.OpStore, uint64(tw))
+		rowIdx := m.Idx(ty * tw)
+		for tx := 0; tx < tw; tx++ {
+			i := rowIdx + tx
+			if wts[i] == 0 {
+				continue
+			}
+			c.Accumulate(region.MinX+tx, region.MinY+ty, vals[i]*gain, wts[i])
+		}
+	}
+	restore()
+	return written, nil
+}
+
+// frameGain estimates the exposure gain that matches the incoming
+// frame's intensity to the canvas content it overlaps.
+func (c *Canvas) frameGain(region Bounds, vals, wts []float64, m *fault.Machine) float64 {
+	tw := region.W()
+	var canvasSum, frameSum float64
+	var n int
+	for ty := 0; ty < region.H(); ty++ {
+		gy := region.MinY + ty
+		for tx := 0; tx < tw; tx++ {
+			i := ty*tw + tx
+			if wts[i] == 0 {
+				continue
+			}
+			gx := region.MinX + tx
+			if !c.Contains(gx, gy) {
+				continue
+			}
+			ci := c.idx(gx, gy)
+			if !c.touched[ci] {
+				continue
+			}
+			canvasSum += c.values[ci] / c.weights[ci]
+			frameSum += vals[i]
+			n++
+		}
+	}
+	m.Ops(fault.OpFloat, uint64(n)*3)
+	if n < 16 || frameSum <= 0 {
+		return 1 // not enough overlap to estimate a gain
+	}
+	gain := m.F64(canvasSum / frameSum)
+	if gain > MaxGain {
+		gain = MaxGain
+	}
+	if gain < 1/MaxGain {
+		gain = 1 / MaxGain
+	}
+	if gain != gain { // NaN from a corrupted division
+		gain = 1
+	}
+	return gain
+}
+
+// remapBilinear samples src at fractional coordinates with bilinear
+// interpolation — the second hot function of the case study (§V-C).
+// The integer lattice indices flow through GPR taps (index arithmetic)
+// and the fractional weights through FPR taps. Corrupted indices
+// access out of bounds and panic, the crash mechanism of the paper's
+// GPR campaign.
+func remapBilinear(src *imgproc.Gray, x, y float64, m *fault.Machine) (uint8, bool) {
+	prev := m.Swap(fault.RRemapBilinear)
+	defer m.Swap(prev)
+	if math.IsNaN(x) || math.IsNaN(y) {
+		return 0, false
+	}
+	if x < 0 || y < 0 || x > float64(src.W-1) || y > float64(src.H-1) {
+		return 0, false
+	}
+	x0 := m.Idx(int(x))
+	y0 := m.Idx(int(y))
+	x1 := x0 + 1
+	y1 := y0 + 1
+	if x1 >= src.W {
+		x1 = src.W - 1
+	}
+	if y1 >= src.H {
+		y1 = src.H - 1
+	}
+	// Raw index arithmetic like the release-build library code:
+	// base + y*stride + x with no bounds assertion. A corrupted x0/y0
+	// faults with a runtime error — the segmentation-fault analogue.
+	p00 := float64(m.Pix(src.Pix[y0*src.W+x0]))
+	p10 := float64(src.Pix[y0*src.W+x1])
+	p01 := float64(src.Pix[y1*src.W+x0])
+	p11 := float64(src.Pix[y1*src.W+x1])
+	fx := x - math.Floor(x)
+	fy := y - math.Floor(y)
+	top := p00 + fx*(p10-p00)
+	bot := p01 + fx*(p11-p01)
+	return imgproc.SaturateUint8(top + fy*(bot-top)), true
+}
+
+// WarpPerspective is the standalone hot function: it warps src through
+// h into a dstW x dstH image, with destination pixel (x, y) sampling
+// source location h^-1(x, y). This is the exact shape of the paper's
+// WP toy benchmark (image + matrix in, image out).
+func WarpPerspective(src *imgproc.Gray, h geom.Homography, dstW, dstH int, m *fault.Machine) (*imgproc.Gray, error) {
+	defer m.Enter(fault.RWarpInvoker)()
+	inv, err := h.Inverse()
+	if err != nil {
+		return nil, err
+	}
+	dst := imgproc.NewGray(dstW, dstH)
+	hh := m.Cnt(dstH)
+	ww := m.Cnt(dstW)
+	for y := 0; y < hh; y++ {
+		m.Ops(fault.OpFloat, uint64(ww)*24)
+		m.Ops(fault.OpLoad, uint64(ww)*4)
+		m.Ops(fault.OpStore, uint64(ww))
+		rowBase := m.Idx(y * dstW)
+		for x := 0; x < ww; x++ {
+			sp := inv.Apply(geom.Pt{X: float64(x), Y: float64(y)})
+			sx := m.F64(sp.X)
+			sy := m.F64(sp.Y)
+			v, ok := remapBilinear(src, sx, sy, m)
+			if !ok {
+				continue
+			}
+			dst.Pix[m.Idx(rowBase+x)] = v
+		}
+	}
+	return dst, nil
+}

@@ -1,0 +1,68 @@
+// Package wp implements the paper's "WP" toy benchmark (§V-C): a
+// standalone application that takes an image and a transformation
+// matrix as inputs, calls WarpPerspective on them, and returns the
+// transformed image as its output.
+//
+// The paper uses WP to ask whether the resiliency of a hot kernel
+// (WarpPerspective is 54.4% of VS's execution time) predicts the
+// resiliency of the full end-to-end application, and finds that it
+// does not: inside VS, the warp output flows into further computation
+// and overlapping frames, so many errors that corrupt WP's output are
+// masked downstream (§VI-C). The Fig 11b experiment injects faults
+// into the same two functions (warpPerspectiveInvoker and
+// remapBilinear) in both programs and compares outcome rates.
+package wp
+
+import (
+	"vsresil/internal/fault"
+	"vsresil/internal/geom"
+	"vsresil/internal/imgproc"
+	"vsresil/internal/virat"
+	"vsresil/internal/warp"
+)
+
+// Bench is one configured WP application instance.
+type Bench struct {
+	Src        *imgproc.Gray
+	H          geom.Homography
+	DstW, DstH int
+}
+
+// New builds a WP benchmark over the given source image and transform.
+func New(src *imgproc.Gray, h geom.Homography, dstW, dstH int) *Bench {
+	return &Bench{Src: src, H: h, DstW: dstW, DstH: dstH}
+}
+
+// Default builds the standard WP instance used by the case study: a
+// frame rendered from the synthetic Input 1 world and a representative
+// inter-frame homography (small rotation + translation + mild zoom),
+// i.e. exactly the kind of (image, matrix) pair VS feeds
+// WarpPerspective.
+func Default(preset virat.Preset) *Bench {
+	seq := virat.Input1(preset)
+	src := seq.Frame(0)
+	h := geom.Translation(float64(src.W)/12, float64(src.H)/16).
+		Mul(geom.RotationAbout(0.06, float64(src.W)/2, float64(src.H)/2)).
+		Mul(geom.Scaling(1.04, 1.04))
+	return New(src, h, src.W+src.W/6, src.H+src.H/6)
+}
+
+// Run executes the benchmark under the machine and returns the
+// serialized output image — the fault.App adapter for campaigns.
+func (b *Bench) Run(m *fault.Machine) ([]byte, error) {
+	dst, err := warp.WarpPerspective(b.Src, b.H, b.DstW, b.DstH, m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 8+len(dst.Pix))
+	out = append(out,
+		byte(dst.W), byte(dst.W>>8), byte(dst.W>>16), byte(dst.W>>24),
+		byte(dst.H), byte(dst.H>>8), byte(dst.H>>16), byte(dst.H>>24))
+	out = append(out, dst.Pix...)
+	return out, nil
+}
+
+// App returns the fault.App for campaign use.
+func (b *Bench) App() fault.App {
+	return b.Run
+}

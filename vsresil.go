@@ -1,0 +1,117 @@
+// Package vsresil reproduces "Impact of Software Approximations on the
+// Resiliency of a Video Summarization System" (DSN 2018): an
+// end-to-end UAV video summarization application, its three software
+// approximations, an AFI-style architectural fault-injection
+// framework, an SDC quality metric, and a performance/energy model —
+// all in pure Go with no external dependencies.
+//
+// The root package is a thin facade over the implementation packages;
+// it exposes the study API (one call runs a variant, injects faults
+// and analyzes SDC quality) plus the building blocks most downstream
+// users need. See the examples/ directory for runnable programs and
+// cmd/experiments for the per-figure reproduction harness.
+//
+//	seq := vsresil.Input1(vsresil.BenchScale())
+//	res, err := vsresil.RunStudy(ctx, vsresil.StudyConfig{
+//	    Input:     seq,
+//	    Algorithm: vsresil.AlgRFD,
+//	    Trials:    1000,
+//	    Class:     vsresil.GPR,
+//	})
+package vsresil
+
+import (
+	"context"
+
+	"vsresil/internal/core"
+	"vsresil/internal/fault"
+	"vsresil/internal/imgproc"
+	"vsresil/internal/stitch"
+	"vsresil/internal/virat"
+	"vsresil/internal/vs"
+)
+
+// Re-exported study API (the paper's primary contribution).
+type (
+	// StudyConfig configures one (input, algorithm) resiliency study.
+	StudyConfig = core.StudyConfig
+	// StudyResult aggregates a study's outputs.
+	StudyResult = core.StudyResult
+)
+
+// RunStudy executes a resiliency study: golden run, energy metrics,
+// fault-injection campaign and SDC quality analysis.
+func RunStudy(ctx context.Context, cfg StudyConfig) (*StudyResult, error) {
+	return core.Run(ctx, cfg)
+}
+
+// Algorithm variants of the VS application (§IV).
+type Algorithm = vs.Algorithm
+
+// The four algorithms in the paper's order.
+const (
+	AlgVS  = vs.AlgVS
+	AlgRFD = vs.AlgRFD
+	AlgKDS = vs.AlgKDS
+	AlgSM  = vs.AlgSM
+)
+
+// Algorithms returns all four variants in paper order.
+func Algorithms() []Algorithm { return vs.Algorithms() }
+
+// Register classes for fault injection (§V-B).
+type Class = fault.Class
+
+// Register classes.
+const (
+	GPR = fault.GPR
+	FPR = fault.FPR
+)
+
+// Fault-injection outcomes (§V-A).
+type Outcome = fault.Outcome
+
+// Outcomes in the paper's order.
+const (
+	OutcomeMask  = fault.OutcomeMask
+	OutcomeCrash = fault.OutcomeCrash
+	OutcomeSDC   = fault.OutcomeSDC
+	OutcomeHang  = fault.OutcomeHang
+)
+
+// Sequence is a synthetic input video with ground truth.
+type Sequence = virat.Sequence
+
+// Preset scales a generated input.
+type Preset = virat.Preset
+
+// Input1 generates the fast-panning, scene-cut-heavy input (the
+// analogue of VIRAT clip 09152008flight2tape1_2).
+func Input1(p Preset) *Sequence { return virat.Input1(p) }
+
+// Input2 generates the slow, smooth input (the analogue of VIRAT clip
+// 09152008flight2tape2_4).
+func Input2(p Preset) *Sequence { return virat.Input2(p) }
+
+// PaperScale approximates the paper's input sizes (1000 frames).
+func PaperScale() Preset { return virat.PaperScale() }
+
+// BenchScale is a laptop-friendly scale that preserves the paper's
+// contrasts.
+func BenchScale() Preset { return virat.BenchScale() }
+
+// TestScale keeps unit tests fast.
+func TestScale() Preset { return virat.TestScale() }
+
+// Gray is the 8-bit image type produced by the pipeline.
+type Gray = imgproc.Gray
+
+// SavePGM and SavePNG write panorama images to disk.
+var (
+	SavePGM = imgproc.SavePGM
+	SavePNG = imgproc.SavePNG
+)
+
+// StitchResult is the output of one application run: mini-panoramas
+// plus per-frame registration reports.
+type StitchResult = stitch.Result

@@ -1,0 +1,88 @@
+package vsresil_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"vsresil"
+)
+
+// TestFacadeStudy exercises the public API end to end: input
+// generation, a study with a small campaign, quality analysis and
+// image output.
+func TestFacadeStudy(t *testing.T) {
+	preset := vsresil.TestScale()
+	preset.Frames = 8
+	seq := vsresil.Input2(preset)
+	res, err := vsresil.RunStudy(context.Background(), vsresil.StudyConfig{
+		Input:             seq,
+		Algorithm:         vsresil.AlgVS,
+		Trials:            60,
+		Class:             vsresil.GPR,
+		AnalyzeSDCQuality: true,
+		Seed:              1,
+	})
+	if err != nil {
+		t.Fatalf("RunStudy: %v", err)
+	}
+	if res.GoldenImage == nil || res.GoldenImage.W == 0 {
+		t.Fatal("no golden panorama")
+	}
+	rates := res.Rates()
+	var sum float64
+	for _, r := range rates {
+		sum += r
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("outcome rates sum to %v", sum)
+	}
+	path := filepath.Join(t.TempDir(), "pano.pgm")
+	if err := vsresil.SavePGM(path, res.GoldenImage); err != nil {
+		t.Fatalf("SavePGM: %v", err)
+	}
+}
+
+// TestFacadeAlgorithms checks the variant enumeration and naming.
+func TestFacadeAlgorithms(t *testing.T) {
+	algs := vsresil.Algorithms()
+	if len(algs) != 4 {
+		t.Fatalf("Algorithms() = %d", len(algs))
+	}
+	want := []string{"VS", "VS_RFD", "VS_KDS", "VS_SM"}
+	for i, a := range algs {
+		if a.String() != want[i] {
+			t.Errorf("algorithm %d = %s, want %s", i, a, want[i])
+		}
+	}
+}
+
+// TestFacadePresets checks the re-exported presets and inputs.
+func TestFacadePresets(t *testing.T) {
+	if vsresil.PaperScale().Frames != 1000 {
+		t.Error("paper scale frames")
+	}
+	p := vsresil.TestScale()
+	p.Frames = 4
+	if got := vsresil.Input1(p).Len(); got != 4 {
+		t.Errorf("Input1 length %d", got)
+	}
+	if got := vsresil.Input2(p).Len(); got != 4 {
+		t.Errorf("Input2 length %d", got)
+	}
+	_ = vsresil.BenchScale()
+}
+
+// TestFacadeOutcomeConstants pins the re-exported outcome order to the
+// paper's taxonomy.
+func TestFacadeOutcomeConstants(t *testing.T) {
+	if vsresil.OutcomeMask.String() != "Mask" ||
+		vsresil.OutcomeCrash.String() != "Crash" ||
+		vsresil.OutcomeSDC.String() != "SDC" ||
+		vsresil.OutcomeHang.String() != "Hang" {
+		t.Error("outcome naming mismatch")
+	}
+	if vsresil.GPR.String() != "GPR" || vsresil.FPR.String() != "FPR" {
+		t.Error("register class naming mismatch")
+	}
+}
