@@ -1,0 +1,40 @@
+# Developer entry points. `make check` is the full gate the CI (and
+# every PR) must pass: formatting, vet, build, and the test suite under
+# the race detector.
+
+GO ?= go
+
+.PHONY: all check fmt vet build test race bench clean
+
+all: check
+
+check: fmt vet build race
+
+# fmt fails if any file is not gofmt-clean (prints the offenders).
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiment harnesses run reduced-scale campaigns that are still
+# heavy under the race detector, so the race gate needs more than the
+# default 10m package timeout.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+clean:
+	$(GO) clean ./...
+	rm -f vsd.journal

@@ -150,20 +150,30 @@ func BenchmarkPipelineInstrumented(b *testing.B) {
 }
 
 // BenchmarkCampaignThroughput measures fault-injection trials per
-// second on the smallest meaningful workload.
+// second on the smallest meaningful workload — the capacity-planning
+// number for sizing vsd campaign jobs (also exported live at
+// /metrics as vsd_trials_per_sec).
 func BenchmarkCampaignThroughput(b *testing.B) {
 	p := virat.TestScale()
 	p.Frames = 8
 	frames := virat.Input2(p).Frames()
 	app := vs.New(vs.DefaultConfig(vs.AlgVS), len(frames))
+	const trialsPerCampaign = 20
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := fault.RunCampaign(context.Background(), fault.Config{
-			Trials: 20, Class: fault.GPR, Region: fault.RAny, Seed: uint64(i),
-		}, app.RunEncoded(frames)); err != nil {
+		res, err := fault.RunCampaign(context.Background(), fault.Config{
+			Trials: trialsPerCampaign, Class: fault.GPR, Region: fault.RAny, Seed: uint64(i),
+		}, app.RunEncoded(frames))
+		if err != nil {
 			b.Fatal(err)
 		}
+		if res.Completed != trialsPerCampaign {
+			b.Fatalf("campaign completed %d/%d trials", res.Completed, trialsPerCampaign)
+		}
 	}
+	b.StopTimer()
+	trials := float64(b.N) * trialsPerCampaign
+	b.ReportMetric(trials/b.Elapsed().Seconds(), "trials/s")
 }
 
 // BenchmarkAblationBlendModes compares the two canvas blend modes'

@@ -9,11 +9,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"vsresil/internal/fault"
@@ -76,7 +78,10 @@ func run() error {
 		return err
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT/SIGTERM cancel the campaign context: in-flight trials
+	// finish, the partial outcome table is printed, and the process
+	// exits cleanly instead of being killed mid-trial.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	vframes := seq.Frames()
@@ -99,10 +104,15 @@ func run() error {
 		Workers:        *workers,
 		KeepSDCOutputs: *sdcEDs,
 	}, app.RunEncoded(vframes))
-	if err != nil {
+	interrupted := err != nil && errors.Is(err, context.Canceled) && res != nil
+	if err != nil && !interrupted {
 		return err
 	}
 	elapsed := time.Since(start)
+	completed := res.Completed
+	if interrupted {
+		fmt.Printf("interrupted: %d/%d trials completed, reporting partial results\n", completed, *trials)
+	}
 
 	fmt.Printf("golden run: %d taps in site space, %d total steps\n", res.TotalTaps, res.GoldenSteps)
 	fmt.Printf("%-8s %8s %8s\n", "outcome", "count", "rate")
@@ -118,7 +128,7 @@ func run() error {
 		res.RegHist.ChiSquareUniform(), fault.NumRegisters-1)
 	fmt.Printf("rate-curve knee: ~%d injections\n", res.Curve.Knee(0.02))
 	fmt.Printf("campaign wall time: %s (%.1f trials/s)\n",
-		elapsed.Round(time.Millisecond), float64(*trials)/elapsed.Seconds())
+		elapsed.Round(time.Millisecond), float64(completed)/elapsed.Seconds())
 
 	if *sdcEDs {
 		golden, gox, goy, err := stitch.DecodePrimary(res.GoldenOutput)

@@ -10,11 +10,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"vsresil/internal/experiments"
@@ -58,26 +60,32 @@ func run() error {
 	o.Workers = *workers
 	o.ImageDir = *images
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT/SIGTERM cancel the experiment context so long campaign
+	// runs stop at a trial boundary instead of dying mid-trial.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	want := strings.ToLower(*fig)
 	ran := 0
-	for _, e := range allExperiments() {
-		if want != "all" && want != e.name {
+	for _, e := range experiments.Registry() {
+		if want != "all" && !strings.EqualFold(want, e.Name) {
 			continue
 		}
 		// Ablations are opt-in: they study this reproduction's modeling
 		// knobs, not the paper's figures.
-		if want == "all" && strings.HasPrefix(e.name, "ablation") {
+		if want == "all" && e.Ablation {
 			continue
 		}
 		ran++
 		start := time.Now()
-		if err := e.run(ctx, o, os.Stdout); err != nil {
-			return fmt.Errorf("fig %s: %w", e.name, err)
+		if err := e.Run(ctx, o, os.Stdout); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Printf("[fig %s interrupted after %s]\n", e.Name, time.Since(start).Round(time.Millisecond))
+				return nil
+			}
+			return fmt.Errorf("fig %s: %w", e.Name, err)
 		}
-		fmt.Printf("[fig %s done in %s]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[fig %s done in %s]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
 	}
 	if ran == 0 {
 		return fmt.Errorf("unknown figure %q", *fig)
@@ -99,104 +107,5 @@ func optionsFor(scale string) (experiments.Options, error) {
 		return experiments.PaperOptions(), nil
 	default:
 		return experiments.Options{}, fmt.Errorf("unknown scale %q (want small, bench or paper)", scale)
-	}
-}
-
-// experiment binds a figure name to its runner.
-type experiment struct {
-	name string
-	run  func(ctx context.Context, o experiments.Options, out *os.File) error
-}
-
-func allExperiments() []experiment {
-	return []experiment{
-		{"5", func(_ context.Context, o experiments.Options, out *os.File) error {
-			r, err := experiments.Fig5(o)
-			if err != nil {
-				return err
-			}
-			r.Write(out, o)
-			return nil
-		}},
-		{"6", func(_ context.Context, o experiments.Options, out *os.File) error {
-			r, err := experiments.Fig6(o)
-			if err != nil {
-				return err
-			}
-			r.Write(out, o)
-			return nil
-		}},
-		{"8", func(_ context.Context, o experiments.Options, out *os.File) error {
-			r, err := experiments.Fig8(o)
-			if err != nil {
-				return err
-			}
-			r.Write(out, o)
-			return nil
-		}},
-		{"9", func(ctx context.Context, o experiments.Options, out *os.File) error {
-			r, err := experiments.Fig9(ctx, o)
-			if err != nil {
-				return err
-			}
-			r.Write(out, o)
-			return nil
-		}},
-		{"10", func(ctx context.Context, o experiments.Options, out *os.File) error {
-			r, err := experiments.Fig10(ctx, o)
-			if err != nil {
-				return err
-			}
-			r.Write(out, o)
-			return nil
-		}},
-		{"11a", func(ctx context.Context, o experiments.Options, out *os.File) error {
-			r, err := experiments.Fig11a(ctx, o)
-			if err != nil {
-				return err
-			}
-			r.Write(out, o)
-			return nil
-		}},
-		{"11b", func(ctx context.Context, o experiments.Options, out *os.File) error {
-			r, err := experiments.Fig11b(ctx, o)
-			if err != nil {
-				return err
-			}
-			r.Write(out, o)
-			return nil
-		}},
-		{"12", func(ctx context.Context, o experiments.Options, out *os.File) error {
-			r, err := experiments.Fig12(ctx, o)
-			if err != nil {
-				return err
-			}
-			r.Write(out, o)
-			return nil
-		}},
-		{"13", func(_ context.Context, o experiments.Options, out *os.File) error {
-			r, err := experiments.Fig13(o)
-			if err != nil {
-				return err
-			}
-			r.Write(out, o)
-			return nil
-		}},
-		{"ablation-window", func(ctx context.Context, o experiments.Options, out *os.File) error {
-			r, err := experiments.AblationWindow(ctx, o, nil)
-			if err != nil {
-				return err
-			}
-			r.Write(out, o)
-			return nil
-		}},
-		{"ablation-blend", func(ctx context.Context, o experiments.Options, out *os.File) error {
-			r, err := experiments.AblationBlend(ctx, o)
-			if err != nil {
-				return err
-			}
-			r.Write(out, o)
-			return nil
-		}},
 	}
 }

@@ -1,0 +1,83 @@
+// Command vsd is the video-summarization daemon: a job-queue service
+// that runs summarization requests, fault-injection campaigns and
+// paper-figure experiments over HTTP.
+//
+// Usage:
+//
+//	vsd -addr :8080 -workers 2 -journal vsd.journal
+//
+// Submit work with POST /v1/jobs, poll GET /v1/jobs/{id}, fetch
+// GET /v1/jobs/{id}/result; see the README's "Running the daemon"
+// section for curl examples. SIGINT/SIGTERM drain the queue: running
+// campaigns checkpoint their completed trials to the journal and the
+// next start resumes them.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vsresil/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		workers    = flag.Int("workers", 2, "concurrent job executors")
+		journal    = flag.String("journal", "vsd.journal", "job journal path (\"\" = in-memory only)")
+		checkpoint = flag.Int("checkpoint-every", 25, "campaign trials per journal checkpoint batch")
+		grace      = flag.Duration("grace", 10*time.Second, "shutdown drain budget")
+	)
+	flag.Parse()
+
+	svc, err := service.New(service.Config{
+		Workers:         *workers,
+		JournalPath:     *journal,
+		CheckpointEvery: *checkpoint,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	fmt.Printf("vsd: listening on %s (workers=%d, journal=%q)\n", *addr, *workers, *journal)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("vsd: draining (running campaigns checkpoint to the journal)")
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	srv.Shutdown(shutdownCtx)
+	if err := svc.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("vsd: drained cleanly")
+	return nil
+}

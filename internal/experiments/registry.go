@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Experiment binds a figure name to its runner. The runner regenerates
+// the figure's data at the given scale and prints the result to w.
+type Experiment struct {
+	Name string
+	// Ablation marks this reproduction's modeling-knob studies, which
+	// "run all" skips because they are not the paper's figures.
+	Ablation bool
+	Run      func(ctx context.Context, o Options, w io.Writer) error
+}
+
+// Registry returns every experiment in presentation order. Both
+// cmd/experiments and the vsd service dispatch through it, so a figure
+// added here is immediately reachable from the CLI and the job API.
+func Registry() []Experiment {
+	return []Experiment{
+		{Name: "5", Run: func(_ context.Context, o Options, w io.Writer) error {
+			r, err := Fig5(o)
+			if err != nil {
+				return err
+			}
+			r.Write(w, o)
+			return nil
+		}},
+		{Name: "6", Run: func(_ context.Context, o Options, w io.Writer) error {
+			r, err := Fig6(o)
+			if err != nil {
+				return err
+			}
+			r.Write(w, o)
+			return nil
+		}},
+		{Name: "8", Run: func(_ context.Context, o Options, w io.Writer) error {
+			r, err := Fig8(o)
+			if err != nil {
+				return err
+			}
+			r.Write(w, o)
+			return nil
+		}},
+		{Name: "9", Run: func(ctx context.Context, o Options, w io.Writer) error {
+			r, err := Fig9(ctx, o)
+			if err != nil {
+				return err
+			}
+			r.Write(w, o)
+			return nil
+		}},
+		{Name: "10", Run: func(ctx context.Context, o Options, w io.Writer) error {
+			r, err := Fig10(ctx, o)
+			if err != nil {
+				return err
+			}
+			r.Write(w, o)
+			return nil
+		}},
+		{Name: "11a", Run: func(ctx context.Context, o Options, w io.Writer) error {
+			r, err := Fig11a(ctx, o)
+			if err != nil {
+				return err
+			}
+			r.Write(w, o)
+			return nil
+		}},
+		{Name: "11b", Run: func(ctx context.Context, o Options, w io.Writer) error {
+			r, err := Fig11b(ctx, o)
+			if err != nil {
+				return err
+			}
+			r.Write(w, o)
+			return nil
+		}},
+		{Name: "12", Run: func(ctx context.Context, o Options, w io.Writer) error {
+			r, err := Fig12(ctx, o)
+			if err != nil {
+				return err
+			}
+			r.Write(w, o)
+			return nil
+		}},
+		{Name: "13", Run: func(_ context.Context, o Options, w io.Writer) error {
+			r, err := Fig13(o)
+			if err != nil {
+				return err
+			}
+			r.Write(w, o)
+			return nil
+		}},
+		{Name: "ablation-window", Ablation: true, Run: func(ctx context.Context, o Options, w io.Writer) error {
+			r, err := AblationWindow(ctx, o, nil)
+			if err != nil {
+				return err
+			}
+			r.Write(w, o)
+			return nil
+		}},
+		{Name: "ablation-blend", Ablation: true, Run: func(ctx context.Context, o Options, w io.Writer) error {
+			r, err := AblationBlend(ctx, o)
+			if err != nil {
+				return err
+			}
+			r.Write(w, o)
+			return nil
+		}},
+	}
+}
+
+// Lookup finds an experiment by figure name (case-insensitive).
+func Lookup(name string) (Experiment, error) {
+	for _, e := range Registry() {
+		if strings.EqualFold(e.Name, name) {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown figure %q", name)
+}

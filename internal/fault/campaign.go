@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -109,6 +110,40 @@ type Config struct {
 	// CheckpointEvery controls the rate-curve snapshot interval
 	// (0 = Trials/20, for Fig 9a).
 	CheckpointEvery int
+	// MaxSDCOutputs caps how many SDC outputs KeepSDCOutputs retains
+	// (<= 0 = unlimited). Long campaigns otherwise hold every corrupted
+	// panorama in memory at once. When the cap is hit, further SDC
+	// trials are counted but their output bytes are dropped; which
+	// outputs are kept follows trial completion order, so under
+	// Workers > 1 the retained subset (not the counts) may vary.
+	MaxSDCOutputs int
+	// OnSDCOutput, if set, streams each SDC trial's corrupted output to
+	// the callback instead of retaining it in Result.Trials, bounding
+	// campaign memory regardless of SDC count. Invocations are
+	// serialized by the campaign. KeepSDCOutputs and MaxSDCOutputs are
+	// ignored when OnSDCOutput is set.
+	OnSDCOutput func(rec TrialRecord, output []byte)
+	// OnTrial, if set, is called once per completed injection with the
+	// trial's checkpoint record, in completion order (not index order).
+	// Invocations are serialized by the campaign. A service journals
+	// these records so an interrupted campaign can be resumed.
+	OnTrial func(rec TrialRecord)
+	// Resume holds checkpoint records of trials already completed by a
+	// previous, interrupted run of the same Config (same Trials, Class,
+	// Region, Window and Seed). Those trials are merged into the Result
+	// without re-executing; because plans are pre-generated from Seed
+	// and each trial is deterministic in its plan, a resumed campaign
+	// reaches the same outcome counts as an uninterrupted one.
+	Resume []TrialRecord
+}
+
+// TrialRecord is the compact, serializable summary of one completed
+// trial — everything a checkpoint needs to avoid rerunning it.
+type TrialRecord struct {
+	Index   int       `json:"i"`
+	Outcome Outcome   `json:"o"`
+	Crash   CrashKind `json:"c,omitempty"`
+	Landed  bool      `json:"l,omitempty"`
 }
 
 // Trial records one injection experiment.
@@ -124,6 +159,11 @@ type Trial struct {
 	Output []byte
 	// Err records the crash error for CrashAbort/CrashSegv trials.
 	Err error
+}
+
+// Record returns the trial's checkpoint record for position index.
+func (t *Trial) Record(index int) TrialRecord {
+	return TrialRecord{Index: index, Outcome: t.Outcome, Crash: t.Crash, Landed: t.Landed}
 }
 
 // Result aggregates a campaign.
@@ -145,8 +185,14 @@ type Result struct {
 	BitHist *stats.Histogram
 	// Curve tracks outcome rates vs injection count (Fig 9a).
 	Curve *stats.RateCurve
-	// Trials holds every trial in plan order.
+	// Trials holds every trial in plan order. When the campaign was
+	// interrupted, entries for never-executed plans are zero-valued;
+	// Completed says how many entries are real.
 	Trials []Trial
+	// Completed is the number of trials actually executed or resumed
+	// from a checkpoint; it equals Config.Trials unless the campaign
+	// was interrupted.
+	Completed int
 }
 
 // Rate returns the fraction of trials with the given outcome.
@@ -189,6 +235,12 @@ var ErrNoTaps = errors.New("fault: golden run executed no taps for the requested
 // app: one golden run to size the site space and capture the reference
 // output, then cfg.Trials injected runs on a bounded worker pool.
 // Trials are deterministic in cfg.Seed regardless of worker count.
+//
+// If ctx is canceled mid-campaign, RunCampaign stops feeding new
+// trials, waits for in-flight ones, and returns the partial Result
+// (Completed < Config.Trials) together with a non-nil error wrapping
+// ctx's error — callers that want partial data on interruption must
+// check the Result even when err != nil.
 func RunCampaign(ctx context.Context, cfg Config, app App) (*Result, error) {
 	if cfg.Trials <= 0 {
 		return nil, fmt.Errorf("fault: non-positive trial count %d", cfg.Trials)
@@ -251,6 +303,32 @@ func RunCampaign(ctx context.Context, cfg Config, app App) (*Result, error) {
 	}
 
 	trials := make([]Trial, cfg.Trials)
+	done := make([]bool, cfg.Trials)
+	for _, rec := range cfg.Resume {
+		if rec.Index < 0 || rec.Index >= cfg.Trials {
+			return nil, fmt.Errorf("fault: resume record index %d out of range [0,%d)", rec.Index, cfg.Trials)
+		}
+		if rec.Outcome >= NumOutcomes {
+			return nil, fmt.Errorf("fault: resume record %d has invalid outcome %d", rec.Index, rec.Outcome)
+		}
+		if done[rec.Index] {
+			return nil, fmt.Errorf("fault: duplicate resume record for trial %d", rec.Index)
+		}
+		trials[rec.Index] = Trial{
+			Plan:    plans[rec.Index],
+			Outcome: rec.Outcome,
+			Crash:   rec.Crash,
+			Landed:  rec.Landed,
+		}
+		done[rec.Index] = true
+	}
+
+	// keepOutput makes runTrial hold on to SDC output bytes; the
+	// post-trial hook below decides whether they are streamed, retained
+	// or dropped once the cap is reached.
+	keepOutput := cfg.KeepSDCOutputs || cfg.OnSDCOutput != nil
+	var hookMu sync.Mutex // serializes OnTrial/OnSDCOutput and cap accounting
+	keptSDC := 0
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -258,13 +336,34 @@ func RunCampaign(ctx context.Context, cfg Config, app App) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				trials[i] = runTrial(plans[i], budget, goldenOut, cfg.KeepSDCOutputs, app)
+				t := runTrial(plans[i], budget, goldenOut, keepOutput, app)
+				hookMu.Lock()
+				if t.Output != nil {
+					switch {
+					case cfg.OnSDCOutput != nil:
+						cfg.OnSDCOutput(t.Record(i), t.Output)
+						t.Output = nil
+					case cfg.MaxSDCOutputs > 0 && keptSDC >= cfg.MaxSDCOutputs:
+						t.Output = nil
+					default:
+						keptSDC++
+					}
+				}
+				trials[i] = t
+				done[i] = true
+				if cfg.OnTrial != nil {
+					cfg.OnTrial(t.Record(i))
+				}
+				hookMu.Unlock()
 			}
 		}()
 	}
 	var ctxErr error
 feed:
 	for i := 0; i < cfg.Trials; i++ {
+		if done[i] {
+			continue // completed by the run this one resumes
+		}
 		select {
 		case idxCh <- i:
 		case <-ctx.Done():
@@ -274,9 +373,6 @@ feed:
 	}
 	close(idxCh)
 	wg.Wait()
-	if ctxErr != nil {
-		return nil, fmt.Errorf("fault: campaign interrupted: %w", ctxErr)
-	}
 
 	every := cfg.CheckpointEvery
 	if every <= 0 {
@@ -296,7 +392,12 @@ feed:
 		Curve:        stats.NewRateCurve(int(NumOutcomes), every),
 		Trials:       trials,
 	}
-	for _, t := range trials {
+	for i := range trials {
+		if !done[i] {
+			continue
+		}
+		t := &trials[i]
+		res.Completed++
 		res.Counts[t.Outcome]++
 		if t.Outcome == OutcomeCrash {
 			res.CrashCounts[t.Crash]++
@@ -305,11 +406,16 @@ feed:
 		res.BitHist.Add(t.Plan.Bit)
 		res.Curve.Add(int(t.Outcome))
 	}
+	if ctxErr != nil {
+		return res, fmt.Errorf("fault: campaign interrupted after %d/%d trials: %w", res.Completed, cfg.Trials, ctxErr)
+	}
 	return res, nil
 }
 
 // runTrial executes one injection and classifies it, recovering panics
-// the way AFI's Fault Monitor catches signals.
+// the way AFI's Fault Monitor catches signals. keepSDC retains the
+// corrupted output bytes of SDC trials for the caller to stream or
+// store.
 func runTrial(plan Plan, budget uint64, goldenOut []byte, keepSDC bool, app App) (trial Trial) {
 	trial.Plan = plan
 	m := NewWithPlan(plan, budget)
@@ -342,7 +448,7 @@ func runTrial(plan Plan, budget uint64, goldenOut []byte, keepSDC bool, app App)
 		trial.Err = err
 		return trial
 	}
-	if bytesEqual(out, goldenOut) {
+	if bytes.Equal(out, goldenOut) {
 		trial.Outcome = OutcomeMask
 		return trial
 	}
@@ -351,16 +457,4 @@ func runTrial(plan Plan, budget uint64, goldenOut []byte, keepSDC bool, app App)
 		trial.Output = out
 	}
 	return trial
-}
-
-func bytesEqual(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -150,7 +151,7 @@ func TestCampaignKeepsSDCOutputs(t *testing.T) {
 		t.Errorf("kept %d SDC outputs, want %d", len(outs), res.Counts[OutcomeSDC])
 	}
 	for _, o := range outs {
-		if bytesEqual(o, res.GoldenOutput) {
+		if bytes.Equal(o, res.GoldenOutput) {
 			t.Error("SDC output equals golden output")
 		}
 	}
@@ -259,6 +260,133 @@ func TestCampaignContextCancellation(t *testing.T) {
 	_, err := RunCampaign(ctx, Config{Trials: 10000, Class: GPR, Region: RAny, Seed: 1}, toyApp)
 	if err == nil {
 		t.Error("expected cancellation error")
+	}
+}
+
+func TestCampaignResumeMatchesColdRun(t *testing.T) {
+	cfg := Config{Trials: 300, Class: GPR, Region: RAny, Seed: 21, Workers: 4}
+	cold, err := RunCampaign(context.Background(), cfg, toyApp)
+	if err != nil {
+		t.Fatalf("cold campaign: %v", err)
+	}
+	// Pretend the first half completed before an interruption and
+	// resume from its checkpoint records.
+	var recs []TrialRecord
+	for i := 0; i < cfg.Trials/2; i++ {
+		recs = append(recs, cold.Trials[i].Record(i))
+	}
+	rcfg := cfg
+	rcfg.Resume = recs
+	executed := 0
+	rcfg.OnTrial = func(rec TrialRecord) { executed++ }
+	warm, err := RunCampaign(context.Background(), rcfg, toyApp)
+	if err != nil {
+		t.Fatalf("resumed campaign: %v", err)
+	}
+	if warm.Completed != cfg.Trials {
+		t.Errorf("resumed Completed = %d, want %d", warm.Completed, cfg.Trials)
+	}
+	if executed != cfg.Trials-len(recs) {
+		t.Errorf("resumed run executed %d trials, want %d", executed, cfg.Trials-len(recs))
+	}
+	if warm.Counts != cold.Counts {
+		t.Errorf("resumed counts %v differ from cold %v", warm.Counts, cold.Counts)
+	}
+	if warm.RegHist.ChiSquareUniform() != cold.RegHist.ChiSquareUniform() {
+		t.Error("resumed register histogram differs from cold run")
+	}
+}
+
+func TestCampaignResumeRejectsBadRecords(t *testing.T) {
+	base := Config{Trials: 10, Class: GPR, Region: RAny, Seed: 1}
+	for name, recs := range map[string][]TrialRecord{
+		"out-of-range": {{Index: 10}},
+		"negative":     {{Index: -1}},
+		"bad-outcome":  {{Index: 0, Outcome: NumOutcomes}},
+		"duplicate":    {{Index: 3}, {Index: 3}},
+	} {
+		cfg := base
+		cfg.Resume = recs
+		if _, err := RunCampaign(context.Background(), cfg, toyApp); err == nil {
+			t.Errorf("%s: expected resume validation error", name)
+		}
+	}
+}
+
+func TestCampaignPartialResultOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const stopAfter = 40
+	seen := 0
+	cfg := Config{
+		Trials: 5000, Class: GPR, Region: RAny, Seed: 17, Workers: 2,
+		OnTrial: func(TrialRecord) {
+			seen++
+			if seen == stopAfter {
+				cancel()
+			}
+		},
+	}
+	res, err := RunCampaign(ctx, cfg, toyApp)
+	if err == nil {
+		t.Fatal("expected interruption error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("expected partial result on cancellation")
+	}
+	if res.Completed < stopAfter || res.Completed >= cfg.Trials {
+		t.Errorf("partial Completed = %d, want in [%d,%d)", res.Completed, stopAfter, cfg.Trials)
+	}
+	total := 0
+	for _, c := range res.Counts {
+		total += c
+	}
+	if total != res.Completed {
+		t.Errorf("counts sum %d != Completed %d", total, res.Completed)
+	}
+}
+
+func TestCampaignSDCOutputCap(t *testing.T) {
+	res, err := RunCampaign(context.Background(), Config{
+		Trials: 500, Class: GPR, Region: RAny, Seed: 3, Workers: 4,
+		KeepSDCOutputs: true, MaxSDCOutputs: 2,
+	}, toyApp)
+	if err != nil {
+		t.Fatalf("RunCampaign: %v", err)
+	}
+	if res.Counts[OutcomeSDC] <= 2 {
+		t.Skipf("only %d SDCs; cap not exercised", res.Counts[OutcomeSDC])
+	}
+	if got := len(res.SDCOutputs()); got != 2 {
+		t.Errorf("retained %d SDC outputs, want cap of 2", got)
+	}
+}
+
+func TestCampaignStreamsSDCOutputs(t *testing.T) {
+	streamed := 0
+	res, err := RunCampaign(context.Background(), Config{
+		Trials: 500, Class: GPR, Region: RAny, Seed: 3, Workers: 4,
+		OnSDCOutput: func(rec TrialRecord, out []byte) {
+			streamed++
+			if rec.Outcome != OutcomeSDC {
+				t.Errorf("streamed record outcome = %v, want SDC", rec.Outcome)
+			}
+			if len(out) == 0 {
+				t.Error("streamed empty SDC output")
+			}
+		},
+	}, toyApp)
+	if err != nil {
+		t.Fatalf("RunCampaign: %v", err)
+	}
+	if streamed != res.Counts[OutcomeSDC] {
+		t.Errorf("streamed %d outputs, want %d", streamed, res.Counts[OutcomeSDC])
+	}
+	if kept := len(res.SDCOutputs()); kept != 0 {
+		t.Errorf("retained %d outputs despite streaming callback", kept)
 	}
 }
 

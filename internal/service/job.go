@@ -1,0 +1,352 @@
+// Package service is the job-queue layer that turns the vsresil
+// engines into a long-running daemon: summarization requests and
+// fault-injection campaigns are submitted as jobs over HTTP (cmd/vsd),
+// executed on a bounded worker pool with priorities and per-job
+// cancellation, and journaled so queued and half-finished work
+// survives a restart.
+//
+// The design mirrors how production injection services (AVFI-style
+// campaign managers) treat campaigns: as long-running, interruptible
+// workloads that checkpoint per-trial progress. A campaign job streams
+// fault.TrialRecord checkpoints into the journal; after a crash or
+// SIGTERM the replayed job resumes from the completed-trial set and —
+// because campaign plans are pre-generated from the seed — finishes
+// with the same outcome counts an uninterrupted run produces.
+package service
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"vsresil/internal/fault"
+	"vsresil/internal/imgproc"
+	"vsresil/internal/virat"
+	"vsresil/internal/vs"
+)
+
+// JobType identifies what a job runs.
+type JobType string
+
+// The three job types: one application run, one fault-injection
+// campaign, one paper-figure experiment.
+const (
+	JobSummarize  JobType = "summarize"
+	JobCampaign   JobType = "campaign"
+	JobExperiment JobType = "experiment"
+)
+
+// JobState is a job's lifecycle state.
+type JobState string
+
+// Lifecycle: queued -> running -> done | failed | canceled. A running
+// job interrupted by daemon shutdown is re-queued from the journal on
+// the next start.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// terminal reports whether a state is final.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// InputSpec selects the frames a job runs on: a generated VIRAT-style
+// preset, or PGM frames uploaded inline.
+type InputSpec struct {
+	// Input selects the synthetic sequence: 1 (fast-panning, scene
+	// cuts) or 2 (slow, smooth). Default 1.
+	Input int `json:"input,omitempty"`
+	// Scale is the preset size: "test", "bench" or "paper" (default
+	// "test").
+	Scale string `json:"scale,omitempty"`
+	// Frames overrides the preset's frame count (0 = preset default).
+	Frames int `json:"frames,omitempty"`
+	// FramesPGM uploads the input directly: base64-encoded binary PGM
+	// (P5) frames, all the same size. When set, Input/Scale/Frames are
+	// ignored.
+	FramesPGM []string `json:"frames_pgm,omitempty"`
+}
+
+// SummarizeSpec parameterizes a summarize job: one end-to-end run of a
+// VS variant producing a panorama set.
+type SummarizeSpec struct {
+	InputSpec
+	// Algorithm is the VS variant name: VS, VS_RFD, VS_KDS or VS_SM
+	// (default VS).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Seed fixes the variant's stochastic choices.
+	Seed uint64 `json:"seed,omitempty"`
+	// IncludePGM returns the primary panorama as base64 PGM in the
+	// result (off by default: panoramas can be large).
+	IncludePGM bool `json:"include_pgm,omitempty"`
+}
+
+// CampaignSpec parameterizes a fault-injection campaign job.
+type CampaignSpec struct {
+	InputSpec
+	// Algorithm is the VS variant under test (default VS).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Class is the register class: "gpr" or "fpr" (default gpr).
+	Class string `json:"class,omitempty"`
+	// Region restricts injections to one function ("" = whole app).
+	Region string `json:"region,omitempty"`
+	// Trials is the number of injections (required, > 0).
+	Trials int `json:"trials"`
+	// Seed makes the campaign reproducible (and resumable).
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers bounds the campaign's own trial parallelism
+	// (0 = GOMAXPROCS). The service worker running the job is a
+	// separate, coarser bound.
+	Workers int `json:"workers,omitempty"`
+}
+
+// ExperimentSpec parameterizes a paper-figure experiment job.
+type ExperimentSpec struct {
+	// Fig is the figure name from the experiments registry
+	// (5, 6, 8, 9, 10, 11a, 11b, 12, 13, ablation-*).
+	Fig string `json:"fig"`
+	// Scale is "small", "bench" or "paper" (default small).
+	Scale string `json:"scale,omitempty"`
+	// Frames/Trials/QualityTrials override the scale's sizes when > 0.
+	Frames        int    `json:"frames,omitempty"`
+	Trials        int    `json:"trials,omitempty"`
+	QualityTrials int    `json:"quality_trials,omitempty"`
+	Seed          uint64 `json:"seed,omitempty"`
+	Workers       int    `json:"workers,omitempty"`
+}
+
+// JobSpec is the wire form of a job submission: a type, a scheduling
+// priority and exactly one populated spec matching the type.
+type JobSpec struct {
+	Type JobType `json:"type"`
+	// Priority orders the queue: higher runs first; equal priorities
+	// run FIFO. Default 0.
+	Priority   int             `json:"priority,omitempty"`
+	Summarize  *SummarizeSpec  `json:"summarize,omitempty"`
+	Campaign   *CampaignSpec   `json:"campaign,omitempty"`
+	Experiment *ExperimentSpec `json:"experiment,omitempty"`
+}
+
+// Validate checks the spec without running anything.
+func (s *JobSpec) Validate() error {
+	switch s.Type {
+	case JobSummarize:
+		if s.Summarize == nil {
+			return fmt.Errorf("service: summarize job missing \"summarize\" spec")
+		}
+		if _, err := parseAlgorithm(s.Summarize.Algorithm); err != nil {
+			return err
+		}
+		return s.Summarize.InputSpec.validate()
+	case JobCampaign:
+		c := s.Campaign
+		if c == nil {
+			return fmt.Errorf("service: campaign job missing \"campaign\" spec")
+		}
+		if c.Trials <= 0 {
+			return fmt.Errorf("service: campaign needs trials > 0, got %d", c.Trials)
+		}
+		if _, err := parseAlgorithm(c.Algorithm); err != nil {
+			return err
+		}
+		if _, err := parseClass(c.Class); err != nil {
+			return err
+		}
+		if _, err := parseRegion(c.Region); err != nil {
+			return err
+		}
+		return c.InputSpec.validate()
+	case JobExperiment:
+		if s.Experiment == nil {
+			return fmt.Errorf("service: experiment job missing \"experiment\" spec")
+		}
+		if s.Experiment.Fig == "" {
+			return fmt.Errorf("service: experiment needs a \"fig\" name")
+		}
+		if _, err := parseExperimentScale(s.Experiment.Scale); err != nil {
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("service: unknown job type %q (want summarize, campaign or experiment)", s.Type)
+	}
+}
+
+func (in *InputSpec) validate() error {
+	if len(in.FramesPGM) > 0 {
+		return nil // decoded (and errors reported) at run time
+	}
+	if in.Input != 0 && in.Input != 1 && in.Input != 2 {
+		return fmt.Errorf("service: input must be 1 or 2, got %d", in.Input)
+	}
+	if _, err := parsePreset(in.Scale, in.Frames); err != nil {
+		return err
+	}
+	return nil
+}
+
+// frames materializes the input frames (and a label for results).
+func (in *InputSpec) frames() ([]*imgproc.Gray, string, error) {
+	if len(in.FramesPGM) > 0 {
+		frames := make([]*imgproc.Gray, 0, len(in.FramesPGM))
+		for i, enc := range in.FramesPGM {
+			raw, err := base64.StdEncoding.DecodeString(enc)
+			if err != nil {
+				return nil, "", fmt.Errorf("service: frame %d: invalid base64: %w", i, err)
+			}
+			g, err := imgproc.ReadPGM(bytes.NewReader(raw))
+			if err != nil {
+				return nil, "", fmt.Errorf("service: frame %d: %w", i, err)
+			}
+			frames = append(frames, g)
+		}
+		return frames, fmt.Sprintf("uploaded[%d]", len(frames)), nil
+	}
+	preset, err := parsePreset(in.Scale, in.Frames)
+	if err != nil {
+		return nil, "", err
+	}
+	input := in.Input
+	if input == 0 {
+		input = 1
+	}
+	var seq *virat.Sequence
+	if input == 1 {
+		seq = virat.Input1(preset)
+	} else {
+		seq = virat.Input2(preset)
+	}
+	return seq.Frames(), seq.Name, nil
+}
+
+// Progress reports how far a job has advanced. For campaigns, Done
+// counts completed trials; for the other types it is coarse (0 or 1
+// unit of work).
+type Progress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Job is the service's unit of work. All mutable fields are guarded by
+// the owning Service's mutex.
+type Job struct {
+	ID         string
+	seq        int // enqueue order, tie-breaker within a priority
+	Spec       JobSpec
+	State      JobState
+	Err        string
+	EnqueuedAt time.Time
+	StartedAt  time.Time
+	FinishedAt time.Time
+	Progress   Progress
+	// Result is the job's serialized result, set once State == done.
+	Result json.RawMessage
+
+	// resume accumulates campaign checkpoint records (journal replayed
+	// plus live), handed to fault.Config.Resume on (re)start.
+	resume []fault.TrialRecord
+	// cancel aborts the running job's context; non-nil only while
+	// running.
+	cancel func()
+	// cancelRequested distinguishes a user DELETE (-> canceled) from a
+	// shutdown interruption (-> requeued on next start).
+	cancelRequested bool
+}
+
+// JobStatus is the wire form of a job's state.
+type JobStatus struct {
+	ID         string     `json:"id"`
+	Type       JobType    `json:"type"`
+	State      JobState   `json:"state"`
+	Priority   int        `json:"priority"`
+	Progress   Progress   `json:"progress"`
+	Error      string     `json:"error,omitempty"`
+	EnqueuedAt time.Time  `json:"enqueued_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+}
+
+// status snapshots the job; caller holds the service mutex.
+func (j *Job) status() JobStatus {
+	st := JobStatus{
+		ID:         j.ID,
+		Type:       j.Spec.Type,
+		State:      j.State,
+		Priority:   j.Spec.Priority,
+		Progress:   j.Progress,
+		Error:      j.Err,
+		EnqueuedAt: j.EnqueuedAt,
+	}
+	if !j.StartedAt.IsZero() {
+		t := j.StartedAt
+		st.StartedAt = &t
+	}
+	if !j.FinishedAt.IsZero() {
+		t := j.FinishedAt
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// --- spec parsing helpers -------------------------------------------
+
+func parseAlgorithm(name string) (vs.Algorithm, error) {
+	if name == "" {
+		return vs.AlgVS, nil
+	}
+	for _, a := range vs.Algorithms() {
+		if strings.EqualFold(a.String(), name) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("service: unknown algorithm %q (want VS, VS_RFD, VS_KDS or VS_SM)", name)
+}
+
+func parseClass(name string) (fault.Class, error) {
+	switch strings.ToLower(name) {
+	case "", "gpr":
+		return fault.GPR, nil
+	case "fpr":
+		return fault.FPR, nil
+	default:
+		return 0, fmt.Errorf("service: unknown register class %q (want gpr or fpr)", name)
+	}
+}
+
+func parseRegion(name string) (fault.Region, error) {
+	if name == "" {
+		return fault.RAny, nil
+	}
+	for r := fault.Region(0); r < fault.NumRegions; r++ {
+		if strings.EqualFold(r.String(), name) {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("service: unknown region %q", name)
+}
+
+func parsePreset(scale string, frames int) (virat.Preset, error) {
+	var p virat.Preset
+	switch strings.ToLower(scale) {
+	case "", "test":
+		p = virat.TestScale()
+	case "bench":
+		p = virat.BenchScale()
+	case "paper":
+		p = virat.PaperScale()
+	default:
+		return p, fmt.Errorf("service: unknown scale %q (want test, bench or paper)", scale)
+	}
+	if frames > 0 {
+		p.Frames = frames
+	}
+	return p, nil
+}

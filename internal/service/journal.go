@@ -1,0 +1,231 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"vsresil/internal/fault"
+)
+
+// The journal is an append-only JSONL file that makes the job queue
+// durable. Every record is one line:
+//
+//	{"op":"job","job":{"id":"j1","seq":1,"spec":{...},"enqueued_at":...}}
+//	{"op":"state","id":"j1","state":"running"}
+//	{"op":"trials","id":"j1","recs":[{"i":0,"o":2},...]}   (campaign checkpoint batch)
+//	{"op":"result","id":"j1","result":{...}}
+//
+// Replay folds the records per job: terminal jobs keep their state and
+// result; queued and running jobs are re-enqueued, a running campaign
+// carrying its accumulated trial records so fault.RunCampaign resumes
+// instead of rerunning completed trials. On startup the journal is
+// compacted: the folded state is rewritten to a fresh file, dropping
+// superseded records.
+type journalRecord struct {
+	Op     string              `json:"op"`
+	ID     string              `json:"id,omitempty"`
+	Job    *journalJob         `json:"job,omitempty"`
+	State  JobState            `json:"state,omitempty"`
+	Err    string              `json:"err,omitempty"`
+	Recs   []fault.TrialRecord `json:"recs,omitempty"`
+	Result json.RawMessage     `json:"result,omitempty"`
+}
+
+type journalJob struct {
+	ID         string    `json:"id"`
+	Seq        int       `json:"seq"`
+	Spec       JobSpec   `json:"spec"`
+	EnqueuedAt time.Time `json:"enqueued_at"`
+}
+
+// journal serializes appends; a nil *journal (no JournalPath) is a
+// valid no-op sink so in-memory services skip every durability branch.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: open journal: %w", err)
+	}
+	return &journal{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+func (jl *journal) append(rec journalRecord) {
+	if jl == nil {
+		return
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return // unserializable record: skip rather than wedge the queue
+	}
+	jl.w.Write(data)
+	jl.w.WriteByte('\n')
+	jl.w.Flush()
+}
+
+func (jl *journal) job(j *Job) {
+	jl.append(journalRecord{Op: "job", Job: &journalJob{
+		ID: j.ID, Seq: j.seq, Spec: j.Spec, EnqueuedAt: j.EnqueuedAt,
+	}})
+}
+
+func (jl *journal) state(id string, s JobState, errMsg string) {
+	jl.append(journalRecord{Op: "state", ID: id, State: s, Err: errMsg})
+}
+
+func (jl *journal) trials(id string, recs []fault.TrialRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	jl.append(journalRecord{Op: "trials", ID: id, Recs: recs})
+}
+
+func (jl *journal) result(id string, result json.RawMessage) {
+	jl.append(journalRecord{Op: "result", ID: id, Result: result})
+}
+
+func (jl *journal) close() error {
+	if jl == nil {
+		return nil
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return nil
+	}
+	jl.w.Flush()
+	err := jl.f.Close()
+	jl.f = nil
+	return err
+}
+
+// replayJournal reads a journal and folds it into jobs, ordered by
+// enqueue sequence. Missing file means a fresh start. Malformed lines
+// (e.g. a torn final write from a crash) are skipped, not fatal.
+func replayJournal(path string) (jobs []*Job, maxSeq int, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("service: open journal for replay: %w", err)
+	}
+	defer f.Close()
+
+	byID := make(map[string]*Job)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20) // results can be large lines
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if json.Unmarshal(line, &rec) != nil {
+			continue
+		}
+		switch rec.Op {
+		case "job":
+			if rec.Job == nil || rec.Job.ID == "" {
+				continue
+			}
+			if rec.Job.Spec.Validate() != nil {
+				continue
+			}
+			j := &Job{
+				ID:         rec.Job.ID,
+				seq:        rec.Job.Seq,
+				Spec:       rec.Job.Spec,
+				State:      StateQueued,
+				EnqueuedAt: rec.Job.EnqueuedAt,
+			}
+			byID[j.ID] = j
+		case "state":
+			if j := byID[rec.ID]; j != nil {
+				j.State = rec.State
+				j.Err = rec.Err
+			}
+		case "trials":
+			if j := byID[rec.ID]; j != nil {
+				j.resume = append(j.resume, rec.Recs...)
+			}
+		case "result":
+			if j := byID[rec.ID]; j != nil {
+				j.Result = rec.Result
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("service: replay journal: %w", err)
+	}
+
+	for _, j := range byID {
+		if j.seq > maxSeq {
+			maxSeq = j.seq
+		}
+		// Interrupted work resumes: a job caught running when the
+		// daemon died goes back to the queue, keeping its checkpoint.
+		if !j.State.terminal() {
+			j.State = StateQueued
+		}
+		if j.Spec.Type == JobCampaign && j.Spec.Campaign != nil {
+			j.Progress = Progress{Done: len(j.resume), Total: j.Spec.Campaign.Trials}
+		} else {
+			j.Progress = Progress{Total: 1}
+			if j.State == StateDone {
+				j.Progress.Done = 1
+			}
+		}
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].seq < jobs[b].seq })
+	return jobs, maxSeq, nil
+}
+
+// compactJournal rewrites the folded job state to path atomically,
+// dropping superseded records accumulated before the restart.
+func compactJournal(path string, jobs []*Job) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("service: compact journal: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, j := range jobs {
+		enc.Encode(journalRecord{Op: "job", Job: &journalJob{
+			ID: j.ID, Seq: j.seq, Spec: j.Spec, EnqueuedAt: j.EnqueuedAt,
+		}})
+		if len(j.resume) > 0 {
+			enc.Encode(journalRecord{Op: "trials", ID: j.ID, Recs: j.resume})
+		}
+		if j.State != StateQueued {
+			enc.Encode(journalRecord{Op: "state", ID: j.ID, State: j.State, Err: j.Err})
+		}
+		if j.Result != nil {
+			enc.Encode(journalRecord{Op: "result", ID: j.ID, Result: j.Result})
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("service: compact journal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("service: compact journal: %w", err)
+	}
+	return os.Rename(tmp, path)
+}

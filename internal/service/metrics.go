@@ -1,0 +1,167 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the per-job-type latency histogram upper bounds,
+// in seconds. Summarize jobs land in the sub-second buckets at test
+// scale; paper-scale campaigns reach the tail.
+var latencyBuckets = []float64{0.01, 0.05, 0.25, 1, 5, 30, 120, 600}
+
+// trialWindow is the sliding window the trials/sec gauge is computed
+// over.
+const trialWindow = 10 * time.Second
+
+// metrics collects the service's counters and gauges. Everything is
+// guarded by one mutex: update rates are bounded by trial batches and
+// job completions, far below contention range.
+type metrics struct {
+	mu    sync.Mutex
+	start time.Time
+
+	jobsAccepted  uint64
+	jobsCompleted map[JobType]map[JobState]uint64
+	trialsTotal   uint64
+
+	// trialTimes is a per-second ring of trial completions backing the
+	// trials/sec gauge.
+	trialTimes [16]struct {
+		sec int64
+		n   uint64
+	}
+
+	// latency histograms: per type, count per bucket (+ overflow) and
+	// a running sum for the mean.
+	latCounts map[JobType][]uint64
+	latSum    map[JobType]float64
+	latN      map[JobType]uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:         time.Now(),
+		jobsCompleted: make(map[JobType]map[JobState]uint64),
+		latCounts:     make(map[JobType][]uint64),
+		latSum:        make(map[JobType]float64),
+		latN:          make(map[JobType]uint64),
+	}
+}
+
+func (m *metrics) jobAccepted() {
+	m.mu.Lock()
+	m.jobsAccepted++
+	m.mu.Unlock()
+}
+
+// trialsDone records n completed injection trials.
+func (m *metrics) trialsDone(n int) {
+	now := time.Now()
+	m.mu.Lock()
+	m.trialsTotal += uint64(n)
+	sec := now.Unix()
+	slot := &m.trialTimes[sec%int64(len(m.trialTimes))]
+	if slot.sec != sec {
+		slot.sec = sec
+		slot.n = 0
+	}
+	slot.n += uint64(n)
+	m.mu.Unlock()
+}
+
+// trialsPerSec returns the trial completion rate over the sliding
+// window; caller holds mu.
+func (m *metrics) trialsPerSec(now time.Time) float64 {
+	cutoff := now.Add(-trialWindow).Unix()
+	var n uint64
+	for _, s := range m.trialTimes {
+		if s.sec > cutoff {
+			n += s.n
+		}
+	}
+	return float64(n) / trialWindow.Seconds()
+}
+
+// jobFinished records a job reaching a terminal (or requeued) state
+// with its run latency.
+func (m *metrics) jobFinished(t JobType, s JobState, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byState := m.jobsCompleted[t]
+	if byState == nil {
+		byState = make(map[JobState]uint64)
+		m.jobsCompleted[t] = byState
+	}
+	byState[s]++
+	counts := m.latCounts[t]
+	if counts == nil {
+		counts = make([]uint64, len(latencyBuckets)+1)
+		m.latCounts[t] = counts
+	}
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, sec)
+	counts[i]++
+	m.latSum[t] += sec
+	m.latN[t]++
+}
+
+// gauges is the point-in-time queue state the Service supplies to the
+// /metrics rendering.
+type gauges struct {
+	queueDepth  int
+	workers     int
+	busyWorkers int
+	jobsByState map[JobState]int
+}
+
+// write renders the Prometheus-style text exposition.
+func (m *metrics) write(w io.Writer, g gauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	fmt.Fprintf(w, "# vsd job-queue service metrics\n")
+	fmt.Fprintf(w, "vsd_uptime_seconds %.1f\n", now.Sub(m.start).Seconds())
+	fmt.Fprintf(w, "vsd_jobs_accepted_total %d\n", m.jobsAccepted)
+	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		fmt.Fprintf(w, "vsd_jobs{state=%q} %d\n", st, g.jobsByState[st])
+	}
+	types := make([]JobType, 0, len(m.jobsCompleted))
+	for t := range m.jobsCompleted {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(a, b int) bool { return types[a] < types[b] })
+	for _, t := range types {
+		states := make([]JobState, 0, len(m.jobsCompleted[t]))
+		for s := range m.jobsCompleted[t] {
+			states = append(states, s)
+		}
+		sort.Slice(states, func(a, b int) bool { return states[a] < states[b] })
+		for _, s := range states {
+			fmt.Fprintf(w, "vsd_jobs_finished_total{type=%q,state=%q} %d\n", t, s, m.jobsCompleted[t][s])
+		}
+	}
+	fmt.Fprintf(w, "vsd_queue_depth %d\n", g.queueDepth)
+	fmt.Fprintf(w, "vsd_workers %d\n", g.workers)
+	fmt.Fprintf(w, "vsd_workers_busy %d\n", g.busyWorkers)
+	if g.workers > 0 {
+		fmt.Fprintf(w, "vsd_worker_utilization %.3f\n", float64(g.busyWorkers)/float64(g.workers))
+	}
+	fmt.Fprintf(w, "vsd_trials_total %d\n", m.trialsTotal)
+	fmt.Fprintf(w, "vsd_trials_per_sec %.1f\n", m.trialsPerSec(now))
+	for _, t := range types {
+		counts := m.latCounts[t]
+		var cum uint64
+		for i, ub := range latencyBuckets {
+			cum += counts[i]
+			fmt.Fprintf(w, "vsd_job_latency_seconds_bucket{type=%q,le=%q} %d\n", t, fmt.Sprintf("%g", ub), cum)
+		}
+		cum += counts[len(latencyBuckets)]
+		fmt.Fprintf(w, "vsd_job_latency_seconds_bucket{type=%q,le=\"+Inf\"} %d\n", t, cum)
+		fmt.Fprintf(w, "vsd_job_latency_seconds_sum{type=%q} %.3f\n", t, m.latSum[t])
+		fmt.Fprintf(w, "vsd_job_latency_seconds_count{type=%q} %d\n", t, m.latN[t])
+	}
+}

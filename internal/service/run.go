@@ -1,0 +1,357 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"vsresil/internal/experiments"
+	"vsresil/internal/fault"
+	"vsresil/internal/imgproc"
+	"vsresil/internal/stitch"
+	"vsresil/internal/virat"
+	"vsresil/internal/vs"
+)
+
+// SummarizeResult is the wire form of a summarize job's output.
+type SummarizeResult struct {
+	Algorithm string `json:"algorithm"`
+	Input     string `json:"input"`
+	Frames    int    `json:"frames"`
+	// Dropped is how many input frames VS_RFD removed.
+	Dropped int `json:"dropped"`
+	// Discarded counts frames rejected for insufficient matches.
+	Discarded int            `json:"discarded"`
+	Panoramas []PanoramaInfo `json:"panoramas"`
+	// PrimaryPGM is the primary panorama as base64 PGM when the spec
+	// set include_pgm.
+	PrimaryPGM string  `json:"primary_pgm,omitempty"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+}
+
+// PanoramaInfo describes one rendered mini-panorama.
+type PanoramaInfo struct {
+	W      int `json:"w"`
+	H      int `json:"h"`
+	MinX   int `json:"min_x"`
+	MinY   int `json:"min_y"`
+	Frames int `json:"frames"`
+}
+
+// CampaignResult is the wire form of a campaign job's output.
+type CampaignResult struct {
+	Algorithm   string             `json:"algorithm"`
+	Input       string             `json:"input"`
+	Class       string             `json:"class"`
+	Region      string             `json:"region"`
+	Trials      int                `json:"trials"`
+	Completed   int                `json:"completed"`
+	Resumed     int                `json:"resumed"`
+	TotalTaps   uint64             `json:"total_taps"`
+	GoldenSteps uint64             `json:"golden_steps"`
+	Counts      map[string]int     `json:"counts"`
+	Rates       map[string]float64 `json:"rates"`
+	CrashSplit  map[string]int     `json:"crash_split,omitempty"`
+	ElapsedSec  float64            `json:"elapsed_sec"`
+	// TrialsPerSec covers only the trials this process executed.
+	TrialsPerSec float64 `json:"trials_per_sec"`
+}
+
+// ExperimentResult is the wire form of an experiment job's output: the
+// figure harness's textual report.
+type ExperimentResult struct {
+	Fig        string  `json:"fig"`
+	Text       string  `json:"text"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+}
+
+// execute runs a job to a terminal state (or back to queued on
+// shutdown interruption) and records journal + metrics.
+func (s *Service) execute(ctx context.Context, j *Job) {
+	started := time.Now()
+	var result any
+	var err error
+	switch j.Spec.Type {
+	case JobSummarize:
+		result, err = s.runSummarize(ctx, j)
+	case JobCampaign:
+		result, err = s.runCampaign(ctx, j)
+	case JobExperiment:
+		result, err = s.runExperiment(ctx, j)
+	default:
+		err = fmt.Errorf("service: unknown job type %q", j.Spec.Type)
+	}
+	elapsed := time.Since(started)
+
+	var raw json.RawMessage
+	if err == nil {
+		raw, err = json.Marshal(result)
+	}
+
+	s.mu.Lock()
+	j.cancel = nil
+	canceled := err != nil && errors.Is(err, context.Canceled)
+	state := StateDone
+	switch {
+	case canceled && j.cancelRequested:
+		state = StateCanceled
+		j.Err = "canceled"
+	case canceled:
+		// Shutdown interruption: the journaled state stays "running",
+		// so the next start re-queues the job and resumes it.
+		state = StateQueued
+	case err != nil:
+		state = StateFailed
+		j.Err = err.Error()
+	default:
+		j.Result = raw
+		j.Progress.Done = j.Progress.Total
+	}
+	j.State = state
+	if state.terminal() {
+		j.FinishedAt = time.Now().UTC()
+	}
+	errMsg := j.Err
+	s.mu.Unlock()
+
+	if state.terminal() {
+		if raw != nil && state == StateDone {
+			s.journal.result(j.ID, raw)
+		}
+		s.journal.state(j.ID, state, errMsg)
+	}
+	s.metrics.jobFinished(j.Spec.Type, state, elapsed)
+}
+
+// runSummarize executes one VS variant run. The pipeline itself is not
+// context-aware, so it runs in a goroutine and cancellation abandons
+// the run (the goroutine finishes and its result is discarded).
+func (s *Service) runSummarize(ctx context.Context, j *Job) (any, error) {
+	spec := j.Spec.Summarize
+	started := time.Now()
+	alg, err := parseAlgorithm(spec.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	frames, inputName, err := spec.InputSpec.frames()
+	if err != nil {
+		return nil, err
+	}
+	cfg := vs.DefaultConfig(alg)
+	cfg.Seed = spec.Seed
+	app := vs.New(cfg, len(frames))
+
+	type runOut struct {
+		res *stitch.Result
+		err error
+	}
+	ch := make(chan runOut, 1)
+	go func() {
+		res, err := app.Run(frames, nil)
+		ch <- runOut{res, err}
+	}()
+	var out runOut
+	select {
+	case out = <-ch:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if out.err != nil {
+		return nil, out.err
+	}
+
+	sr := &SummarizeResult{
+		Algorithm:  alg.String(),
+		Input:      inputName,
+		Frames:     len(frames),
+		Dropped:    app.Dropped(),
+		Discarded:  out.res.Discarded,
+		ElapsedSec: time.Since(started).Seconds(),
+	}
+	for _, p := range out.res.Panoramas {
+		sr.Panoramas = append(sr.Panoramas, PanoramaInfo{
+			W: p.Image.W, H: p.Image.H,
+			MinX: p.Bounds.MinX, MinY: p.Bounds.MinY,
+			Frames: p.Frames,
+		})
+	}
+	if spec.IncludePGM {
+		if prim := out.res.Primary(); prim != nil {
+			var buf bytes.Buffer
+			if err := imgproc.WritePGM(&buf, prim.Image); err != nil {
+				return nil, err
+			}
+			sr.PrimaryPGM = base64.StdEncoding.EncodeToString(buf.Bytes())
+		}
+	}
+	return sr, nil
+}
+
+// runCampaign executes a fault-injection campaign with per-trial
+// checkpointing: every completed trial updates the job's progress and
+// is journaled in batches of CheckpointEvery, so an interrupted
+// campaign resumes instead of restarting.
+func (s *Service) runCampaign(ctx context.Context, j *Job) (any, error) {
+	spec := j.Spec.Campaign
+	started := time.Now()
+	alg, err := parseAlgorithm(spec.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	class, err := parseClass(spec.Class)
+	if err != nil {
+		return nil, err
+	}
+	region, err := parseRegion(spec.Region)
+	if err != nil {
+		return nil, err
+	}
+	frames, inputName, err := spec.InputSpec.frames()
+	if err != nil {
+		return nil, err
+	}
+	vcfg := vs.DefaultConfig(alg)
+	vcfg.Seed = spec.Seed
+	app := vs.New(vcfg, len(frames))
+
+	s.mu.Lock()
+	resume := append([]fault.TrialRecord(nil), j.resume...)
+	j.Progress = Progress{Done: len(resume), Total: spec.Trials}
+	s.mu.Unlock()
+
+	// pendingRecs batches checkpoint records between journal writes;
+	// guarded by s.mu alongside the job's progress.
+	var pendingRecs []fault.TrialRecord
+	executed := 0
+	flush := func(recs []fault.TrialRecord) {
+		s.journal.trials(j.ID, recs)
+	}
+	onTrial := func(rec fault.TrialRecord) {
+		s.mu.Lock()
+		j.Progress.Done++
+		j.resume = append(j.resume, rec)
+		pendingRecs = append(pendingRecs, rec)
+		executed++
+		var batch []fault.TrialRecord
+		if len(pendingRecs) >= s.cfg.CheckpointEvery {
+			batch = pendingRecs
+			pendingRecs = nil
+		}
+		s.mu.Unlock()
+		s.metrics.trialsDone(1)
+		if batch != nil {
+			flush(batch)
+		}
+	}
+
+	res, err := fault.RunCampaign(ctx, fault.Config{
+		Trials:  spec.Trials,
+		Class:   class,
+		Region:  region,
+		Seed:    spec.Seed,
+		Workers: spec.Workers,
+		OnTrial: onTrial,
+		Resume:  resume,
+	}, app.RunEncoded(frames))
+
+	// Flush the tail of the checkpoint batch whether the campaign
+	// finished, failed or was interrupted — these records are exactly
+	// what the next start resumes from.
+	s.mu.Lock()
+	tail := pendingRecs
+	pendingRecs = nil
+	s.mu.Unlock()
+	flush(tail)
+	if err != nil {
+		return nil, err
+	}
+
+	elapsed := time.Since(started)
+	cr := &CampaignResult{
+		Algorithm:   alg.String(),
+		Input:       inputName,
+		Class:       class.String(),
+		Region:      region.String(),
+		Trials:      spec.Trials,
+		Completed:   res.Completed,
+		Resumed:     len(resume),
+		TotalTaps:   res.TotalTaps,
+		GoldenSteps: res.GoldenSteps,
+		Counts:      make(map[string]int),
+		Rates:       make(map[string]float64),
+		ElapsedSec:  elapsed.Seconds(),
+	}
+	for o := fault.Outcome(0); o < fault.NumOutcomes; o++ {
+		cr.Counts[o.String()] = res.Counts[o]
+		cr.Rates[o.String()] = res.Rate(o)
+	}
+	if len(res.CrashCounts) > 0 {
+		cr.CrashSplit = make(map[string]int)
+		for k, n := range res.CrashCounts {
+			cr.CrashSplit[k.String()] = n
+		}
+	}
+	if executed > 0 && elapsed > 0 {
+		cr.TrialsPerSec = float64(executed) / elapsed.Seconds()
+	}
+	return cr, nil
+}
+
+// runExperiment regenerates one paper figure and captures its report.
+func (s *Service) runExperiment(ctx context.Context, j *Job) (any, error) {
+	spec := j.Spec.Experiment
+	started := time.Now()
+	exp, err := experiments.Lookup(spec.Fig)
+	if err != nil {
+		return nil, err
+	}
+	o, err := parseExperimentScale(spec.Scale)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Frames > 0 {
+		o.Preset.Frames = spec.Frames
+	}
+	if spec.Trials > 0 {
+		o.Trials = spec.Trials
+	}
+	if spec.QualityTrials > 0 {
+		o.QualityTrials = spec.QualityTrials
+	}
+	if spec.Seed != 0 {
+		o.Seed = spec.Seed
+	}
+	o.Workers = spec.Workers
+
+	var buf bytes.Buffer
+	if err := exp.Run(ctx, o, &buf); err != nil {
+		return nil, err
+	}
+	return &ExperimentResult{
+		Fig:        exp.Name,
+		Text:       buf.String(),
+		ElapsedSec: time.Since(started).Seconds(),
+	}, nil
+}
+
+func parseExperimentScale(scale string) (experiments.Options, error) {
+	switch strings.ToLower(scale) {
+	case "", "small":
+		return experiments.DefaultOptions(), nil
+	case "bench":
+		o := experiments.DefaultOptions()
+		o.Preset = virat.BenchScale()
+		o.Trials = 1000
+		o.QualityTrials = 2000
+		return o, nil
+	case "paper":
+		return experiments.PaperOptions(), nil
+	default:
+		return experiments.Options{}, fmt.Errorf("service: unknown experiment scale %q (want small, bench or paper)", scale)
+	}
+}

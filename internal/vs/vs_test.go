@@ -1,11 +1,14 @@
 package vs
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"vsresil/internal/fault"
 	"vsresil/internal/imgproc"
+	"vsresil/internal/stats"
+	"vsresil/internal/stitch"
 	"vsresil/internal/virat"
 )
 
@@ -235,6 +238,94 @@ func TestSelectDropsSmallInputs(t *testing.T) {
 	d := selectDrops(5, 0.99, 1)
 	if len(d) > 4 {
 		t.Error("dropped too many frames")
+	}
+}
+
+// frameCountPlan builds a plan that lands exactly on the first GPR tap
+// of a run — decode's m.Cnt(len(frames)) — flipping the given bit. Tap
+// index 0 attributes to register Hash64(0)%32, so targeting that
+// register with Site 0 and window 1 makes the hit deterministic.
+func frameCountPlan(bit int) fault.Plan {
+	return fault.Plan{
+		Class:  fault.GPR,
+		Reg:    int(stats.Hash64(0) % fault.NumRegisters),
+		Bit:    bit,
+		Site:   0,
+		Window: 1,
+		Region: fault.RAny,
+	}
+}
+
+func TestDecodeRejectsNegativeFrameCount(t *testing.T) {
+	frames := inputFrames(t, 4)
+	app := New(DefaultConfig(AlgVS), len(frames))
+	m := fault.NewWithPlan(frameCountPlan(63), 0)
+	_, err := app.Run(frames, m)
+	if err == nil {
+		t.Fatal("sign-flipped frame count was accepted")
+	}
+	if !strings.Contains(err.Error(), "corrupted frame count") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if !m.Injected() {
+		t.Error("plan did not land on the frame-count tap")
+	}
+}
+
+func TestDecodeRejectsInflatedFrameCount(t *testing.T) {
+	frames := inputFrames(t, 4)
+	app := New(DefaultConfig(AlgVS), len(frames))
+	// Bit 8 turns 4 into 260: far past the input length, but positive,
+	// exercising the upper bound of the validity check.
+	m := fault.NewWithPlan(frameCountPlan(8), 0)
+	_, err := app.Run(frames, m)
+	if err == nil {
+		t.Fatal("inflated frame count was accepted")
+	}
+	if !strings.Contains(err.Error(), "corrupted frame count") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestDecodeLowBitFlipIsNotAnError(t *testing.T) {
+	// Bit 2 turns the count 4 into 0: still within [0, len], so the
+	// decode itself succeeds but retains nothing.
+	frames := inputFrames(t, 4)
+	app := New(DefaultConfig(AlgVS), len(frames))
+	m := fault.NewWithPlan(frameCountPlan(2), 0)
+	_, err := app.Run(frames, m)
+	// Count 0 passes decode validation and must surface as the
+	// stitcher's empty-input error, not the corruption error.
+	if !errors.Is(err, stitch.ErrNoFrames) {
+		t.Errorf("got %v, want stitch.ErrNoFrames", err)
+	}
+}
+
+func TestRunEncodedPropagatesDecodeError(t *testing.T) {
+	frames := inputFrames(t, 4)
+	app := New(DefaultConfig(AlgVS), len(frames))
+	runApp := app.RunEncoded(frames)
+	out, err := runApp(fault.NewWithPlan(frameCountPlan(63), 0))
+	if err == nil {
+		t.Fatal("RunEncoded swallowed the decode error")
+	}
+	if out != nil {
+		t.Error("RunEncoded returned output alongside an error")
+	}
+}
+
+func TestRunEncodedRejectsWrongFrameCount(t *testing.T) {
+	frames := inputFrames(t, 4)
+	app := New(DefaultConfig(AlgVS), 8)
+	if _, err := app.RunEncoded(frames)(fault.New()); err == nil {
+		t.Error("RunEncoded accepted a mismatched frame count")
+	}
+}
+
+func TestRunEmptyInputIsNoFrames(t *testing.T) {
+	app := New(DefaultConfig(AlgVS), 0)
+	if _, err := app.Run(nil, nil); !errors.Is(err, stitch.ErrNoFrames) {
+		t.Errorf("empty input: got %v, want stitch.ErrNoFrames", err)
 	}
 }
 
