@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench clean
+.PHONY: all check fmt vet build test race bench bench-json clean
 
 all: check
 
@@ -35,6 +35,17 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# bench-json refreshes the "after" section of the committed benchmark
+# ledger from the root-package perf benchmarks (the figure harness
+# benchmarks are too slow to gate on) and fails on any >10% regression
+# against the ledger's "before" section.
+BENCH_JSON ?= BENCH_2.json
+bench-json:
+	$(GO) test -run '^$$' -bench 'Pipeline|CampaignThroughput' -benchtime 3x . | tee bench.out
+	$(GO) run ./cmd/benchdiff parse -label after -in bench.out -out $(BENCH_JSON)
+	$(GO) run ./cmd/benchdiff compare -in $(BENCH_JSON)
+	rm -f bench.out
+
 clean:
 	$(GO) clean ./...
-	rm -f vsd.journal
+	rm -f vsd.journal bench.out

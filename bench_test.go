@@ -37,6 +37,7 @@ func BenchmarkFig5PerformanceEnergy(b *testing.B) {
 // BenchmarkFig6Panoramas regenerates the Fig 6 output panoramas.
 func BenchmarkFig6Panoramas(b *testing.B) {
 	o := benchOptions()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig6(o); err != nil {
 			b.Fatal(err)
@@ -47,6 +48,7 @@ func BenchmarkFig6Panoramas(b *testing.B) {
 // BenchmarkFig8Profile regenerates the Fig 8 execution profile.
 func BenchmarkFig8Profile(b *testing.B) {
 	o := benchOptions()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig8(o); err != nil {
 			b.Fatal(err)
@@ -58,6 +60,7 @@ func BenchmarkFig8Profile(b *testing.B) {
 // rates vs injections, register histogram).
 func BenchmarkFig9Coverage(b *testing.B) {
 	o := benchOptions()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig9(context.Background(), o); err != nil {
 			b.Fatal(err)
@@ -69,6 +72,7 @@ func BenchmarkFig9Coverage(b *testing.B) {
 // resiliency profile of the baseline VS.
 func BenchmarkFig10ResiliencyProfile(b *testing.B) {
 	o := benchOptions()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig10(context.Background(), o); err != nil {
 			b.Fatal(err)
@@ -80,6 +84,7 @@ func BenchmarkFig10ResiliencyProfile(b *testing.B) {
 // resiliency comparison.
 func BenchmarkFig11aApproxResiliency(b *testing.B) {
 	o := benchOptions()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig11a(context.Background(), o); err != nil {
 			b.Fatal(err)
@@ -91,6 +96,7 @@ func BenchmarkFig11aApproxResiliency(b *testing.B) {
 // hot-function case study.
 func BenchmarkFig11bHotFunction(b *testing.B) {
 	o := benchOptions()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig11b(context.Background(), o); err != nil {
 			b.Fatal(err)
@@ -101,6 +107,7 @@ func BenchmarkFig11bHotFunction(b *testing.B) {
 // BenchmarkFig12SDCQuality regenerates the Fig 12 ED distributions.
 func BenchmarkFig12SDCQuality(b *testing.B) {
 	o := benchOptions()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig12(context.Background(), o); err != nil {
 			b.Fatal(err)
@@ -112,6 +119,7 @@ func BenchmarkFig12SDCQuality(b *testing.B) {
 // comparison.
 func BenchmarkFig13OutputComparison(b *testing.B) {
 	o := benchOptions()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig13(o); err != nil {
 			b.Fatal(err)
@@ -159,10 +167,18 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	frames := virat.Input2(p).Frames()
 	app := vs.New(vs.DefaultConfig(vs.AlgVS), len(frames))
 	const trialsPerCampaign = 20
+	// The golden run is workload state, not campaign work: capture it
+	// once up front, as the service and experiment harnesses do.
+	golden, err := fault.CaptureGolden(app.RunEncoded(frames))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := fault.RunCampaign(context.Background(), fault.Config{
 			Trials: trialsPerCampaign, Class: fault.GPR, Region: fault.RAny, Seed: uint64(i),
+			Golden: golden,
 		}, app.RunEncoded(frames))
 		if err != nil {
 			b.Fatal(err)

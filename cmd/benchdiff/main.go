@@ -1,0 +1,208 @@
+// Command benchdiff turns `go test -bench` output into a committed
+// JSON ledger and gates performance regressions against it.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x . > bench.out
+//	benchdiff parse -label after -in bench.out -out BENCH_2.json
+//	benchdiff compare -in BENCH_2.json -before before -after after
+//
+// parse merges one labeled section (e.g. "before", "after") into the
+// JSON file, preserving the other sections. compare exits nonzero when
+// any benchmark regressed by more than the threshold: ns/op, B/op and
+// allocs/op may not grow, and rate metrics such as trials/s may not
+// shrink.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func newFlagSet(name string) *flag.FlagSet {
+	return flag.NewFlagSet("benchdiff "+name, flag.ContinueOnError)
+}
+
+// Ledger is the JSON file layout: label -> benchmark -> unit -> value.
+type Ledger map[string]map[string]map[string]float64
+
+// lowerBetter units must not increase; higherBetter units must not
+// decrease. Units in neither set (e.g. modelled-instructions, which
+// counts work, not speed) are informational and never gate.
+var (
+	lowerBetter  = map[string]bool{"ns/op": true, "B/op": true, "allocs/op": true}
+	higherBetter = map[string]bool{"trials/s": true, "MB/s": true}
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: benchdiff parse|compare [flags]")
+	}
+	switch args[0] {
+	case "parse":
+		return runParse(args[1:])
+	case "compare":
+		return runCompare(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want parse or compare)", args[0])
+	}
+}
+
+func runParse(args []string) error {
+	fs := newFlagSet("parse")
+	label := fs.String("label", "after", "section to write the parsed results under")
+	in := fs.String("in", "", "benchmark output file (\"\" = stdin)")
+	out := fs.String("out", "BENCH_2.json", "JSON ledger to merge into")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	f := os.Stdin
+	if *in != "" {
+		var err error
+		if f, err = os.Open(*in); err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	section, err := parseBench(f)
+	if err != nil {
+		return err
+	}
+	if len(section) == 0 {
+		return fmt.Errorf("no Benchmark lines found in input")
+	}
+
+	ledger := Ledger{}
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &ledger); err != nil {
+			return fmt.Errorf("%s: %w", *out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	ledger[*label] = section
+
+	enc, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchdiff: wrote %d benchmarks to %s[%q]\n", len(section), *out, *label)
+	return nil
+}
+
+func runCompare(args []string) error {
+	fs := newFlagSet("compare")
+	in := fs.String("in", "BENCH_2.json", "JSON ledger to compare")
+	before := fs.String("before", "before", "baseline section label")
+	after := fs.String("after", "after", "candidate section label")
+	threshold := fs.Float64("threshold", 0.10, "allowed relative regression")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	raw, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	var ledger Ledger
+	if err := json.Unmarshal(raw, &ledger); err != nil {
+		return fmt.Errorf("%s: %w", *in, err)
+	}
+	base, ok := ledger[*before]
+	if !ok {
+		return fmt.Errorf("%s: no %q section", *in, *before)
+	}
+	cand, ok := ledger[*after]
+	if !ok {
+		return fmt.Errorf("%s: no %q section", *in, *after)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if _, ok := cand[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("%s: sections %q and %q share no benchmarks", *in, *before, *after)
+	}
+
+	regressions := 0
+	for _, name := range names {
+		for unit, b := range base[name] {
+			a, ok := cand[name][unit]
+			if !ok || b == 0 {
+				continue
+			}
+			var bad bool
+			switch {
+			case lowerBetter[unit]:
+				bad = a > b*(1+*threshold)
+			case higherBetter[unit]:
+				bad = a < b*(1-*threshold)
+			default:
+				continue
+			}
+			if bad {
+				regressions++
+				fmt.Printf("REGRESSION %-40s %-10s %.6g -> %.6g (%+.1f%%)\n",
+					name, unit, b, a, 100*(a-b)/b)
+			}
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d regression(s) beyond %.0f%%", regressions, *threshold*100)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within %.0f%% of %q\n", len(names), *threshold*100, *before)
+	return nil
+}
+
+// benchLine matches one `go test -bench` result line:
+// BenchmarkName[-procs] <iterations> <value> <unit> [<value> <unit>]...
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+(.*)$`)
+
+// parseBench extracts benchmark -> unit -> value from go test output.
+func parseBench(f *os.File) (map[string]map[string]float64, error) {
+	out := map[string]map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name, rest := m[1], strings.Fields(m[3])
+		vals := out[name]
+		if vals == nil {
+			vals = map[string]float64{}
+			out[name] = vals
+		}
+		for i := 0; i+1 < len(rest); i += 2 {
+			v, err := strconv.ParseFloat(rest[i], 64)
+			if err != nil {
+				continue
+			}
+			vals[rest[i+1]] = v
+		}
+	}
+	return out, sc.Err()
+}

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,6 +42,7 @@ func run() error {
 		journal    = flag.String("journal", "vsd.journal", "job journal path (\"\" = in-memory only)")
 		checkpoint = flag.Int("checkpoint-every", 25, "campaign trials per journal checkpoint batch")
 		grace      = flag.Duration("grace", 10*time.Second, "shutdown drain budget")
+		debugAddr  = flag.String("debug-addr", "", "pprof debug listen address, e.g. localhost:6060 (\"\" = disabled)")
 	)
 	flag.Parse()
 
@@ -51,6 +53,23 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+
+	// The profiler listens on its own mux and (typically loopback-only)
+	// address so /debug/pprof is never exposed on the service port.
+	if *debugAddr != "" {
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, debugMux); err != nil {
+				fmt.Fprintln(os.Stderr, "vsd: debug server:", err)
+			}
+		}()
+		fmt.Printf("vsd: pprof on http://%s/debug/pprof/\n", *debugAddr)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}

@@ -1,0 +1,126 @@
+// Campaign-level bit-exactness guards for the per-trial fast path:
+// the scanline warp kernel, the pooled trial arenas and the golden-run
+// cache must not change a single campaign observable — outcome counts,
+// crash kinds, coverage histograms, golden bytes or any per-trial
+// verdict — for a fixed seed.
+package vsresil_test
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"vsresil/internal/fastpath"
+	"vsresil/internal/fault"
+	"vsresil/internal/virat"
+	"vsresil/internal/vs"
+)
+
+// runGuardCampaign executes a fixed-seed campaign with the fast path
+// toggled as requested.
+func runGuardCampaign(t *testing.T, class fault.Class, fast bool, workers int, golden *fault.GoldenRun) *fault.Result {
+	t.Helper()
+	defer fastpath.SetEnabled(true)
+	fastpath.SetEnabled(fast)
+
+	p := virat.TestScale()
+	p.Frames = 8
+	frames := virat.Input2(p).Frames()
+	app := vs.New(vs.DefaultConfig(vs.AlgVS), len(frames))
+	res, err := fault.RunCampaign(context.Background(), fault.Config{
+		Trials:  40,
+		Class:   class,
+		Region:  fault.RAny,
+		Seed:    0x5EED5,
+		Workers: workers,
+		Golden:  golden,
+	}, app.RunEncoded(frames))
+	if err != nil {
+		t.Fatalf("campaign (class=%v fast=%v workers=%d): %v", class, fast, workers, err)
+	}
+	return res
+}
+
+// requireIdentical compares every campaign observable of two results.
+func requireIdentical(t *testing.T, label string, a, b *fault.Result) {
+	t.Helper()
+	if a.Counts != b.Counts {
+		t.Errorf("%s: outcome counts differ: %v vs %v", label, a.Counts, b.Counts)
+	}
+	if !reflect.DeepEqual(a.CrashCounts, b.CrashCounts) {
+		t.Errorf("%s: crash kinds differ: %v vs %v", label, a.CrashCounts, b.CrashCounts)
+	}
+	if !reflect.DeepEqual(a.RegHist.Counts, b.RegHist.Counts) {
+		t.Errorf("%s: register histograms differ", label)
+	}
+	if !reflect.DeepEqual(a.BitHist.Counts, b.BitHist.Counts) {
+		t.Errorf("%s: bit histograms differ", label)
+	}
+	if !bytes.Equal(a.GoldenOutput, b.GoldenOutput) {
+		t.Errorf("%s: golden output bytes differ (%d vs %d bytes)", label, len(a.GoldenOutput), len(b.GoldenOutput))
+	}
+	if a.GoldenSteps != b.GoldenSteps {
+		t.Errorf("%s: golden step counts differ: %d vs %d", label, a.GoldenSteps, b.GoldenSteps)
+	}
+	if a.TotalTaps != b.TotalTaps {
+		t.Errorf("%s: tap-space sizes differ: %d vs %d", label, a.TotalTaps, b.TotalTaps)
+	}
+	if len(a.Trials) != len(b.Trials) {
+		t.Fatalf("%s: trial counts differ: %d vs %d", label, len(a.Trials), len(b.Trials))
+	}
+	for i := range a.Trials {
+		ta, tb := a.Trials[i], b.Trials[i]
+		if ta.Outcome != tb.Outcome || ta.Crash != tb.Crash || ta.Landed != tb.Landed {
+			t.Errorf("%s: trial %d differs: (%v,%v,landed=%v) vs (%v,%v,landed=%v)",
+				label, i, ta.Outcome, ta.Crash, ta.Landed, tb.Outcome, tb.Crash, tb.Landed)
+		}
+	}
+}
+
+// TestCampaignFastpathEquivalence pins the whole per-trial fast path
+// (scanline warp, pooled arenas, precomputed tables) to the reference
+// semantics at campaign granularity, for both register classes.
+func TestCampaignFastpathEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign equivalence sweep is not -short")
+	}
+	for _, class := range []fault.Class{fault.GPR, fault.FPR} {
+		fast := runGuardCampaign(t, class, true, 1, nil)
+		ref := runGuardCampaign(t, class, false, 1, nil)
+		requireIdentical(t, "fastpath on vs off, class "+class.String(), fast, ref)
+	}
+}
+
+// TestCampaignWorkerEquivalence checks that trial parallelism does not
+// change results: pooled buffers migrating between worker goroutines
+// must stay invisible.
+func TestCampaignWorkerEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign equivalence sweep is not -short")
+	}
+	serial := runGuardCampaign(t, fault.GPR, true, 1, nil)
+	parallel := runGuardCampaign(t, fault.GPR, true, runtime.GOMAXPROCS(0), nil)
+	requireIdentical(t, "workers=1 vs GOMAXPROCS", serial, parallel)
+}
+
+// TestCampaignGoldenCacheEquivalence checks that supplying a
+// precomputed golden run is indistinguishable from letting the
+// campaign capture its own.
+func TestCampaignGoldenCacheEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign equivalence sweep is not -short")
+	}
+	p := virat.TestScale()
+	p.Frames = 8
+	frames := virat.Input2(p).Frames()
+	app := vs.New(vs.DefaultConfig(vs.AlgVS), len(frames))
+	golden, err := fault.CaptureGolden(app.RunEncoded(frames))
+	if err != nil {
+		t.Fatalf("CaptureGolden: %v", err)
+	}
+	cached := runGuardCampaign(t, fault.GPR, true, 1, golden)
+	fresh := runGuardCampaign(t, fault.GPR, true, 1, nil)
+	requireIdentical(t, "precomputed vs self-captured golden", cached, fresh)
+}

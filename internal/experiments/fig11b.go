@@ -33,8 +33,15 @@ func Fig11b(ctx context.Context, o Options) (*Fig11bResult, error) {
 	out := &Fig11bResult{}
 	regions := []fault.Region{fault.RWarpInvoker, fault.RRemapBilinear}
 
-	// Standalone WP benchmark.
+	// Standalone WP benchmark. One golden capture serves both
+	// region-scoped campaigns — the golden run is fault-free, so it is
+	// independent of the injection region.
 	bench := wp.Default(o.Preset)
+	wpApp := bench.App()
+	wpGolden, err := fault.CaptureGolden(wpApp)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: WP golden: %w", err)
+	}
 	for _, region := range regions {
 		res, err := fault.RunCampaign(ctx, fault.Config{
 			Trials:  o.Trials,
@@ -42,7 +49,8 @@ func Fig11b(ctx context.Context, o Options) (*Fig11bResult, error) {
 			Region:  region,
 			Seed:    o.Seed + uint64(region),
 			Workers: o.Workers,
-		}, bench.App())
+			Golden:  wpGolden,
+		}, wpApp)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: WP campaign %v: %w", region, err)
 		}

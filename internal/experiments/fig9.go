@@ -18,6 +18,10 @@ func campaignFor(ctx context.Context, o Options, alg vs.Algorithm, seq *virat.Se
 	cfg := vs.DefaultConfig(alg)
 	cfg.Seed = o.Seed
 	app := vs.New(cfg, len(frames))
+	golden, err := sharedGolden(goldenKey{alg: alg, input: seq.Name, preset: o.Preset, seed: o.Seed}, app, frames)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: golden %v/%s: %w", alg, seq.Name, err)
+	}
 	res, err := fault.RunCampaign(ctx, fault.Config{
 		Trials:         trials,
 		Class:          class,
@@ -25,6 +29,7 @@ func campaignFor(ctx context.Context, o Options, alg vs.Algorithm, seq *virat.Se
 		Seed:           o.Seed + uint64(alg)*101 + uint64(class)*7919,
 		Workers:        o.Workers,
 		KeepSDCOutputs: keepSDC,
+		Golden:         golden,
 	}, app.RunEncoded(frames))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: campaign %v/%s/%v: %w", alg, seq.Name, class, err)

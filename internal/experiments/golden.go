@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"sync"
+
+	"vsresil/internal/fault"
+	"vsresil/internal/imgproc"
+	"vsresil/internal/virat"
+	"vsresil/internal/vs"
+)
+
+// goldenKey identifies everything that determines a golden run: the
+// application configuration and the input it runs on. Campaign
+// parameters (class, region, trial count, campaign seed) deliberately
+// do not appear — the golden run is fault-free, so one capture is
+// valid for every campaign over the same app+input.
+type goldenKey struct {
+	alg    vs.Algorithm
+	input  string
+	preset virat.Preset
+	seed   uint64
+}
+
+// sharedGoldens caches golden runs across the figure harnesses: Fig 9
+// and Fig 10 reuse the VS golden per input across classes, Fig 11b
+// reuses it across regions, and Fig 12 reuses the Fig 11a captures
+// when run in the same process. The population is bounded by
+// algorithms x inputs x presets actually exercised (a handful), so no
+// eviction is needed.
+var (
+	goldenMu      sync.Mutex
+	sharedGoldens = map[goldenKey]*fault.GoldenRun{}
+)
+
+// sharedGolden returns the cached golden run for key, capturing it
+// with a fault-free execution of app on first use.
+func sharedGolden(key goldenKey, app *vs.App, frames []*imgproc.Gray) (*fault.GoldenRun, error) {
+	goldenMu.Lock()
+	g := sharedGoldens[key]
+	goldenMu.Unlock()
+	if g != nil {
+		return g, nil
+	}
+	g, err := fault.CaptureGolden(app.RunEncoded(frames))
+	if err != nil {
+		return nil, err
+	}
+	goldenMu.Lock()
+	if cached := sharedGoldens[key]; cached != nil {
+		g = cached // a concurrent capture won; keep one canonical copy
+	} else {
+		sharedGoldens[key] = g
+	}
+	goldenMu.Unlock()
+	return g, nil
+}

@@ -1,0 +1,25 @@
+// Package fastpath gates the bit-exact performance fast paths used by
+// the per-trial hot loops (scanline warp kernel, direct-index pixel
+// reads, precomputed feature scratch).
+//
+// Every fast path in the tree carries a hard equivalence obligation:
+// with the gate on or off, an application run must produce identical
+// output bytes, an identical fault-tap stream, and identical modelled
+// op counts, so that fault-injection campaign results never depend on
+// the optimization level. The gate exists so the equivalence guard
+// tests can execute both implementations and compare them; production
+// code leaves it enabled.
+package fastpath
+
+// enabled is read once per pipeline-stage call, never per pixel, so a
+// plain bool is cheap. It is not synchronized: the only writers are
+// tests toggling it between (not during) runs.
+var enabled = true
+
+// Enabled reports whether the optimized kernels are active.
+func Enabled() bool { return enabled }
+
+// SetEnabled switches between the optimized kernels and the retained
+// reference implementations. It must not be called concurrently with a
+// pipeline run; it exists for equivalence tests and A/B benchmarks.
+func SetEnabled(v bool) { enabled = v }

@@ -135,6 +135,68 @@ type Config struct {
 	// and each trial is deterministic in its plan, a resumed campaign
 	// reaches the same outcome counts as an uninterrupted one.
 	Resume []TrialRecord
+	// Golden, when non-nil, is a precomputed golden run of the same
+	// app, and RunCampaign skips its own fault-free execution. Because
+	// the application is deterministic under a nil plan, a captured
+	// golden run is valid for every campaign over the same app and
+	// input, whatever the class, region or seed — the Fig 9/10/11
+	// harnesses share one per app, and the vsd service caches them per
+	// job spec.
+	Golden *GoldenRun
+}
+
+// GoldenRun is the reusable result of one fault-free execution: the
+// reference output the SDC check compares against plus the tap-space
+// geometry every plan is drawn from. Capture it once with
+// CaptureGolden and share it across campaigns of the same app.
+type GoldenRun struct {
+	// Output is the application's fault-free output artifact.
+	Output []byte
+	// Steps is the golden run's dynamic step count (sizes hang budgets).
+	Steps uint64
+	// GPRTaps and FPRTaps are the whole-program tap-space sizes.
+	GPRTaps, FPRTaps uint64
+	// RegionGPR and RegionFPR are the per-region tap-space sizes.
+	RegionGPR, RegionFPR [NumRegions]uint64
+}
+
+// Taps returns the injection-site space size for a class/region pair.
+func (g *GoldenRun) Taps(c Class, r Region) uint64 {
+	if r == RAny {
+		if c == GPR {
+			return g.GPRTaps
+		}
+		return g.FPRTaps
+	}
+	if r >= NumRegions {
+		return 0
+	}
+	if c == GPR {
+		return g.RegionGPR[r]
+	}
+	return g.RegionFPR[r]
+}
+
+// CaptureGolden executes one fault-free run of app and returns the
+// reusable golden state. The machine's full tap geometry is recorded so
+// the result can seed campaigns of any class or region.
+func CaptureGolden(app App) (*GoldenRun, error) {
+	m := New()
+	out, err := app(m)
+	if err != nil {
+		return nil, fmt.Errorf("fault: golden run failed: %w", err)
+	}
+	g := &GoldenRun{
+		Output:  out,
+		Steps:   m.Steps(),
+		GPRTaps: m.GPRTaps(),
+		FPRTaps: m.FPRTaps(),
+	}
+	for r := Region(0); r < NumRegions; r++ {
+		g.RegionGPR[r] = m.RegionTaps(GPR, r)
+		g.RegionFPR[r] = m.RegionTaps(FPR, r)
+	}
+	return g, nil
 }
 
 // TrialRecord is the compact, serializable summary of one completed
@@ -233,8 +295,9 @@ var ErrNoTaps = errors.New("fault: golden run executed no taps for the requested
 
 // RunCampaign executes a statistical fault-injection campaign against
 // app: one golden run to size the site space and capture the reference
-// output, then cfg.Trials injected runs on a bounded worker pool.
-// Trials are deterministic in cfg.Seed regardless of worker count.
+// output (skipped when cfg.Golden supplies a precomputed one), then
+// cfg.Trials injected runs on a bounded worker pool. Trials are
+// deterministic in cfg.Seed regardless of worker count.
 //
 // If ctx is canceled mid-campaign, RunCampaign stops feeding new
 // trials, waits for in-flight ones, and returns the partial Result
@@ -245,22 +308,16 @@ func RunCampaign(ctx context.Context, cfg Config, app App) (*Result, error) {
 	if cfg.Trials <= 0 {
 		return nil, fmt.Errorf("fault: non-positive trial count %d", cfg.Trials)
 	}
-	golden := New()
-	goldenOut, err := app(golden)
-	if err != nil {
-		return nil, fmt.Errorf("fault: golden run failed: %w", err)
-	}
-
-	var totalTaps uint64
-	if cfg.Region == RAny {
-		if cfg.Class == GPR {
-			totalTaps = golden.GPRTaps()
-		} else {
-			totalTaps = golden.FPRTaps()
+	golden := cfg.Golden
+	if golden == nil {
+		var err error
+		if golden, err = CaptureGolden(app); err != nil {
+			return nil, err
 		}
-	} else {
-		totalTaps = golden.RegionTaps(cfg.Class, cfg.Region)
 	}
+	goldenOut := golden.Output
+
+	totalTaps := golden.Taps(cfg.Class, cfg.Region)
 	if totalTaps == 0 {
 		return nil, ErrNoTaps
 	}
@@ -277,7 +334,7 @@ func RunCampaign(ctx context.Context, cfg Config, app App) (*Result, error) {
 	if stepFactor <= 0 {
 		stepFactor = DefaultStepFactor
 	}
-	budget := uint64(float64(golden.Steps()) * stepFactor)
+	budget := uint64(float64(golden.Steps) * stepFactor)
 
 	// Pre-generate all plans from the seed so results do not depend on
 	// worker scheduling.
@@ -384,7 +441,7 @@ feed:
 	res := &Result{
 		Config:       cfg,
 		GoldenOutput: goldenOut,
-		GoldenSteps:  golden.Steps(),
+		GoldenSteps:  golden.Steps,
 		TotalTaps:    totalTaps,
 		CrashCounts:  make(map[CrashKind]int),
 		RegHist:      stats.NewHistogram(NumRegisters),

@@ -12,6 +12,7 @@ package features
 import (
 	"sort"
 
+	"vsresil/internal/fastpath"
 	"vsresil/internal/fault"
 	"vsresil/internal/imgproc"
 )
@@ -94,30 +95,73 @@ func DetectFAST(g *imgproc.Gray, cfg FASTConfig, m *fault.Machine) []KeyPoint {
 	// a crash — the segmentation-fault analogue.
 	var scores *imgproc.Gray
 	if cfg.NonMaxSuppress {
-		scores = imgproc.NewGray(g.W, g.H)
+		scores = getScores(g.W, g.H)
+		defer putScores(scores)
 	}
 
-	var raw []KeyPoint
+	// The direct-index scan is valid only while every coordinate that
+	// reaches pixel memory is provably inside the real image: the
+	// tapped dimensions must match reality (checked once here) and the
+	// tapped center coordinates must match the loop variables (checked
+	// per pixel below). Any corrupted value falls back to the
+	// reference path, whose At() calls reproduce the original
+	// bounds-check / crash behavior exactly.
+	fast := fastpath.Enabled() && w == g.W && h == g.H
+	var circleDeltas [16]int
+	if fast {
+		for i, off := range circleOffsets16 {
+			circleDeltas[i] = off[1]*g.W + off[0]
+		}
+	}
+
+	raw := getKeyPoints()
+	defer func() { putKeyPoints(raw) }()
 	for y := border; y < h-border; y++ {
 		m.Ops(fault.OpBranch, uint64(w-2*border))
+		rowBase := y * g.W
 		for x := border; x < w-border; x++ {
-			center := int(m.Pix(g.At(m.Idx(x), m.Idx(y))))
+			xt := m.Idx(x)
+			yt := m.Idx(y)
+			direct := fast && xt == x && yt == y
+			var center int
+			if direct {
+				center = int(m.Pix(g.Pix[rowBase+x]))
+			} else {
+				center = int(m.Pix(g.At(xt, yt)))
+			}
 			lo := center - cfg.Threshold
 			hi := center + cfg.Threshold
 
 			// Fast rejection: for arc >= 9 at least one of each
 			// opposing cardinal pair must be outside the band.
-			p0 := int(g.At(x, y-3))
-			p8 := int(g.At(x, y+3))
+			var p0, p8 int
+			if direct {
+				p0 = int(g.Pix[rowBase-3*g.W+x])
+				p8 = int(g.Pix[rowBase+3*g.W+x])
+			} else {
+				p0 = int(g.At(x, y-3))
+				p8 = int(g.At(x, y+3))
+			}
 			if cfg.Arc >= 9 && !(p0 > hi || p0 < lo || p8 > hi || p8 < lo) {
-				p4 := int(g.At(x+3, y))
-				p12 := int(g.At(x-3, y))
+				var p4, p12 int
+				if direct {
+					p4 = int(g.Pix[rowBase+x+3])
+					p12 = int(g.Pix[rowBase+x-3])
+				} else {
+					p4 = int(g.At(x+3, y))
+					p12 = int(g.At(x-3, y))
+				}
 				if !(p4 > hi || p4 < lo || p12 > hi || p12 < lo) {
 					continue
 				}
 			}
 
-			score := fastScore(g, x, y, lo, hi, cfg.Arc, m)
+			var score int
+			if direct {
+				score = fastScoreDirect(g, rowBase+x, &circleDeltas, lo, hi, cfg.Arc, m)
+			} else {
+				score = fastScore(g, x, y, lo, hi, cfg.Arc, m)
+			}
 			if score <= 0 {
 				continue
 			}
@@ -162,7 +206,14 @@ func DetectFAST(g *imgproc.Gray, cfg FASTConfig, m *fault.Machine) []KeyPoint {
 		}
 		return kps[i].X < kps[j].X
 	})
-	return kps
+	// kps aliases the pooled accumulator; hand the caller an exact-size
+	// copy so the (much larger) candidate storage can be recycled.
+	if len(kps) == 0 {
+		return nil
+	}
+	out := make([]KeyPoint, len(kps))
+	copy(out, kps)
+	return out
 }
 
 // fastScore checks the contiguous-arc criterion at (x, y) and returns
@@ -172,22 +223,80 @@ func DetectFAST(g *imgproc.Gray, cfg FASTConfig, m *fault.Machine) []KeyPoint {
 func fastScore(g *imgproc.Gray, x, y, lo, hi, arc int, m *fault.Machine) int {
 	var bright, dark [16]bool
 	var diffs [16]int
+	var brightMask, darkMask uint32
 	for i, off := range circleOffsets16 {
 		v := int(g.At(x+off[0], y+off[1]))
 		diffs[i] = v
-		bright[i] = v > hi
-		dark[i] = v < lo
+		if v > hi {
+			bright[i] = true
+			brightMask |= 1 << uint(i)
+		}
+		if v < lo {
+			dark[i] = true
+			darkMask |= 1 << uint(i)
+		}
 	}
+	return arcScore(&diffs, &bright, &dark, brightMask, darkMask, lo, hi, arc, m)
+}
+
+// fastScoreDirect is fastScore reading the circle through precomputed
+// linear offsets from the center's raw index — valid only when the
+// caller has proven the center (and so the whole radius-3 circle,
+// border >= 3) lies inside the image, in which case every read returns
+// exactly what At would.
+func fastScoreDirect(g *imgproc.Gray, base int, deltas *[16]int, lo, hi, arc int, m *fault.Machine) int {
+	var bright, dark [16]bool
+	var diffs [16]int
+	var brightMask, darkMask uint32
+	for i, d := range deltas {
+		v := int(g.Pix[base+d])
+		diffs[i] = v
+		if v > hi {
+			bright[i] = true
+			brightMask |= 1 << uint(i)
+		}
+		if v < lo {
+			dark[i] = true
+			darkMask |= 1 << uint(i)
+		}
+	}
+	return arcScore(&diffs, &bright, &dark, brightMask, darkMask, lo, hi, arc, m)
+}
+
+// hasArcRun reports whether the 16-bit circle mask contains a run of
+// at least arc consecutive set bits, counting wrap-around (the doubled
+// 32-bit mask makes wrapping runs contiguous). It is the pure
+// predicate behind arcScore's run counter: the scan sets a positive
+// score iff such a run exists.
+func hasArcRun(mask uint32, arc int) bool {
+	m := mask | mask<<16
+	for i := 1; i < arc && m != 0; i++ {
+		m &= m >> 1
+	}
+	return m != 0
+}
+
+// arcScore runs the doubled-circle contiguous-arc scan shared by both
+// read paths.
+func arcScore(diffs *[16]int, bright, dark *[16]bool, brightMask, darkMask uint32, lo, hi, arc int, m *fault.Machine) int {
 	center := (lo + hi) / 2
 	th := (hi - lo) / 2
 
 	best := 0
 	// Check both polarities by scanning the doubled circle for a run
-	// of length >= arc.
+	// of length >= arc. A polarity whose mask provably holds no such
+	// run is skipped: the scan would leave best untouched (every
+	// flagged pixel contributes sum only once run >= arc), so the
+	// result — and the single score tap below — are unchanged.
 	for polarity := 0; polarity < 2; polarity++ {
 		flags := bright
+		mask := brightMask
 		if polarity == 1 {
 			flags = dark
+			mask = darkMask
+		}
+		if !hasArcRun(mask, arc) {
+			continue
 		}
 		run := 0
 		sum := 0

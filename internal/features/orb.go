@@ -3,6 +3,7 @@ package features
 import (
 	"math"
 
+	"vsresil/internal/fastpath"
 	"vsresil/internal/fault"
 	"vsresil/internal/imgproc"
 	"vsresil/internal/stats"
@@ -93,9 +94,29 @@ func DefaultORBConfig() ORBConfig {
 }
 
 // Extractor computes oriented BRIEF descriptors with a shared pattern.
+// All fields — including the precomputed fast-path tables below — are
+// immutable after NewExtractor, so one Extractor is safe to share
+// across concurrent campaign workers.
 type Extractor struct {
 	cfg     ORBConfig
 	pattern *Pattern
+	// binLo/rot/rotSin/rotCos cache the rotated sampling pattern for
+	// every quantized steering bin Describe can produce: rot[bin-binLo]
+	// holds the 256 pre-rotated point pairs computed from exactly the
+	// Sincos values Describe would compute for that bin (recorded in
+	// rotSin/rotCos so a fault-corrupted sin/cos can be detected and
+	// sent down the live-rotation reference path).
+	binLo  int
+	rot    [][DescriptorBits][4]int16
+	rotSin []float64
+	rotCos []float64
+	// rotMax[bi] is the largest |offset| in rot[bi]: a key point at
+	// least that far from every border samples without clamping, so
+	// raw indexing reads exactly what AtClamped would.
+	rotMax []int
+	// dxLim[dy+r] is the largest |dx| with dx^2+dy^2 <= r^2 — the
+	// orientation loop's circle mask as per-row bounds.
+	dxLim []int
 }
 
 // NewExtractor builds an extractor for the given configuration.
@@ -106,7 +127,54 @@ func NewExtractor(cfg ORBConfig) *Extractor {
 	if cfg.AngleBins <= 0 {
 		cfg.AngleBins = 30
 	}
-	return &Extractor{cfg: cfg, pattern: NewPattern(cfg.PatchRadius, cfg.PatternSeed)}
+	e := &Extractor{cfg: cfg, pattern: NewPattern(cfg.PatchRadius, cfg.PatternSeed)}
+
+	// Steering bins: bin = Round(angle/binWidth) with angle in [-pi,
+	// pi], so |bin| <= AngleBins/2 + 1 covers every reachable value
+	// (the +1 absorbs the odd-AngleBins half-bin at the range ends).
+	binWidth := 2 * math.Pi / float64(cfg.AngleBins)
+	e.binLo = -(cfg.AngleBins/2 + 1)
+	nbins := cfg.AngleBins + 3
+	e.rot = make([][DescriptorBits][4]int16, nbins)
+	e.rotSin = make([]float64, nbins)
+	e.rotCos = make([]float64, nbins)
+	e.rotMax = make([]int, nbins)
+	for bi := 0; bi < nbins; bi++ {
+		// Identical expression to Describe's quantization: a float bin
+		// times binWidth (float64(int) of a small integer is exact).
+		qa := float64(e.binLo+bi) * binWidth
+		sin, cos := math.Sincos(qa)
+		e.rotSin[bi], e.rotCos[bi] = sin, cos
+		for b := range e.pattern.pairs {
+			pr := e.pattern.pairs[b]
+			x1, y1 := rotatePoint(int(pr[0]), int(pr[1]), sin, cos)
+			x2, y2 := rotatePoint(int(pr[2]), int(pr[3]), sin, cos)
+			e.rot[bi][b] = [4]int16{int16(x1), int16(y1), int16(x2), int16(y2)}
+			for _, v := range [4]int{x1, y1, x2, y2} {
+				if v < 0 {
+					v = -v
+				}
+				if v > e.rotMax[bi] {
+					e.rotMax[bi] = v
+				}
+			}
+		}
+	}
+
+	r := cfg.PatchRadius
+	e.dxLim = make([]int, 2*r+1)
+	for dy := -r; dy <= r; dy++ {
+		k := r*r - dy*dy
+		lim := int(math.Sqrt(float64(k)))
+		for lim*lim > k {
+			lim--
+		}
+		for (lim+1)*(lim+1) <= k {
+			lim++
+		}
+		e.dxLim[dy+r] = lim
+	}
+	return e
 }
 
 // Orientation computes the intensity-centroid angle of the patch
@@ -114,18 +182,38 @@ func NewExtractor(cfg ORBConfig) *Extractor {
 func (e *Extractor) Orientation(g *imgproc.Gray, x, y int, m *fault.Machine) float64 {
 	r := e.cfg.PatchRadius
 	var m01, m10 float64
-	r2 := r * r
-	for dy := -r; dy <= r; dy++ {
-		yy := y + dy
-		m.Ops(fault.OpLoad, uint64(2*r+1))
-		m.Ops(fault.OpFloat, uint64(2*(2*r+1)))
-		for dx := -r; dx <= r; dx++ {
-			if dx*dx+dy*dy > r2 {
-				continue
+	if fastpath.Enabled() && e.dxLim != nil && x >= r && y >= r && x < g.W-r && y < g.H-r {
+		// Patch fully inside the image: AtClamped never clamps, so raw
+		// row indexing reads the same bytes, and the precomputed circle
+		// half-widths visit exactly the dx the masked loop accepts, in
+		// the same order — the moment sums are bit-identical.
+		for dy := -r; dy <= r; dy++ {
+			yy := y + dy
+			m.Ops(fault.OpLoad, uint64(2*r+1))
+			m.Ops(fault.OpFloat, uint64(2*(2*r+1)))
+			lim := e.dxLim[dy+r]
+			row := g.Pix[yy*g.W+x-lim : yy*g.W+x+lim+1]
+			fdy := float64(dy)
+			for dx := -lim; dx <= lim; dx++ {
+				v := float64(row[dx+lim])
+				m10 += float64(dx) * v
+				m01 += fdy * v
 			}
-			v := float64(g.AtClamped(x+dx, yy))
-			m10 += float64(dx) * v
-			m01 += float64(dy) * v
+		}
+	} else {
+		r2 := r * r
+		for dy := -r; dy <= r; dy++ {
+			yy := y + dy
+			m.Ops(fault.OpLoad, uint64(2*r+1))
+			m.Ops(fault.OpFloat, uint64(2*(2*r+1)))
+			for dx := -r; dx <= r; dx++ {
+				if dx*dx+dy*dy > r2 {
+					continue
+				}
+				v := float64(g.AtClamped(x+dx, yy))
+				m10 += float64(dx) * v
+				m01 += float64(dy) * v
+			}
 		}
 	}
 	// The moments are floating-point register values.
@@ -163,15 +251,53 @@ func (e *Extractor) Describe(g *imgproc.Gray, kps []KeyPoint, m *fault.Machine) 
 		sin = m.F64(sin)
 		cos = m.F64(cos)
 
+		// The pre-rotated pattern for this bin applies only when the
+		// tapped sin/cos still equal the values it was built from; a
+		// corrupted (or out-of-range, e.g. NaN-angled) value rotates
+		// live, exactly as the reference path always does.
+		var rot *[DescriptorBits][4]int16
+		margin := 0
+		if fastpath.Enabled() {
+			if bi := int(bin) - e.binLo; bi >= 0 && bi < len(e.rot) &&
+				sin == e.rotSin[bi] && cos == e.rotCos[bi] {
+				rot = &e.rot[bi]
+				margin = e.rotMax[bi]
+			}
+		}
+
 		var d Descriptor
-		for b := 0; b < DescriptorBits; b++ {
-			pr := e.pattern.pairs[b]
-			x1, y1 := rotatePoint(int(pr[0]), int(pr[1]), sin, cos)
-			x2, y2 := rotatePoint(int(pr[2]), int(pr[3]), sin, cos)
-			p1 := m.Pix(g.AtClamped(kp.X+x1, kp.Y+y1))
-			p2 := g.AtClamped(kp.X+x2, kp.Y+y2)
-			if p1 < p2 {
-				d[b>>6] |= 1 << uint(b&63)
+		if rot != nil && kp.X >= margin && kp.Y >= margin &&
+			kp.X < g.W-margin && kp.Y < g.H-margin {
+			// Every sample stays inside the image, so AtClamped never
+			// clamps and raw indexing reads the same bytes.
+			base := kp.Y*g.W + kp.X
+			for b := 0; b < DescriptorBits; b++ {
+				rp := &rot[b]
+				p1 := m.Pix(g.Pix[base+int(rp[1])*g.W+int(rp[0])])
+				p2 := g.Pix[base+int(rp[3])*g.W+int(rp[2])]
+				if p1 < p2 {
+					d[b>>6] |= 1 << uint(b&63)
+				}
+			}
+		} else if rot != nil {
+			for b := 0; b < DescriptorBits; b++ {
+				rp := &rot[b]
+				p1 := m.Pix(g.AtClamped(kp.X+int(rp[0]), kp.Y+int(rp[1])))
+				p2 := g.AtClamped(kp.X+int(rp[2]), kp.Y+int(rp[3]))
+				if p1 < p2 {
+					d[b>>6] |= 1 << uint(b&63)
+				}
+			}
+		} else {
+			for b := 0; b < DescriptorBits; b++ {
+				pr := e.pattern.pairs[b]
+				x1, y1 := rotatePoint(int(pr[0]), int(pr[1]), sin, cos)
+				x2, y2 := rotatePoint(int(pr[2]), int(pr[3]), sin, cos)
+				p1 := m.Pix(g.AtClamped(kp.X+x1, kp.Y+y1))
+				p2 := g.AtClamped(kp.X+x2, kp.Y+y2)
+				if p1 < p2 {
+					d[b>>6] |= 1 << uint(b&63)
+				}
 			}
 		}
 		m.Ops(fault.OpLoad, DescriptorBits*2)

@@ -1,0 +1,67 @@
+// Per-trial scratch pools for the detector. FAST re-allocates a
+// score image and a raw candidate list for every frame of every
+// campaign trial; recycling both removes the bulk of the detection
+// stage's steady-state allocations. The pooled state is never visible
+// to callers: the score buffer is re-zeroed on acquisition and the
+// candidate list is copied into an exact-size slice before it is
+// returned.
+package features
+
+import (
+	"sync"
+
+	"vsresil/internal/imgproc"
+)
+
+// maxPooledBytes caps pooled buffer sizes; a corrupted dimension can
+// demand a huge frame once, and pooling it would pin that memory for
+// the rest of the campaign.
+const maxPooledBytes = 1 << 22
+
+var (
+	scorePool sync.Pool // *imgproc.Gray
+	kpPool    sync.Pool // *[]KeyPoint
+)
+
+// getScores returns a zeroed w x h score image, reusing pooled pixel
+// storage when possible. Indistinguishable from imgproc.NewGray(w, h).
+func getScores(w, h int) *imgproc.Gray {
+	n := w * h
+	if v, _ := scorePool.Get().(*imgproc.Gray); v != nil && cap(v.Pix) >= n {
+		v.W, v.H = w, h
+		v.Pix = v.Pix[:n]
+		for i := range v.Pix {
+			v.Pix[i] = 0
+		}
+		return v
+	}
+	return imgproc.NewGray(w, h)
+}
+
+// putScores recycles a score image obtained from getScores.
+func putScores(g *imgproc.Gray) {
+	if g == nil || cap(g.Pix) == 0 || cap(g.Pix) > maxPooledBytes {
+		return
+	}
+	scorePool.Put(g)
+}
+
+// getKeyPoints returns an empty key-point accumulator with pooled
+// capacity.
+func getKeyPoints() []KeyPoint {
+	if v, _ := kpPool.Get().(*[]KeyPoint); v != nil {
+		return (*v)[:0]
+	}
+	return nil
+}
+
+// putKeyPoints recycles a key-point accumulator. The caller must not
+// retain any alias of the slice's backing array.
+func putKeyPoints(s []KeyPoint) {
+	const maxPooledKps = maxPooledBytes / 32 // ~sizeof(KeyPoint)
+	if cap(s) == 0 || cap(s) > maxPooledKps {
+		return
+	}
+	s = s[:0]
+	kpPool.Put(&s)
+}

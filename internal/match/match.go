@@ -101,11 +101,22 @@ func (mt *Matcher) Config() Config { return mt.cfg }
 // Match finds matches from query descriptors to train descriptors.
 // The fault machine m may be nil.
 func (mt *Matcher) Match(query, train []features.Descriptor, m *fault.Machine) []Match {
+	return mt.AppendMatches(nil, query, train, m)
+}
+
+// AppendMatches is Match appending into dst (which may be nil),
+// reusing its capacity — callers that match every frame pair of every
+// campaign trial pass a recycled buffer to keep the steady state
+// allocation-free. It emits exactly Match's tap stream.
+func (mt *Matcher) AppendMatches(dst []Match, query, train []features.Descriptor, m *fault.Machine) []Match {
 	defer m.Enter(fault.RMatch)()
 	if len(train) == 0 {
-		return nil
+		return dst[:0]
 	}
-	out := make([]Match, 0, len(query))
+	out := dst[:0]
+	if cap(out) < len(query) {
+		out = make([]Match, 0, len(query))
+	}
 	nq := m.Cnt(len(query))
 	for qi := 0; qi < nq; qi++ {
 		q := query[m.Idx(qi)]

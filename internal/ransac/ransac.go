@@ -211,8 +211,17 @@ func fitSample(src, dst []geom.Pt, idx []int, model Model) (geom.Homography, boo
 
 // fitIndices fits the model to the given correspondence indices.
 func fitIndices(src, dst []geom.Pt, idx []int, model Model) (geom.Homography, bool) {
-	s := make([]geom.Pt, len(idx))
-	d := make([]geom.Pt, len(idx))
+	// The sampling loop calls this with 3- or 4-point samples hundreds
+	// of times per Estimate; stack buffers cover those (and the small
+	// refits) so only large refits allocate.
+	var sbuf, dbuf [8]geom.Pt
+	var s, d []geom.Pt
+	if len(idx) <= len(sbuf) {
+		s, d = sbuf[:len(idx)], dbuf[:len(idx)]
+	} else {
+		s = make([]geom.Pt, len(idx))
+		d = make([]geom.Pt, len(idx))
+	}
 	for i, j := range idx {
 		s[i] = src[j]
 		d[i] = dst[j]

@@ -1,0 +1,82 @@
+package service
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"vsresil/internal/fault"
+)
+
+// maxGoldenCache bounds the service's golden-run cache. Entries hold
+// the golden output bytes (a serialized panorama set), so the cache is
+// kept small; when full, an arbitrary entry is evicted — the access
+// pattern (campaign sweeps over a few workloads) does not reward LRU.
+const maxGoldenCache = 16
+
+// goldenEntry is one cached golden run. The once gate makes
+// concurrent campaigns over the same workload share a single capture
+// instead of racing duplicate fault-free runs.
+type goldenEntry struct {
+	once   sync.Once
+	golden *fault.GoldenRun
+	err    error
+}
+
+// goldenKey canonicalizes the campaign spec fields that determine the
+// golden run: the app (algorithm + seed) and the input. Class, region,
+// trials, campaign seed and worker count are irrelevant — the golden
+// run is fault-free and shared across them.
+func (spec *CampaignSpec) goldenKey() string {
+	alg, _ := parseAlgorithm(spec.Algorithm)
+	in := spec.InputSpec
+	if len(in.FramesPGM) > 0 {
+		h := fnv.New64a()
+		for _, enc := range in.FramesPGM {
+			h.Write([]byte(enc))
+			h.Write([]byte{0})
+		}
+		return fmt.Sprintf("%s|%d|pgm:%d:%x", alg, spec.Seed, len(in.FramesPGM), h.Sum64())
+	}
+	input := in.Input
+	if input == 0 {
+		input = 1
+	}
+	return fmt.Sprintf("%s|%d|gen:%d:%s:%d", alg, spec.Seed, input, in.Scale, in.Frames)
+}
+
+// goldenFor returns the golden run for key, capturing it with a
+// fault-free execution of app on first use. The capture itself runs
+// outside the service mutex; only cache bookkeeping is locked.
+func (s *Service) goldenFor(key string, app fault.App) (*fault.GoldenRun, error) {
+	s.goldenMu.Lock()
+	e := s.goldenCache[key]
+	hit := e != nil
+	if e == nil {
+		if len(s.goldenCache) >= maxGoldenCache {
+			for k := range s.goldenCache {
+				delete(s.goldenCache, k)
+				break
+			}
+		}
+		e = &goldenEntry{}
+		s.goldenCache[key] = e
+	}
+	s.goldenMu.Unlock()
+	s.metrics.goldenLookup(hit)
+
+	e.once.Do(func() {
+		e.golden, e.err = fault.CaptureGolden(app)
+		if e.err != nil {
+			// Do not cache failures: the next campaign retries the
+			// capture (the input may be transiently bad, e.g. a
+			// canceled upload).
+			s.goldenMu.Lock()
+			if s.goldenCache[key] == e {
+				delete(s.goldenCache, key)
+			}
+			s.goldenMu.Unlock()
+		}
+	})
+	return e.golden, e.err
+}

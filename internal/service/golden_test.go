@@ -1,0 +1,57 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// campaignSpecWith builds the shared small campaign with one knob
+// varied, to probe the golden-cache key.
+func campaignSpecWith(class string, seed uint64) JobSpec {
+	return JobSpec{
+		Type: JobCampaign,
+		Campaign: &CampaignSpec{
+			InputSpec: InputSpec{Input: 2, Scale: "test", Frames: 6},
+			Algorithm: "VS",
+			Class:     class,
+			Trials:    5,
+			Seed:      seed,
+		},
+	}
+}
+
+// TestGoldenCacheSharing checks that campaign jobs over the same
+// workload share one golden capture — and that changing the app seed
+// (which changes the golden run) does not.
+func TestGoldenCacheSharing(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1})
+
+	run := func(spec JobSpec) {
+		st, err := svc.Enqueue(spec)
+		if err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+		waitFor(t, 60*time.Second, "job "+st.ID+" done", func() bool {
+			got, err := svc.Get(st.ID)
+			if err != nil {
+				t.Fatalf("get %s: %v", st.ID, err)
+			}
+			if got.State == StateFailed {
+				t.Fatalf("job %s failed: %s", st.ID, got.Error)
+			}
+			return got.State == StateDone
+		})
+	}
+
+	run(campaignSpecWith("gpr", 7)) // miss: first sight of the workload
+	run(campaignSpecWith("fpr", 7)) // hit: class is not part of the key
+	run(campaignSpecWith("gpr", 7)) // hit: identical workload
+	run(campaignSpecWith("gpr", 8)) // miss: different app seed
+
+	svc.metrics.mu.Lock()
+	hits, misses := svc.metrics.goldenHits, svc.metrics.goldenMisses
+	svc.metrics.mu.Unlock()
+	if hits != 2 || misses != 2 {
+		t.Errorf("golden cache hits/misses = %d/%d, want 2/2", hits, misses)
+	}
+}

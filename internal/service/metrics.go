@@ -27,6 +27,8 @@ type metrics struct {
 	jobsAccepted  uint64
 	jobsCompleted map[JobType]map[JobState]uint64
 	trialsTotal   uint64
+	goldenHits    uint64
+	goldenMisses  uint64
 
 	// trialTimes is a per-second ring of trial completions backing the
 	// trials/sec gauge.
@@ -84,6 +86,17 @@ func (m *metrics) trialsPerSec(now time.Time) float64 {
 		}
 	}
 	return float64(n) / trialWindow.Seconds()
+}
+
+// goldenLookup records a golden-run cache lookup.
+func (m *metrics) goldenLookup(hit bool) {
+	m.mu.Lock()
+	if hit {
+		m.goldenHits++
+	} else {
+		m.goldenMisses++
+	}
+	m.mu.Unlock()
 }
 
 // jobFinished records a job reaching a terminal (or requeued) state
@@ -152,6 +165,8 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	}
 	fmt.Fprintf(w, "vsd_trials_total %d\n", m.trialsTotal)
 	fmt.Fprintf(w, "vsd_trials_per_sec %.1f\n", m.trialsPerSec(now))
+	fmt.Fprintf(w, "vsd_golden_cache_hits_total %d\n", m.goldenHits)
+	fmt.Fprintf(w, "vsd_golden_cache_misses_total %d\n", m.goldenMisses)
 	for _, t := range types {
 		counts := m.latCounts[t]
 		var cum uint64

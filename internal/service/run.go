@@ -219,6 +219,14 @@ func (s *Service) runCampaign(ctx context.Context, j *Job) (any, error) {
 	vcfg.Seed = spec.Seed
 	app := vs.New(vcfg, len(frames))
 
+	// One fault-free golden run per workload, cached across campaign
+	// jobs: repeated campaigns over the same app+input (sweeping
+	// classes, regions or trial counts) skip the capture entirely.
+	golden, err := s.goldenFor(spec.goldenKey(), app.RunEncoded(frames))
+	if err != nil {
+		return nil, err
+	}
+
 	s.mu.Lock()
 	resume := append([]fault.TrialRecord(nil), j.resume...)
 	j.Progress = Progress{Done: len(resume), Total: spec.Trials}
@@ -257,6 +265,7 @@ func (s *Service) runCampaign(ctx context.Context, j *Job) (any, error) {
 		Workers: spec.Workers,
 		OnTrial: onTrial,
 		Resume:  resume,
+		Golden:  golden,
 	}, app.RunEncoded(frames))
 
 	// Flush the tail of the checkpoint batch whether the campaign

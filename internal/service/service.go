@@ -46,6 +46,13 @@ type Service struct {
 	seq     int
 	busy    int
 	closed  bool
+
+	// goldenMu guards goldenCache: golden runs keyed by the campaign
+	// spec fields that determine them (algorithm, input, app seed), so
+	// repeated campaigns over the same workload skip the fault-free
+	// capture run. Bounded by maxGoldenCache.
+	goldenMu    sync.Mutex
+	goldenCache map[string]*goldenEntry
 }
 
 // Errors the HTTP layer maps to status codes.
@@ -69,9 +76,10 @@ func New(cfg Config) (*Service, error) {
 		cfg.CheckpointEvery = 25
 	}
 	s := &Service{
-		cfg:     cfg,
-		metrics: newMetrics(),
-		jobs:    make(map[string]*Job),
+		cfg:         cfg,
+		metrics:     newMetrics(),
+		jobs:        make(map[string]*Job),
+		goldenCache: make(map[string]*goldenEntry),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())

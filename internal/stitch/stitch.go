@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"vsresil/internal/fault"
 	"vsresil/internal/features"
@@ -319,6 +320,45 @@ func (st *Stitcher) Run(frames []*imgproc.Gray, m *fault.Machine) (*Result, erro
 	return res, nil
 }
 
+// pairScratch holds the per-registration working set (match list and
+// correspondence arrays). RANSAC only reads the correspondences and
+// retains nothing but its own inlier indices, so the buffers can be
+// recycled as soon as registerPair returns.
+type pairScratch struct {
+	matches  []match.Match
+	src, dst []geom.Pt
+}
+
+var pairPool sync.Pool
+
+// maxPooledPairElems bounds pooled scratch (a registration sees at
+// most MaxFeatures matches in practice; anything bigger is left to
+// the GC).
+const maxPooledPairElems = 1 << 16
+
+func getPairScratch() *pairScratch {
+	if v, _ := pairPool.Get().(*pairScratch); v != nil {
+		return v
+	}
+	return &pairScratch{}
+}
+
+func putPairScratch(s *pairScratch) {
+	if cap(s.matches) > maxPooledPairElems || cap(s.src) > maxPooledPairElems {
+		return
+	}
+	pairPool.Put(s)
+}
+
+// growPts returns a len-n point slice, reusing s's storage if it fits.
+// Every element is overwritten by the caller.
+func growPts(s []geom.Pt, n int) []geom.Pt {
+	if cap(s) < n {
+		return make([]geom.Pt, n)
+	}
+	return s[:n]
+}
+
 // registerPair estimates the transform mapping frame `cur` onto frame
 // `ref`, trying a homography first and falling back to affine.
 func (st *Stitcher) registerPair(cur, ref *frameFeatures, m *fault.Machine) (geom.Homography, FrameStatus, int, int) {
@@ -327,10 +367,14 @@ func (st *Stitcher) registerPair(cur, ref *frameFeatures, m *fault.Machine) (geo
 		// VS_KDS: match only a fraction of the key points.
 		curKps, curDescs = match.SubsampleStrongest(curKps, curDescs, st.cfg.KeyPointStride)
 	}
-	matches := st.matcher.Match(curDescs, ref.descs, m)
+	sc := getPairScratch()
+	defer putPairScratch(sc)
+	matches := st.matcher.AppendMatches(sc.matches, curDescs, ref.descs, m)
+	sc.matches = matches
 	nm := len(matches)
-	src := make([]geom.Pt, nm)
-	dst := make([]geom.Pt, nm)
+	src := growPts(sc.src, nm)
+	dst := growPts(sc.dst, nm)
+	sc.src, sc.dst = src, dst
 	for i, mm := range matches {
 		x, y := curKps[mm.Query].Pt()
 		src[i] = geom.Pt{X: x, Y: y}
@@ -410,6 +454,9 @@ func (st *Stitcher) composite(frames []*imgproc.Gray, regs []registration, segme
 			Bounds: b,
 			Frames: count,
 		})
+		// Only the resolved image survives; hand the float buffers back
+		// for the next segment (and the next trial) to reuse.
+		canvas.Recycle()
 	}
 	if len(res.Panoramas) == 0 {
 		return errors.New("stitch: no panorama could be generated")

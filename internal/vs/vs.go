@@ -18,6 +18,7 @@ package vs
 
 import (
 	"fmt"
+	"sync"
 
 	"vsresil/internal/fault"
 	"vsresil/internal/imgproc"
@@ -162,7 +163,49 @@ func (a *App) Run(frames []*imgproc.Gray, m *fault.Machine) (*stitch.Result, err
 	if err != nil {
 		return nil, err
 	}
-	return a.stitcher.Run(retained, m)
+	res, err := a.stitcher.Run(retained, m)
+	// The stitch result references only freshly rendered panoramas,
+	// never the decoded frames, so their buffers can feed the next
+	// trial's decode. (A crashed trial unwinds past this and simply
+	// leaves its frames to the GC.)
+	for _, f := range retained {
+		putFrame(f)
+	}
+	return res, err
+}
+
+// framePool recycles decoded frame buffers across Run calls — the
+// decode stage re-copies every input frame each trial, which would
+// otherwise be a per-trial allocation proportional to the input size.
+var framePool sync.Pool
+
+// maxPooledFramePixels keeps a corrupted-width giant out of the pool.
+const maxPooledFramePixels = 1 << 22
+
+// getFrame returns a w x h frame, reusing pooled storage when the
+// requested size is sane. The contents are arbitrary — decode
+// overwrites (or explicitly zeroes) every byte — and the dimensions
+// may be fault-corrupted, in which case allocation falls through to
+// imgproc.NewGray to reproduce its exact panic/allocation behavior.
+func getFrame(w, h int) *imgproc.Gray {
+	if w >= 0 && h >= 0 {
+		if n := w * h; n >= 0 && n <= maxPooledFramePixels {
+			if v, _ := framePool.Get().(*imgproc.Gray); v != nil && cap(v.Pix) >= n {
+				v.W, v.H = w, h
+				v.Pix = v.Pix[:n]
+				return v
+			}
+		}
+	}
+	return imgproc.NewGray(w, h)
+}
+
+// putFrame recycles a frame obtained from getFrame.
+func putFrame(g *imgproc.Gray) {
+	if g == nil || cap(g.Pix) == 0 || cap(g.Pix) > maxPooledFramePixels {
+		return
+	}
+	framePool.Put(g)
 }
 
 // RunEncoded is the fault.App adapter: it runs the application and
@@ -195,8 +238,15 @@ func (a *App) decode(frames []*imgproc.Gray, m *fault.Machine) ([]*imgproc.Gray,
 		src := frames[m.Idx(i)]
 		w := m.Idx(src.W)
 		h := src.H
-		dst := imgproc.NewGray(w, h)
-		copy(dst.Pix, src.Pix)
+		dst := getFrame(w, h)
+		n := copy(dst.Pix, src.Pix)
+		// A recycled buffer holds the previous trial's pixels; zero
+		// whatever the copy did not cover (normally nothing — only a
+		// corrupted width makes dst larger than src) so the frame is
+		// byte-identical to a fresh NewGray + copy.
+		for j := n; j < len(dst.Pix); j++ {
+			dst.Pix[j] = 0
+		}
 		// Instrument a strided sample of the pixel stream (tapping
 		// every byte would dominate the tap space; the decode stage is
 		// a small share of the paper's profile, Fig 8).

@@ -1,0 +1,113 @@
+package warp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"vsresil/internal/fastpath"
+	"vsresil/internal/fault"
+	"vsresil/internal/geom"
+	"vsresil/internal/imgproc"
+	"vsresil/internal/stats"
+	"vsresil/internal/warp"
+)
+
+// machineCounters snapshots every observable counter of a fault
+// machine: total steps, tap-space sizes per class, and the full
+// per-region per-class op-count matrix. The scanline fast path must
+// leave all of them bit-identical to the per-pixel reference.
+type machineCounters struct {
+	steps, gpr, fpr uint64
+	regionGPR       [fault.NumRegions]uint64
+	regionFPR       [fault.NumRegions]uint64
+	ops             [fault.NumRegions][fault.NumOpClasses]uint64
+}
+
+func snapshot(m *fault.Machine) machineCounters {
+	c := machineCounters{steps: m.Steps(), gpr: m.GPRTaps(), fpr: m.FPRTaps()}
+	for r := fault.Region(0); r < fault.NumRegions; r++ {
+		c.regionGPR[r] = m.RegionTaps(fault.GPR, r)
+		c.regionFPR[r] = m.RegionTaps(fault.FPR, r)
+		for oc := fault.OpClass(0); oc < fault.NumOpClasses; oc++ {
+			c.ops[r][oc] = m.OpCount(r, oc)
+		}
+	}
+	return c
+}
+
+// randomHomography perturbs the identity into a well-conditioned
+// projective transform: mild affine distortion, a translation, and a
+// small perspective term (large ones project the source off-canvas).
+func randomHomography(rng *stats.RNG) geom.Homography {
+	return geom.Homography{
+		1 + 0.2*(rng.Float64()-0.5), 0.2 * (rng.Float64() - 0.5), 16 * (rng.Float64() - 0.5),
+		0.2 * (rng.Float64() - 0.5), 1 + 0.2*(rng.Float64()-0.5), 16 * (rng.Float64() - 0.5),
+		0.002 * (rng.Float64() - 0.5), 0.002 * (rng.Float64() - 0.5), 1,
+	}
+}
+
+func randomGray(rng *stats.RNG, w, h int) *imgproc.Gray {
+	g := imgproc.NewGray(w, h)
+	for i := range g.Pix {
+		g.Pix[i] = uint8(rng.Uint64())
+	}
+	return g
+}
+
+// TestScanlineWarpEquivalence is the tentpole's bit-exactness guard:
+// over random homographies, the scanline kernel must produce
+// pixel-identical warps AND an identical tap/op stream to the
+// per-pixel inv.Apply reference it replaced.
+func TestScanlineWarpEquivalence(t *testing.T) {
+	defer fastpath.SetEnabled(true)
+	rng := stats.NewRNG(0xE0_1D)
+
+	for trial := 0; trial < 30; trial++ {
+		src := randomGray(rng, 24+rng.Intn(40), 24+rng.Intn(40))
+		h := randomHomography(rng)
+		if _, err := h.Inverse(); err != nil {
+			continue
+		}
+		mode := warp.BlendOverwrite
+		if trial%2 == 1 {
+			mode = warp.BlendFeather
+		}
+
+		type out struct {
+			canvasPix []uint8
+			warpPix   []uint8
+			counters  machineCounters
+		}
+		run := func(enabled bool) out {
+			fastpath.SetEnabled(enabled)
+			m := fault.New()
+			bounds := warp.ProjectBounds(h, src.W, src.H)
+			c := warp.NewCanvasMode(bounds, mode)
+			if _, err := warp.WarpOntoCanvas(src, h, c, m); err != nil {
+				t.Fatalf("trial %d: WarpOntoCanvas: %v", trial, err)
+			}
+			img := c.Resolve(m)
+			wp, err := warp.WarpPerspective(src, h, src.W+8, src.H+8, m)
+			if err != nil {
+				t.Fatalf("trial %d: WarpPerspective: %v", trial, err)
+			}
+			return out{
+				canvasPix: append([]uint8(nil), img.Pix...),
+				warpPix:   append([]uint8(nil), wp.Pix...),
+				counters:  snapshot(m),
+			}
+		}
+
+		fast := run(true)
+		ref := run(false)
+		if !bytes.Equal(fast.canvasPix, ref.canvasPix) {
+			t.Errorf("trial %d (h=%v): canvas pixels differ between scanline and reference", trial, h)
+		}
+		if !bytes.Equal(fast.warpPix, ref.warpPix) {
+			t.Errorf("trial %d (h=%v): WarpPerspective pixels differ between scanline and reference", trial, h)
+		}
+		if fast.counters != ref.counters {
+			t.Errorf("trial %d (h=%v): tap/op counters differ:\n fast %+v\n  ref %+v", trial, h, fast.counters, ref.counters)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Scanline projection kernel and per-trial scratch pools. The warp
+// loops are the campaign hot path (54.4% of VS runtime in the paper's
+// Fig 8 profile), so this file trades the per-pixel 3x3 matrix-vector
+// product for cached column/row products and recycles the per-call
+// float buffers — without changing a single observable value: the
+// kernel is bit-identical to geom.Homography.Apply and the pools hand
+// back buffers whose readable state matches a fresh allocation.
+package warp
+
+import (
+	"math"
+	"sync"
+
+	"vsresil/internal/geom"
+)
+
+// scanProjector evaluates inv.Apply(Pt{gx, fy}) over a run of columns
+// with the per-column multiplies hoisted out of the pixel loop. Go
+// evaluates h[0]*x + h[1]*y + h[2] as fl(fl(fl(h0·x)+fl(h1·y))+h2),
+// each operation individually rounded; caching colX[tx] = fl(h0·gx)
+// once per call and rowX = fl(h1·fy) once per row, then summing in the
+// same association order, reproduces Apply bit for bit while cutting
+// the per-pixel work from 6 multiplies + 6 adds to 6 adds. (True
+// incremental accumulation along the scanline would reassociate the
+// sums and break bit-exactness; the equivalence property test in
+// scan_test.go is the arbiter on every platform.)
+type scanProjector struct {
+	inv              geom.Homography
+	colX, colY, colW []float64
+	rowX, rowY, rowW float64
+}
+
+// init caches the column products for tw columns starting at global
+// x = minX, carving its three arrays out of cols (len >= 3*tw).
+func (p *scanProjector) init(inv geom.Homography, minX, tw int, cols []float64) {
+	p.inv = inv
+	p.colX = cols[0*tw : 1*tw : 1*tw]
+	p.colY = cols[1*tw : 2*tw : 2*tw]
+	p.colW = cols[2*tw : 3*tw : 3*tw]
+	for tx := 0; tx < tw; tx++ {
+		gx := float64(minX + tx)
+		p.colX[tx] = inv[0] * gx
+		p.colY[tx] = inv[3] * gx
+		p.colW[tx] = inv[6] * gx
+	}
+}
+
+// setRow caches the row products for the scanline at source y = fy.
+func (p *scanProjector) setRow(fy float64) {
+	p.rowX = p.inv[1] * fy
+	p.rowY = p.inv[4] * fy
+	p.rowW = p.inv[7] * fy
+}
+
+// at returns inv.Apply(Pt{minX+tx, fy}).X/.Y for the current row,
+// mirroring Apply's expression order and its w clamp exactly.
+func (p *scanProjector) at(tx int) (float64, float64) {
+	w := p.colW[tx] + p.rowW + p.inv[8]
+	if math.Abs(w) < 1e-12 {
+		w = math.Copysign(1e-12, w)
+		if w == 0 {
+			w = 1e-12
+		}
+	}
+	return (p.colX[tx] + p.rowX + p.inv[2]) / w,
+		(p.colY[tx] + p.rowY + p.inv[5]) / w
+}
+
+// maxPooledElems caps the size of pooled scratch. A fault-corrupted
+// transform can demand a near-MaxCanvasPixels canvas once; pooling a
+// buffer that large would pin hundreds of megabytes for the rest of
+// the campaign, so oversized buffers are left to the GC.
+const maxPooledElems = 1 << 21
+
+var (
+	floatPool sync.Pool // *[]float64
+	boolPool  sync.Pool // *[]bool
+)
+
+// getFloats returns a len-n float64 scratch slice. When zero is set
+// the contents are cleared (as a fresh make would be); callers that
+// only read elements they wrote this call skip the clear.
+func getFloats(n int, zero bool) []float64 {
+	if v, _ := floatPool.Get().(*[]float64); v != nil && cap(*v) >= n {
+		s := (*v)[:n]
+		if zero {
+			for i := range s {
+				s[i] = 0
+			}
+		}
+		return s
+	}
+	return make([]float64, n)
+}
+
+// putFloats recycles a scratch slice obtained from getFloats.
+func putFloats(s []float64) {
+	if cap(s) == 0 || cap(s) > maxPooledElems {
+		return
+	}
+	s = s[:0]
+	floatPool.Put(&s)
+}
+
+// getBools returns a cleared len-n bool scratch slice.
+func getBools(n int) []bool {
+	if v, _ := boolPool.Get().(*[]bool); v != nil && cap(*v) >= n {
+		s := (*v)[:n]
+		for i := range s {
+			s[i] = false
+		}
+		return s
+	}
+	return make([]bool, n)
+}
+
+// putBools recycles a scratch slice obtained from getBools.
+func putBools(s []bool) {
+	if cap(s) == 0 || cap(s) > maxPooledElems {
+		return
+	}
+	s = s[:0]
+	boolPool.Put(&s)
+}

@@ -14,6 +14,7 @@ package warp
 import (
 	"math"
 
+	"vsresil/internal/fastpath"
 	"vsresil/internal/fault"
 	"vsresil/internal/geom"
 	"vsresil/internal/imgproc"
@@ -166,7 +167,9 @@ func NewCanvas(b Bounds) *Canvas {
 }
 
 // NewCanvasMode allocates a canvas covering b with the given blend
-// mode.
+// mode. The backing buffers may come from a package pool (see
+// Recycle); they are cleared either way, so a recycled canvas is
+// indistinguishable from a fresh one.
 func NewCanvasMode(b Bounds, mode BlendMode) *Canvas {
 	n := b.W() * b.H()
 	if n > MaxCanvasPixels {
@@ -175,10 +178,23 @@ func NewCanvasMode(b Bounds, mode BlendMode) *Canvas {
 	return &Canvas{
 		B:       b,
 		Mode:    mode,
-		weights: make([]float64, n),
-		values:  make([]float64, n),
-		touched: make([]bool, n),
+		weights: getFloats(n, true),
+		values:  getFloats(n, true),
+		touched: getBools(n),
 	}
+}
+
+// Recycle returns the canvas's backing buffers to the package pool so
+// the next NewCanvasMode in the same process reuses them instead of
+// allocating. The canvas must not be used afterwards. Callers that
+// only keep the Resolve output (the stitcher) call this once per
+// composited segment; it is optional — an un-recycled canvas is simply
+// collected by the GC.
+func (c *Canvas) Recycle() {
+	putFloats(c.weights)
+	putFloats(c.values)
+	putBools(c.touched)
+	c.weights, c.values, c.touched = nil, nil, nil
 }
 
 // idx maps global coordinates to buffer offset; callers must ensure
@@ -282,8 +298,26 @@ func WarpOntoCanvas(src *imgproc.Gray, h geom.Homography, c *Canvas, m *fault.Ma
 	// the original binary where the invoker writes into the warped
 	// temp image rather than the final panorama.
 	tw, th := region.W(), region.H()
-	vals := make([]float64, tw*th)
-	wts := make([]float64, tw*th) // 0 = pixel not produced
+	// vals needs no clearing: stage 2 and frameGain only read vals[i]
+	// where wts[i] != 0, and the single (tapped) store index i writes
+	// both arrays together, so every readable vals element is written
+	// this call. wts is the "pixel produced" mask and must start zero.
+	vals := getFloats(tw*th, false)
+	wts := getFloats(tw*th, true) // 0 = pixel not produced
+	defer putFloats(vals)
+	defer putFloats(wts)
+	// The scanline kernel is unconditionally safe here: the column
+	// count tw is untapped, so a corrupted row counter or row index
+	// never sends tx outside the cached column products, and the
+	// projected values are a pure function of (tx, fy) identical to
+	// inv.Apply's.
+	fast := fastpath.Enabled()
+	var proj scanProjector
+	if fast {
+		cols := getFloats(3*tw, false)
+		defer putFloats(cols)
+		proj.init(inv, region.MinX, tw, cols)
+	}
 	written := 0
 	halfW := float64(src.W) / 2
 	halfH := float64(src.H) / 2
@@ -301,13 +335,22 @@ func WarpOntoCanvas(src *imgproc.Gray, h geom.Homography, c *Canvas, m *fault.Ma
 		// row's stores.
 		rowIdx := m.Idx(ty * tw)
 		fy := float64(region.MinY + ty)
+		if fast {
+			proj.setRow(fy)
+		}
 		for tx := 0; tx < tw; tx++ {
 			// Inverse map the destination pixel to source coordinates.
 			// These coordinate temporaries are the workload's dominant
 			// floating-point state.
-			sp := inv.Apply(geom.Pt{X: float64(region.MinX + tx), Y: fy})
-			sx := m.F64(sp.X)
-			sy := m.F64(sp.Y)
+			var spX, spY float64
+			if fast {
+				spX, spY = proj.at(tx)
+			} else {
+				sp := inv.Apply(geom.Pt{X: float64(region.MinX + tx), Y: fy})
+				spX, spY = sp.X, sp.Y
+			}
+			sx := m.F64(spX)
+			sy := m.F64(spY)
 			v, ok := remapBilinear(src, sx, sy, m)
 			if !ok {
 				continue
@@ -451,15 +494,36 @@ func WarpPerspective(src *imgproc.Gray, h geom.Homography, dstW, dstH int, m *fa
 	dst := imgproc.NewGray(dstW, dstH)
 	hh := m.Cnt(dstH)
 	ww := m.Cnt(dstW)
+	// Unlike WarpOntoCanvas, the inner-loop bound ww here is tapped: a
+	// corrupted width must keep the original per-pixel semantics (it
+	// may hang or fault exactly as the reference loop does), so the
+	// scanline kernel only engages when the tapped bound matches the
+	// real width its column cache was sized for.
+	fast := fastpath.Enabled() && ww == dstW
+	var proj scanProjector
+	if fast {
+		cols := getFloats(3*dstW, false)
+		defer putFloats(cols)
+		proj.init(inv, 0, dstW, cols)
+	}
 	for y := 0; y < hh; y++ {
 		m.Ops(fault.OpFloat, uint64(ww)*24)
 		m.Ops(fault.OpLoad, uint64(ww)*4)
 		m.Ops(fault.OpStore, uint64(ww))
 		rowBase := m.Idx(y * dstW)
+		if fast {
+			proj.setRow(float64(y))
+		}
 		for x := 0; x < ww; x++ {
-			sp := inv.Apply(geom.Pt{X: float64(x), Y: float64(y)})
-			sx := m.F64(sp.X)
-			sy := m.F64(sp.Y)
+			var spX, spY float64
+			if fast {
+				spX, spY = proj.at(x)
+			} else {
+				sp := inv.Apply(geom.Pt{X: float64(x), Y: float64(y)})
+				spX, spY = sp.X, sp.Y
+			}
+			sx := m.F64(spX)
+			sy := m.F64(spY)
 			v, ok := remapBilinear(src, sx, sy, m)
 			if !ok {
 				continue
