@@ -39,7 +39,7 @@ bench:
 # ledger from the root-package perf benchmarks (the figure harness
 # benchmarks are too slow to gate on) and fails on any >10% regression
 # against the ledger's "before" section.
-BENCH_JSON ?= BENCH_2.json
+BENCH_JSON ?= BENCH_3.json
 bench-json:
 	$(GO) test -run '^$$' -bench 'Pipeline|CampaignThroughput' -benchtime 3x . | tee bench.out
 	$(GO) run ./cmd/benchdiff parse -label after -in bench.out -out $(BENCH_JSON)

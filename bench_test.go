@@ -11,6 +11,7 @@ import (
 	"vsresil/internal/energy"
 	"vsresil/internal/experiments"
 	"vsresil/internal/fault"
+	"vsresil/internal/probe"
 	"vsresil/internal/virat"
 	"vsresil/internal/vs"
 )
@@ -128,7 +129,8 @@ func BenchmarkFig13OutputComparison(b *testing.B) {
 }
 
 // BenchmarkPipelineBaseline measures one fault-free end-to-end run of
-// the precise algorithm (the unit of work every campaign repeats).
+// the precise algorithm (the unit of work every campaign repeats) on
+// the devirtualized probe.Nop fast path.
 func BenchmarkPipelineBaseline(b *testing.B) {
 	p := virat.TestScale()
 	frames := virat.Input1(p).Frames()
@@ -136,7 +138,23 @@ func BenchmarkPipelineBaseline(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := app.Run(frames, nil); err != nil {
+		if _, err := app.Run(frames, probe.Nop{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineMetered measures the same run under the observing
+// Meter sink — the cost of live per-stage telemetry, between the free
+// Nop path and the full fault machine.
+func BenchmarkPipelineMetered(b *testing.B) {
+	p := virat.TestScale()
+	frames := virat.Input1(p).Frames()
+	app := vs.New(vs.DefaultConfig(vs.AlgVS), len(frames))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := app.Run(frames, probe.NewMeter()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -208,7 +226,7 @@ func BenchmarkAblationBlendModes(b *testing.B) {
 			met := energy.DefaultModel().Measure(m)
 			b.ReportMetric(float64(met.Instructions), "modelled-instructions")
 			for i := 0; i < b.N; i++ {
-				if _, err := app.Run(frames, nil); err != nil {
+				if _, err := app.Run(frames, probe.Nop{}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -13,8 +13,8 @@ import (
 	"strings"
 
 	"vsresil/internal/energy"
-	"vsresil/internal/fault"
 	"vsresil/internal/imgproc"
+	"vsresil/internal/probe"
 	"vsresil/internal/stitch"
 	"vsresil/internal/virat"
 	"vsresil/internal/vs"
@@ -101,7 +101,10 @@ func run() error {
 	cfg := vs.DefaultConfig(alg)
 	cfg.Seed = *seed
 	app := vs.New(cfg, len(vframes))
-	m := fault.New()
+	// A Meter (rather than a fault machine) gathers the energy-model
+	// inputs: same op accounting, no injection machinery, plus per-stage
+	// wall time.
+	m := probe.NewMeter()
 	res, err := app.Run(vframes, m)
 	if err != nil {
 		return fmt.Errorf("pipeline: %w", err)
@@ -109,6 +112,7 @@ func run() error {
 
 	if !*quiet {
 		printReport(res)
+		printStages(m)
 	}
 	met := energy.DefaultModel().Measure(m)
 	fmt.Printf("model: %d instructions, IPC %.3f, time %.3fs, energy %.1fJ\n",
@@ -153,6 +157,23 @@ func printReport(res *stitch.Result) {
 	}
 	fmt.Printf("registration: %d homography, %d affine fallback, %d discarded, %d segment starts\n",
 		hom, aff, disc, segs)
+}
+
+// printStages reports the Meter's per-stage profile for stages with
+// any activity.
+func printStages(m *probe.Meter) {
+	fmt.Println("stage profile:")
+	for _, rs := range m.Snapshot() {
+		var ops uint64
+		for _, n := range rs.Ops {
+			ops += n
+		}
+		if ops == 0 && rs.IntTaps == 0 && rs.FPTaps == 0 {
+			continue
+		}
+		fmt.Printf("  %-22s %8.3fs  %12d ops  %10d int taps  %10d fp taps\n",
+			rs.Region, rs.Wall.Seconds(), ops, rs.IntTaps, rs.FPTaps)
+	}
 }
 
 func saveImage(path string, img *imgproc.Gray) error {

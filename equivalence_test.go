@@ -1,8 +1,9 @@
-// Campaign-level bit-exactness guards for the per-trial fast path:
-// the scanline warp kernel, the pooled trial arenas and the golden-run
-// cache must not change a single campaign observable — outcome counts,
-// crash kinds, coverage histograms, golden bytes or any per-trial
-// verdict — for a fixed seed.
+// Campaign-level bit-exactness guards for the per-trial fast path and
+// the probe.Sink instrumentation seam: the scanline warp kernel, the
+// pooled trial arenas, the golden-run cache and the choice of sink
+// (fault machine, Nop, Meter) must not change a single campaign
+// observable — outcome counts, crash kinds, coverage histograms,
+// golden bytes or any per-trial verdict — for a fixed seed.
 package vsresil_test
 
 import (
@@ -14,6 +15,8 @@ import (
 
 	"vsresil/internal/fastpath"
 	"vsresil/internal/fault"
+	"vsresil/internal/imgproc"
+	"vsresil/internal/probe"
 	"vsresil/internal/virat"
 	"vsresil/internal/vs"
 )
@@ -103,6 +106,107 @@ func TestCampaignWorkerEquivalence(t *testing.T) {
 	serial := runGuardCampaign(t, fault.GPR, true, 1, nil)
 	parallel := runGuardCampaign(t, fault.GPR, true, runtime.GOMAXPROCS(0), nil)
 	requireIdentical(t, "workers=1 vs GOMAXPROCS", serial, parallel)
+}
+
+// guardApp builds the fixed workload the sink-equivalence tests run.
+func guardApp() (*vs.App, []*imgproc.Gray) {
+	p := virat.TestScale()
+	p.Frames = 8
+	frames := virat.Input2(p).Frames()
+	return vs.New(vs.DefaultConfig(vs.AlgVS), len(frames)), frames
+}
+
+// encodedRun executes one pipeline run through the given sink and
+// returns the serialized panorama set.
+func encodedRun(t *testing.T, s probe.Sink) []byte {
+	t.Helper()
+	app, frames := guardApp()
+	res, err := app.Run(frames, s)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.Encode()
+}
+
+// TestSinkOutputEquivalence pins the tap-ordering invariant's output
+// half: the devirtualized Nop path, the observing Meter and a plan-free
+// fault machine must all produce byte-identical panorama sets. The Nop
+// comparison in particular covers the hand-inlined clean warp kernels
+// against the instrumented reference loops.
+func TestSinkOutputEquivalence(t *testing.T) {
+	machine := encodedRun(t, fault.New())
+	nop := encodedRun(t, probe.Nop{})
+	meter := encodedRun(t, probe.NewMeter())
+	nilSink := encodedRun(t, nil)
+	if !bytes.Equal(machine, nop) {
+		t.Errorf("plan-free machine vs Nop outputs differ (%d vs %d bytes)", len(machine), len(nop))
+	}
+	if !bytes.Equal(machine, meter) {
+		t.Errorf("plan-free machine vs Meter outputs differ (%d vs %d bytes)", len(machine), len(meter))
+	}
+	if !bytes.Equal(nop, nilSink) {
+		t.Errorf("Nop vs nil-sink outputs differ (%d vs %d bytes)", len(nop), len(nilSink))
+	}
+}
+
+// TestSinkOutputEquivalenceNoFastpath repeats the sink comparison with
+// the scanline fast path disabled, so the clean and instrumented
+// variants of the reference warp kernels are pinned too.
+func TestSinkOutputEquivalenceNoFastpath(t *testing.T) {
+	defer fastpath.SetEnabled(true)
+	fastpath.SetEnabled(false)
+	machine := encodedRun(t, fault.New())
+	nop := encodedRun(t, probe.Nop{})
+	if !bytes.Equal(machine, nop) {
+		t.Errorf("plan-free machine vs Nop outputs differ with fastpath off (%d vs %d bytes)", len(machine), len(nop))
+	}
+}
+
+// TestCampaignOutcomeStreamEquivalence pins the injection half of the
+// seam: two identically-seeded campaigns must deliver the identical
+// ordered Mask/Crash/SDC/Hang outcome stream through OnTrial, and that
+// stream must agree with the result's Trials slice. A refactor that
+// perturbed tap ordering anywhere in the pipeline would shift fault
+// sites and break this immediately.
+func TestCampaignOutcomeStreamEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign equivalence sweep is not -short")
+	}
+	stream := func() ([]fault.TrialRecord, *fault.Result) {
+		app, frames := guardApp()
+		var recs []fault.TrialRecord
+		res, err := fault.RunCampaign(context.Background(), fault.Config{
+			Trials:  40,
+			Class:   fault.GPR,
+			Region:  fault.RAny,
+			Seed:    0x5EED5,
+			Workers: 1,
+			OnTrial: func(rec fault.TrialRecord) { recs = append(recs, rec) },
+		}, app.RunEncoded(frames))
+		if err != nil {
+			t.Fatalf("campaign: %v", err)
+		}
+		return recs, res
+	}
+	recsA, resA := stream()
+	recsB, resB := stream()
+	requireIdentical(t, "outcome-stream run A vs run B", resA, resB)
+	if len(recsA) != len(recsB) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(recsA), len(recsB))
+	}
+	for i := range recsA {
+		if recsA[i].Outcome != recsB[i].Outcome || recsA[i].Crash != recsB[i].Crash {
+			t.Errorf("stream trial %d differs: (%v,%v) vs (%v,%v)",
+				i, recsA[i].Outcome, recsA[i].Crash, recsB[i].Outcome, recsB[i].Crash)
+		}
+	}
+	for _, rec := range recsA {
+		tr := resA.Trials[rec.Index]
+		if tr.Outcome != rec.Outcome || tr.Crash != rec.Crash {
+			t.Errorf("stream trial %d disagrees with Trials slice: (%v,%v) vs (%v,%v)",
+				rec.Index, rec.Outcome, rec.Crash, tr.Outcome, tr.Crash)
+		}
+	}
 }
 
 // TestCampaignGoldenCacheEquivalence checks that supplying a

@@ -12,6 +12,7 @@ import (
 
 	"vsresil"
 	"vsresil/internal/events"
+	"vsresil/internal/probe"
 	"vsresil/internal/stitch"
 )
 
@@ -24,7 +25,7 @@ func main() {
 
 	frames := seq.Frames()
 	st := stitch.New(stitch.DefaultConfig())
-	res, err := st.Run(frames, nil)
+	res, err := st.Run(frames, probe.Nop{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func main() {
 		prim.Image.W, prim.Image.H, prim.Frames)
 
 	sum, err := events.Summarize(frames, res,
-		events.DefaultDetectConfig(), events.DefaultTrackConfig(), nil)
+		events.DefaultDetectConfig(), events.DefaultTrackConfig(), probe.Nop{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,6 +18,7 @@ import (
 	"vsresil/internal/energy"
 	"vsresil/internal/fault"
 	"vsresil/internal/imgproc"
+	"vsresil/internal/probe"
 	"vsresil/internal/quality"
 	"vsresil/internal/stitch"
 	"vsresil/internal/virat"
@@ -113,7 +114,7 @@ func Run(ctx context.Context, cfg StudyConfig) (*StudyResult, error) {
 		baseCfg := vs.DefaultConfig(vs.AlgVS)
 		baseCfg.Seed = cfg.Seed
 		baseApp := vs.New(baseCfg, len(frames))
-		baseGolden, err := baseApp.Run(frames, nil)
+		baseGolden, err := baseApp.Run(frames, probe.Nop{})
 		if err != nil {
 			return nil, fmt.Errorf("core: baseline golden run: %w", err)
 		}

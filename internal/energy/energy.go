@@ -5,7 +5,8 @@
 // algorithms, and (b) energy consequently tracks execution time.
 //
 // This reproduction derives the same quantities from the operation
-// accounting gathered by the fault machine during a run: each
+// accounting gathered through the probe seam during a run — by the
+// fault machine in campaigns or a probe.Meter in live serving: each
 // operation class has a nominal CPI, cycles follow from the op mix,
 // and the energy model charges a constant-power core for the computed
 // runtime. Because approximations reduce the *amount* of work (frames
@@ -17,7 +18,7 @@ package energy
 import (
 	"fmt"
 
-	"vsresil/internal/fault"
+	"vsresil/internal/probe"
 )
 
 // Model holds the machine parameters of the simulated core, loosely
@@ -25,7 +26,7 @@ import (
 // POWER machine.
 type Model struct {
 	// CPI is the average cycles per operation for each op class.
-	CPI [fault.NumOpClasses]float64
+	CPI [probe.NumOpClasses]float64
 	// FrequencyHz is the core clock.
 	FrequencyHz float64
 	// StaticPowerW is the leakage + uncore power drawn regardless of
@@ -39,12 +40,12 @@ type Model struct {
 // reproduction.
 func DefaultModel() Model {
 	return Model{
-		CPI: [fault.NumOpClasses]float64{
-			fault.OpInt:    1.0,
-			fault.OpFloat:  2.0,
-			fault.OpLoad:   2.5,
-			fault.OpStore:  2.0,
-			fault.OpBranch: 1.3,
+		CPI: [probe.NumOpClasses]float64{
+			probe.OpInt:    1.0,
+			probe.OpFloat:  2.0,
+			probe.OpLoad:   2.5,
+			probe.OpStore:  2.0,
+			probe.OpBranch: 1.3,
 		},
 		FrequencyHz:   3.0e9,
 		StaticPowerW:  35,
@@ -63,12 +64,13 @@ type Metrics struct {
 }
 
 // Measure derives run metrics from the op accounting of a completed
-// run's machine.
-func (mo Model) Measure(m *fault.Machine) Metrics {
+// run — any probe.Counters: a campaign's fault machine or a metered
+// serving run's probe.Meter.
+func (mo Model) Measure(cs probe.Counters) Metrics {
 	var instructions uint64
 	var cycles float64
-	for c := fault.OpClass(0); c < fault.NumOpClasses; c++ {
-		n := m.TotalOps(c)
+	for c := probe.OpClass(0); c < probe.NumOpClasses; c++ {
+		n := probe.TotalOps(cs, c)
 		instructions += n
 		cycles += float64(n) * mo.CPI[c]
 	}
@@ -86,10 +88,10 @@ func (mo Model) Measure(m *fault.Machine) Metrics {
 
 // RegionCycles returns the cycles attributed to one region — the
 // per-function breakdown behind the Fig 8 execution profile.
-func (mo Model) RegionCycles(m *fault.Machine, r fault.Region) float64 {
+func (mo Model) RegionCycles(cs probe.Counters, r probe.Region) float64 {
 	var cycles float64
-	for c := fault.OpClass(0); c < fault.NumOpClasses; c++ {
-		cycles += float64(m.OpCount(r, c)) * mo.CPI[c]
+	for c := probe.OpClass(0); c < probe.NumOpClasses; c++ {
+		cycles += float64(cs.OpCount(r, c)) * mo.CPI[c]
 	}
 	return cycles
 }

@@ -17,9 +17,9 @@ import (
 	"math"
 	"sort"
 
-	"vsresil/internal/fault"
 	"vsresil/internal/geom"
 	"vsresil/internal/imgproc"
+	"vsresil/internal/probe"
 	"vsresil/internal/stitch"
 	"vsresil/internal/warp"
 )
@@ -52,9 +52,10 @@ func DefaultDetectConfig() DetectConfig {
 }
 
 // DetectMotion finds moving regions between two registered frames.
-// hPrevToCur maps prev's coordinates into cur's. The fault machine m
-// may be nil.
-func DetectMotion(prev, cur *imgproc.Gray, hPrevToCur geom.Homography, cfg DetectConfig, frame int, m *fault.Machine) ([]Detection, error) {
+// hPrevToCur maps prev's coordinates into cur's. m is any probe.Sink;
+// pass probe.Nop{} for an uninstrumented run (nil is normalized by
+// the warp stage, the only instrumented computation here).
+func DetectMotion(prev, cur *imgproc.Gray, hPrevToCur geom.Homography, cfg DetectConfig, frame int, m probe.Sink) ([]Detection, error) {
 	if cfg.DiffThreshold == 0 {
 		cfg.DiffThreshold = 60
 	}
@@ -198,8 +199,10 @@ type Summary struct {
 // Summarize runs motion detection over every registered consecutive
 // frame pair of a stitching result and associates the detections into
 // tracks. Frames the stitcher discarded are skipped (their geometry is
-// unknown), exactly as the real pipeline would.
-func Summarize(frames []*imgproc.Gray, res *stitch.Result, dcfg DetectConfig, tcfg TrackConfig, m *fault.Machine) (*Summary, error) {
+// unknown), exactly as the real pipeline would. m is any probe.Sink;
+// pass probe.Nop{} for an uninstrumented run (nil is normalized
+// downstream).
+func Summarize(frames []*imgproc.Gray, res *stitch.Result, dcfg DetectConfig, tcfg TrackConfig, m probe.Sink) (*Summary, error) {
 	if tcfg.MaxDistance <= 0 {
 		tcfg.MaxDistance = 20
 	}

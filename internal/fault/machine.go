@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"math"
 
+	"vsresil/internal/probe"
 	"vsresil/internal/stats"
 )
 
@@ -68,79 +69,44 @@ func (c Class) String() string {
 	}
 }
 
-// Region identifies the function-level scope a tap executes in. It
-// serves two purposes: the Fig 11b case study injects faults only
-// inside the hot functions, and the Fig 8 execution profile attributes
-// operation counts to functions.
-type Region uint8
+// Region identifies the function-level scope a tap executes in. The
+// type (and its constants below) now lives in package probe — the
+// instrumentation seam shared by every sink — and is aliased here so
+// campaign code and plans keep reading naturally as fault.Region.
+type Region = probe.Region
 
-// Regions of the video summarization application. RWarpInvoker and
-// RRemapBilinear are the paper's two hot functions (WarpPerspective's
-// callees); the remaining vision kernels model the rest of the OpenCV
-// share; RApp covers application-level orchestration.
+// Regions of the video summarization application, re-exported from
+// package probe. RWarpInvoker and RRemapBilinear are the paper's two
+// hot functions (WarpPerspective's callees).
 const (
-	RApp Region = iota
-	RFASTDetect
-	RORBDescribe
-	RMatch
-	RRANSAC
-	RWarpInvoker
-	RRemapBilinear
-	RBlend
-	RDecode
-	NumRegions
+	RApp           = probe.RApp
+	RFASTDetect    = probe.RFASTDetect
+	RORBDescribe   = probe.RORBDescribe
+	RMatch         = probe.RMatch
+	RRANSAC        = probe.RRANSAC
+	RWarpInvoker   = probe.RWarpInvoker
+	RRemapBilinear = probe.RRemapBilinear
+	RBlend         = probe.RBlend
+	RDecode        = probe.RDecode
+	NumRegions     = probe.NumRegions
 
 	// RAny is used in plans to mean "no region restriction".
-	RAny Region = 255
+	RAny = probe.RAny
 )
-
-var regionNames = [NumRegions]string{
-	"app", "FASTDetect", "ORBDescribe", "match", "RANSAC",
-	"WarpPerspectiveInvoker", "remapBilinear", "blend", "decode",
-}
-
-// String implements fmt.Stringer.
-func (r Region) String() string {
-	if r == RAny {
-		return "any"
-	}
-	if int(r) < len(regionNames) {
-		return regionNames[r]
-	}
-	return fmt.Sprintf("Region(%d)", uint8(r))
-}
 
 // OpClass categorizes accounted operations for the performance/energy
-// model (package energy).
-type OpClass uint8
+// model (package energy); aliased from package probe.
+type OpClass = probe.OpClass
 
-// Operation classes with distinct per-operation cycle costs.
+// Operation classes, re-exported from package probe.
 const (
-	OpInt OpClass = iota
-	OpFloat
-	OpLoad
-	OpStore
-	OpBranch
-	NumOpClasses
+	OpInt        = probe.OpInt
+	OpFloat      = probe.OpFloat
+	OpLoad       = probe.OpLoad
+	OpStore      = probe.OpStore
+	OpBranch     = probe.OpBranch
+	NumOpClasses = probe.NumOpClasses
 )
-
-// String implements fmt.Stringer.
-func (o OpClass) String() string {
-	switch o {
-	case OpInt:
-		return "int"
-	case OpFloat:
-		return "float"
-	case OpLoad:
-		return "load"
-	case OpStore:
-		return "store"
-	case OpBranch:
-		return "branch"
-	default:
-		return fmt.Sprintf("OpClass(%d)", uint8(o))
-	}
-}
 
 // NumRegisters is the architectural register file size per class (the
 // paper's POWER machine has 32 GPRs and 32 FPRs; Fig 9b histograms
@@ -175,9 +141,12 @@ func (h hangError) Error() string {
 }
 
 // Machine carries fault-injection state and operation accounting
-// through one end-to-end run of the application. A nil *Machine is
-// valid and means "uninstrumented": every tap is an identity with no
-// accounting, so production use of the pipeline pays only a nil check.
+// through one end-to-end run of the application. It is the injecting
+// implementation of probe.Sink — the stage packages accept any Sink,
+// and campaigns thread a Machine through that seam. Tap methods remain
+// nil-safe for legacy call sites, but uninstrumented runs should use
+// probe.Nop{} (the devirtualized clean path) rather than a nil
+// *Machine.
 //
 // Machine is not safe for concurrent use; every trial gets its own.
 type Machine struct {
@@ -200,18 +169,45 @@ type Machine struct {
 	injected bool // a bit was actually flipped
 
 	ops [NumRegions][NumOpClasses]uint64
+
+	// regionStack holds the regions saved by Enter; restoreFn pops it.
+	// Sharing one preallocated restore function across all Enter calls
+	// keeps Enter allocation-free even when called through the generic
+	// kernels, where a per-call closure could not be stack-allocated.
+	regionStack []Region
+	restoreFn   func()
 }
+
+// Machine is the injecting probe.Sink.
+var _ probe.Sink = (*Machine)(nil)
+
+// Machine's op accounting drives the energy/profilesim models.
+var _ probe.Counters = (*Machine)(nil)
 
 // New returns a counting machine with no fault plan (a golden run).
 func New() *Machine {
-	return &Machine{region: RApp}
+	m := &Machine{region: RApp, regionStack: make([]Region, 0, 8)}
+	m.restoreFn = m.restoreRegion
+	return m
 }
 
 // NewWithPlan returns a machine that will execute the given plan.
 // stepBudget bounds total taps before the run is declared hung; use 0
 // for unlimited (golden runs).
 func NewWithPlan(p Plan, stepBudget uint64) *Machine {
-	return &Machine{plan: &p, stepBudget: stepBudget, region: RApp}
+	m := &Machine{plan: &p, stepBudget: stepBudget, region: RApp, regionStack: make([]Region, 0, 8)}
+	m.restoreFn = m.restoreRegion
+	return m
+}
+
+// restoreRegion pops the region saved by the matching Enter. Enter and
+// its restore pair LIFO (callers defer the restore), so a shared pop
+// is equivalent to per-call capture.
+func (m *Machine) restoreRegion() {
+	if n := len(m.regionStack); n > 0 {
+		m.region = m.regionStack[n-1]
+		m.regionStack = m.regionStack[:n-1]
+	}
 }
 
 // Injected reports whether the plan's bit flip actually landed on a
@@ -287,11 +283,11 @@ func (m *Machine) Enter(r Region) func() {
 	if m == nil {
 		return func() {}
 	}
-	prev := m.region
+	m.regionStack = append(m.regionStack, m.region)
 	if r < NumRegions {
 		m.region = r
 	}
-	return func() { m.region = prev }
+	return m.restoreFn
 }
 
 // Swap switches the current region and returns the previous one. It

@@ -4,9 +4,10 @@
 // rotation-steered BRIEF), the exact detector/descriptor pair the
 // paper's OpenCV pipeline uses.
 //
-// All pixel and index traffic flows through fault-machine taps so the
+// All pixel and index traffic flows through probe.Sink taps so the
 // AFI reproduction can corrupt the detector the same way a register
-// bit flip would.
+// bit flip would, while clean runs instantiate the kernels with the
+// no-op sink and pay nothing.
 package features
 
 import (
@@ -15,6 +16,7 @@ import (
 	"vsresil/internal/fastpath"
 	"vsresil/internal/fault"
 	"vsresil/internal/imgproc"
+	"vsresil/internal/probe"
 )
 
 // KeyPoint is a detected corner with its FAST score and ORB
@@ -66,10 +68,20 @@ func DefaultFASTConfig() FASTConfig {
 	}
 }
 
-// DetectFAST finds FAST corners in g. The machine m may be nil for
-// uninstrumented runs.
-func DetectFAST(g *imgproc.Gray, cfg FASTConfig, m *fault.Machine) []KeyPoint {
-	defer m.Enter(fault.RFASTDetect)()
+// DetectFAST finds FAST corners in g. s is any probe.Sink; pass
+// probe.Nop{} for an uninstrumented run (nil is normalized).
+func DetectFAST(g *imgproc.Gray, cfg FASTConfig, s probe.Sink) []KeyPoint {
+	if s = probe.OrNop(s); probe.IsNop(s) {
+		return detectFAST(g, cfg, probe.Nop{})
+	}
+	if m, ok := s.(*fault.Machine); ok {
+		return detectFAST(g, cfg, m)
+	}
+	return detectFAST(g, cfg, s)
+}
+
+func detectFAST[S probe.Sink](g *imgproc.Gray, cfg FASTConfig, m S) []KeyPoint {
+	defer m.Enter(probe.RFASTDetect)()
 	if cfg.Threshold <= 0 {
 		cfg.Threshold = 20
 	}
@@ -117,7 +129,7 @@ func DetectFAST(g *imgproc.Gray, cfg FASTConfig, m *fault.Machine) []KeyPoint {
 	raw := getKeyPoints()
 	defer func() { putKeyPoints(raw) }()
 	for y := border; y < h-border; y++ {
-		m.Ops(fault.OpBranch, uint64(w-2*border))
+		m.Ops(probe.OpBranch, uint64(w-2*border))
 		rowBase := y * g.W
 		for x := border; x < w-border; x++ {
 			xt := m.Idx(x)
@@ -165,7 +177,7 @@ func DetectFAST(g *imgproc.Gray, cfg FASTConfig, m *fault.Machine) []KeyPoint {
 			if score <= 0 {
 				continue
 			}
-			m.Ops(fault.OpLoad, 16)
+			m.Ops(probe.OpLoad, 16)
 			if scores != nil {
 				s := score
 				if s > 255 {
@@ -220,7 +232,7 @@ func DetectFAST(g *imgproc.Gray, cfg FASTConfig, m *fault.Machine) []KeyPoint {
 // a corner score (0 = not a corner). The score is the larger of the
 // bright-arc and dark-arc total threshold excess, the same measure
 // OpenCV uses for non-max suppression.
-func fastScore(g *imgproc.Gray, x, y, lo, hi, arc int, m *fault.Machine) int {
+func fastScore[S probe.Sink](g *imgproc.Gray, x, y, lo, hi, arc int, m S) int {
 	var bright, dark [16]bool
 	var diffs [16]int
 	var brightMask, darkMask uint32
@@ -244,7 +256,7 @@ func fastScore(g *imgproc.Gray, x, y, lo, hi, arc int, m *fault.Machine) int {
 // caller has proven the center (and so the whole radius-3 circle,
 // border >= 3) lies inside the image, in which case every read returns
 // exactly what At would.
-func fastScoreDirect(g *imgproc.Gray, base int, deltas *[16]int, lo, hi, arc int, m *fault.Machine) int {
+func fastScoreDirect[S probe.Sink](g *imgproc.Gray, base int, deltas *[16]int, lo, hi, arc int, m S) int {
 	var bright, dark [16]bool
 	var diffs [16]int
 	var brightMask, darkMask uint32
@@ -278,7 +290,7 @@ func hasArcRun(mask uint32, arc int) bool {
 
 // arcScore runs the doubled-circle contiguous-arc scan shared by both
 // read paths.
-func arcScore(diffs *[16]int, bright, dark *[16]bool, brightMask, darkMask uint32, lo, hi, arc int, m *fault.Machine) int {
+func arcScore[S probe.Sink](diffs *[16]int, bright, dark *[16]bool, brightMask, darkMask uint32, lo, hi, arc int, m S) int {
 	center := (lo + hi) / 2
 	th := (hi - lo) / 2
 

@@ -6,6 +6,7 @@ import (
 	"vsresil/internal/fastpath"
 	"vsresil/internal/fault"
 	"vsresil/internal/imgproc"
+	"vsresil/internal/probe"
 	"vsresil/internal/stats"
 )
 
@@ -20,9 +21,23 @@ const DescriptorBits = DescriptorWords * 64
 type Descriptor [DescriptorWords]uint64
 
 // Hamming returns the Hamming distance between two descriptors,
-// accumulating through fault-machine taps (the accumulator and the
-// descriptor words are GPR state in the original binary).
-func (d Descriptor) Hamming(o Descriptor, m *fault.Machine) int {
+// accumulating through sink taps (the accumulator and the descriptor
+// words are GPR state in the original binary). s is any probe.Sink;
+// pass probe.Nop{} for an uninstrumented distance (nil is normalized).
+func (d Descriptor) Hamming(o Descriptor, s probe.Sink) int {
+	if s = probe.OrNop(s); probe.IsNop(s) {
+		return HammingDist(d, o, probe.Nop{})
+	}
+	if m, ok := s.(*fault.Machine); ok {
+		return HammingDist(d, o, m)
+	}
+	return HammingDist(d, o, s)
+}
+
+// HammingDist is the generic kernel behind Descriptor.Hamming. The
+// matcher calls it with its own concrete sink type so the per-pair
+// inner loop never boxes the sink into an interface.
+func HammingDist[S probe.Sink](d, o Descriptor, m S) int {
 	dist := 0
 	for i := 0; i < DescriptorWords; i++ {
 		x := m.Word(d[i]) ^ o[i]
@@ -179,7 +194,19 @@ func NewExtractor(cfg ORBConfig) *Extractor {
 
 // Orientation computes the intensity-centroid angle of the patch
 // around (x, y): atan2(m01, m10) over the circular patch, as in ORB.
-func (e *Extractor) Orientation(g *imgproc.Gray, x, y int, m *fault.Machine) float64 {
+// s is any probe.Sink; pass probe.Nop{} for an uninstrumented run
+// (nil is normalized).
+func (e *Extractor) Orientation(g *imgproc.Gray, x, y int, s probe.Sink) float64 {
+	if s = probe.OrNop(s); probe.IsNop(s) {
+		return orientation(e, g, x, y, probe.Nop{})
+	}
+	if m, ok := s.(*fault.Machine); ok {
+		return orientation(e, g, x, y, m)
+	}
+	return orientation(e, g, x, y, s)
+}
+
+func orientation[S probe.Sink](e *Extractor, g *imgproc.Gray, x, y int, m S) float64 {
 	r := e.cfg.PatchRadius
 	var m01, m10 float64
 	if fastpath.Enabled() && e.dxLim != nil && x >= r && y >= r && x < g.W-r && y < g.H-r {
@@ -189,8 +216,8 @@ func (e *Extractor) Orientation(g *imgproc.Gray, x, y int, m *fault.Machine) flo
 		// the same order — the moment sums are bit-identical.
 		for dy := -r; dy <= r; dy++ {
 			yy := y + dy
-			m.Ops(fault.OpLoad, uint64(2*r+1))
-			m.Ops(fault.OpFloat, uint64(2*(2*r+1)))
+			m.Ops(probe.OpLoad, uint64(2*r+1))
+			m.Ops(probe.OpFloat, uint64(2*(2*r+1)))
 			lim := e.dxLim[dy+r]
 			row := g.Pix[yy*g.W+x-lim : yy*g.W+x+lim+1]
 			fdy := float64(dy)
@@ -204,8 +231,8 @@ func (e *Extractor) Orientation(g *imgproc.Gray, x, y int, m *fault.Machine) flo
 		r2 := r * r
 		for dy := -r; dy <= r; dy++ {
 			yy := y + dy
-			m.Ops(fault.OpLoad, uint64(2*r+1))
-			m.Ops(fault.OpFloat, uint64(2*(2*r+1)))
+			m.Ops(probe.OpLoad, uint64(2*r+1))
+			m.Ops(probe.OpFloat, uint64(2*(2*r+1)))
 			for dx := -r; dx <= r; dx++ {
 				if dx*dx+dy*dy > r2 {
 					continue
@@ -228,9 +255,21 @@ func (e *Extractor) Orientation(g *imgproc.Gray, x, y int, m *fault.Machine) flo
 
 // Describe computes ORB descriptors for the key points, filling in
 // their Angle fields. Key points too close to the border for the
-// patch are dropped; the returned slices are parallel.
-func (e *Extractor) Describe(g *imgproc.Gray, kps []KeyPoint, m *fault.Machine) ([]KeyPoint, []Descriptor) {
-	defer m.Enter(fault.RORBDescribe)()
+// patch are dropped; the returned slices are parallel. s is any
+// probe.Sink; pass probe.Nop{} for an uninstrumented run (nil is
+// normalized).
+func (e *Extractor) Describe(g *imgproc.Gray, kps []KeyPoint, s probe.Sink) ([]KeyPoint, []Descriptor) {
+	if s = probe.OrNop(s); probe.IsNop(s) {
+		return describe(e, g, kps, probe.Nop{})
+	}
+	if m, ok := s.(*fault.Machine); ok {
+		return describe(e, g, kps, m)
+	}
+	return describe(e, g, kps, s)
+}
+
+func describe[S probe.Sink](e *Extractor, g *imgproc.Gray, kps []KeyPoint, m S) ([]KeyPoint, []Descriptor) {
+	defer m.Enter(probe.RORBDescribe)()
 	r := e.cfg.PatchRadius
 	binWidth := 2 * math.Pi / float64(e.cfg.AngleBins)
 
@@ -242,7 +281,7 @@ func (e *Extractor) Describe(g *imgproc.Gray, kps []KeyPoint, m *fault.Machine) 
 		if kp.X < r || kp.Y < r || kp.X >= g.W-r || kp.Y >= g.H-r {
 			continue
 		}
-		angle := e.Orientation(g, kp.X, kp.Y, m)
+		angle := orientation(e, g, kp.X, kp.Y, m)
 		// Quantize the steering angle like ORB (12-degree bins) so the
 		// rotated pattern can be reused across features.
 		bin := math.Round(angle / binWidth)
@@ -300,8 +339,8 @@ func (e *Extractor) Describe(g *imgproc.Gray, kps []KeyPoint, m *fault.Machine) 
 				}
 			}
 		}
-		m.Ops(fault.OpLoad, DescriptorBits*2)
-		m.Ops(fault.OpInt, DescriptorBits)
+		m.Ops(probe.OpLoad, DescriptorBits*2)
+		m.Ops(probe.OpInt, DescriptorBits)
 
 		kp.Angle = angle
 		outKps = append(outKps, kp)

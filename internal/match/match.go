@@ -23,6 +23,7 @@ import (
 
 	"vsresil/internal/fault"
 	"vsresil/internal/features"
+	"vsresil/internal/probe"
 )
 
 // Match pairs a query key point index with its matched train index.
@@ -99,17 +100,28 @@ func New(cfg Config) *Matcher {
 func (mt *Matcher) Config() Config { return mt.cfg }
 
 // Match finds matches from query descriptors to train descriptors.
-// The fault machine m may be nil.
-func (mt *Matcher) Match(query, train []features.Descriptor, m *fault.Machine) []Match {
-	return mt.AppendMatches(nil, query, train, m)
+// s is any probe.Sink; pass probe.Nop{} for an uninstrumented run
+// (nil is normalized).
+func (mt *Matcher) Match(query, train []features.Descriptor, s probe.Sink) []Match {
+	return mt.AppendMatches(nil, query, train, s)
 }
 
 // AppendMatches is Match appending into dst (which may be nil),
 // reusing its capacity — callers that match every frame pair of every
 // campaign trial pass a recycled buffer to keep the steady state
 // allocation-free. It emits exactly Match's tap stream.
-func (mt *Matcher) AppendMatches(dst []Match, query, train []features.Descriptor, m *fault.Machine) []Match {
-	defer m.Enter(fault.RMatch)()
+func (mt *Matcher) AppendMatches(dst []Match, query, train []features.Descriptor, s probe.Sink) []Match {
+	if s = probe.OrNop(s); probe.IsNop(s) {
+		return appendMatches(mt, dst, query, train, probe.Nop{})
+	}
+	if m, ok := s.(*fault.Machine); ok {
+		return appendMatches(mt, dst, query, train, m)
+	}
+	return appendMatches(mt, dst, query, train, s)
+}
+
+func appendMatches[S probe.Sink](mt *Matcher, dst []Match, query, train []features.Descriptor, m S) []Match {
+	defer m.Enter(probe.RMatch)()
 	if len(train) == 0 {
 		return dst[:0]
 	}
@@ -131,7 +143,7 @@ func (mt *Matcher) AppendMatches(dst []Match, query, train []features.Descriptor
 			best, bestDist, secondDist := nearest2(q, train, m)
 			// The 2-NN bookkeeping costs extra comparisons per
 			// candidate relative to the single-NN scan.
-			m.Ops(fault.OpBranch, uint64(len(train)))
+			m.Ops(probe.OpBranch, uint64(len(train)))
 			// Keep only when the best is sufficiently closer than the
 			// runner-up; with a single candidate the runner-up is
 			// treated as maximally distant.
@@ -147,12 +159,12 @@ func (mt *Matcher) AppendMatches(dst []Match, query, train []features.Descriptor
 // VS_SM only accepts near-perfect matches anyway, the scan terminates
 // early once a candidate within earlyExit bits is found — the
 // algorithmic source of the approximation's speedup (§IV(3)).
-func nearest1(q features.Descriptor, train []features.Descriptor, earlyExit int, m *fault.Machine) (int, int) {
+func nearest1[S probe.Sink](q features.Descriptor, train []features.Descriptor, earlyExit int, m S) (int, int) {
 	best, bestDist := -1, features.DescriptorBits+1
 	nt := m.Cnt(len(train))
-	m.Ops(fault.OpBranch, uint64(nt))
+	m.Ops(probe.OpBranch, uint64(nt))
 	for ti := 0; ti < nt; ti++ {
-		d := q.Hamming(train[m.Idx(ti)], m)
+		d := features.HammingDist(q, train[m.Idx(ti)], m)
 		if d < bestDist {
 			best, bestDist = ti, d
 			if bestDist <= earlyExit {
@@ -164,14 +176,14 @@ func nearest1(q features.Descriptor, train []features.Descriptor, earlyExit int,
 }
 
 // nearest2 scans train for the two nearest neighbors of q.
-func nearest2(q features.Descriptor, train []features.Descriptor, m *fault.Machine) (best, bestDist, secondDist int) {
+func nearest2[S probe.Sink](q features.Descriptor, train []features.Descriptor, m S) (best, bestDist, secondDist int) {
 	best = -1
 	bestDist = features.DescriptorBits + 1
 	secondDist = features.DescriptorBits + 1
 	nt := m.Cnt(len(train))
-	m.Ops(fault.OpBranch, uint64(nt))
+	m.Ops(probe.OpBranch, uint64(nt))
 	for ti := 0; ti < nt; ti++ {
-		d := q.Hamming(train[m.Idx(ti)], m)
+		d := features.HammingDist(q, train[m.Idx(ti)], m)
 		switch {
 		case d < bestDist:
 			secondDist = bestDist

@@ -1,0 +1,71 @@
+package probe_test
+
+import (
+	"fmt"
+
+	"vsresil/internal/probe"
+	"vsresil/internal/virat"
+	"vsresil/internal/vs"
+)
+
+// tapHistogram is a custom probe.Sink: it counts taps per region,
+// demonstrating that a study can bring its own instrumentation without
+// touching any stage package. Per the tap-ordering invariant it is
+// strictly passive — every tap method returns its argument unchanged.
+type tapHistogram struct {
+	region probe.Region
+	taps   [probe.NumRegions]uint64
+	stack  []probe.Region
+}
+
+func (h *tapHistogram) Enter(r probe.Region) func() {
+	h.stack = append(h.stack, h.region)
+	if r < probe.NumRegions {
+		h.region = r
+	}
+	return func() {
+		h.region = h.stack[len(h.stack)-1]
+		h.stack = h.stack[:len(h.stack)-1]
+	}
+}
+
+func (h *tapHistogram) Swap(r probe.Region) probe.Region {
+	prev := h.region
+	if r < probe.NumRegions {
+		h.region = r
+	}
+	return prev
+}
+
+func (h *tapHistogram) CurrentRegion() probe.Region { return h.region }
+
+func (h *tapHistogram) Idx(v int) int         { h.taps[h.region]++; return v }
+func (h *tapHistogram) Cnt(v int) int         { h.taps[h.region]++; return v }
+func (h *tapHistogram) Pix(v uint8) uint8     { h.taps[h.region]++; return v }
+func (h *tapHistogram) Word(v uint64) uint64  { h.taps[h.region]++; return v }
+func (h *tapHistogram) F64(v float64) float64 { h.taps[h.region]++; return v }
+
+func (h *tapHistogram) Ops(probe.OpClass, uint64) {}
+
+// Example_customSink runs the summarization pipeline under a
+// user-defined sink and reports which stages carry the most tappable
+// state — the fault-site census behind the paper's per-function
+// injection study.
+func Example_customSink() {
+	p := virat.TestScale()
+	p.Frames = 6
+	frames := virat.Input1(p).Frames()
+
+	hist := &tapHistogram{}
+	app := vs.New(vs.DefaultConfig(vs.AlgVS), len(frames))
+	if _, err := app.Run(frames, hist); err != nil {
+		panic(err)
+	}
+
+	warp := hist.taps[probe.RWarpInvoker] + hist.taps[probe.RRemapBilinear]
+	fmt.Println("hot warp functions expose fault sites:", warp > 0)
+	fmt.Println("decode stage exposes fault sites:", hist.taps[probe.RDecode] > 0)
+	// Output:
+	// hot warp functions expose fault sites: true
+	// decode stage exposes fault sites: true
+}

@@ -1,0 +1,197 @@
+package probe
+
+import "time"
+
+// Meter is the observability sink: it records per-region tap counts,
+// operation counts and wall-clock time for one pipeline run, without
+// perturbing any value. A metered run therefore produces byte-identical
+// output to a Nop (or plan-free fault machine) run, while yielding the
+// same per-region operation profile the campaign machine collects — so
+// the energy model (Fig 5) and execution profile (Fig 8) can be fed
+// from live serving traffic, and vsd can export per-stage gauges.
+//
+// Wall-time is attributed at Enter granularity: the clock flushes into
+// the currently entered region on every Enter and restore. Swap — used
+// by per-pixel hot paths — switches only the tap/op attribution region
+// and deliberately never reads the clock, so time spent in Swap-scoped
+// regions (e.g. remapBilinear) is charged to the enclosing stage.
+//
+// Meter is not safe for concurrent use; give every run its own and
+// merge snapshots afterwards.
+type Meter struct {
+	region     Region // tap/op attribution (Enter and Swap)
+	timeRegion Region // wall-time attribution (Enter only)
+	last       time.Time
+
+	intTaps [NumRegions]uint64
+	fpTaps  [NumRegions]uint64
+	ops     [NumRegions][NumOpClasses]uint64
+	wall    [NumRegions]time.Duration
+
+	// regionStack holds the (tap, time) region pairs saved by Enter;
+	// restoreFn pops it. One preallocated restore function keeps Enter
+	// allocation-free even through non-inlinable generic kernels.
+	regionStack []enteredRegions
+	restoreFn   func()
+}
+
+// enteredRegions is one Enter's saved attribution state.
+type enteredRegions struct {
+	region, timeRegion Region
+}
+
+var _ Sink = (*Meter)(nil)
+var _ Counters = (*Meter)(nil)
+
+// NewMeter returns a Meter with its clock running, attributing to RApp
+// until the first Enter.
+func NewMeter() *Meter {
+	mt := &Meter{
+		region: RApp, timeRegion: RApp, last: time.Now(),
+		regionStack: make([]enteredRegions, 0, 8),
+	}
+	mt.restoreFn = mt.restoreRegion
+	return mt
+}
+
+// restoreRegion pops the state saved by the matching Enter. Enter and
+// restore pair LIFO (callers defer the restore), so the shared pop is
+// equivalent to per-call capture.
+func (mt *Meter) restoreRegion() {
+	n := len(mt.regionStack)
+	if n == 0 {
+		return
+	}
+	saved := mt.regionStack[n-1]
+	mt.regionStack = mt.regionStack[:n-1]
+	mt.flush()
+	mt.region, mt.timeRegion = saved.region, saved.timeRegion
+}
+
+// flush charges the elapsed wall time to the current time region.
+func (mt *Meter) flush() {
+	now := time.Now()
+	mt.wall[mt.timeRegion] += now.Sub(mt.last)
+	mt.last = now
+}
+
+// Enter implements Sink, switching both tap and wall-time attribution.
+func (mt *Meter) Enter(r Region) func() {
+	if r >= NumRegions {
+		return nopRestore
+	}
+	mt.flush()
+	mt.regionStack = append(mt.regionStack, enteredRegions{mt.region, mt.timeRegion})
+	mt.region, mt.timeRegion = r, r
+	return mt.restoreFn
+}
+
+// Swap implements Sink, switching tap/op attribution only (no clock
+// read — it is called per pixel).
+func (mt *Meter) Swap(r Region) Region {
+	prev := mt.region
+	if r < NumRegions {
+		mt.region = r
+	}
+	return prev
+}
+
+// CurrentRegion implements Sink.
+func (mt *Meter) CurrentRegion() Region { return mt.region }
+
+// Idx implements Sink, counting one integer tap.
+func (mt *Meter) Idx(v int) int {
+	mt.intTaps[mt.region]++
+	return v
+}
+
+// Cnt implements Sink, counting one integer tap.
+func (mt *Meter) Cnt(v int) int {
+	mt.intTaps[mt.region]++
+	return v
+}
+
+// Pix implements Sink, counting one integer tap.
+func (mt *Meter) Pix(v uint8) uint8 {
+	mt.intTaps[mt.region]++
+	return v
+}
+
+// Word implements Sink, counting one integer tap.
+func (mt *Meter) Word(v uint64) uint64 {
+	mt.intTaps[mt.region]++
+	return v
+}
+
+// F64 implements Sink, counting one floating-point tap.
+func (mt *Meter) F64(v float64) float64 {
+	mt.fpTaps[mt.region]++
+	return v
+}
+
+// Ops implements Sink.
+func (mt *Meter) Ops(c OpClass, n uint64) {
+	if c < NumOpClasses {
+		mt.ops[mt.region][c] += n
+	}
+}
+
+// OpCount implements Counters.
+func (mt *Meter) OpCount(r Region, c OpClass) uint64 {
+	if r >= NumRegions || c >= NumOpClasses {
+		return 0
+	}
+	return mt.ops[r][c]
+}
+
+// IntTaps returns the integer (GPR-class) taps recorded in region r.
+func (mt *Meter) IntTaps(r Region) uint64 {
+	if r >= NumRegions {
+		return 0
+	}
+	return mt.intTaps[r]
+}
+
+// FPTaps returns the floating-point taps recorded in region r.
+func (mt *Meter) FPTaps(r Region) uint64 {
+	if r >= NumRegions {
+		return 0
+	}
+	return mt.fpTaps[r]
+}
+
+// Wall returns the wall time charged to region r so far. It does not
+// flush the running clock; use Snapshot for a consistent view.
+func (mt *Meter) Wall(r Region) time.Duration {
+	if r >= NumRegions {
+		return 0
+	}
+	return mt.wall[r]
+}
+
+// RegionStats is one region's row of a Meter snapshot.
+type RegionStats struct {
+	Region  Region
+	IntTaps uint64
+	FPTaps  uint64
+	Ops     [NumOpClasses]uint64
+	Wall    time.Duration
+}
+
+// Snapshot flushes the running clock and returns one row per region,
+// in region order. Rows with no activity are included so consumers can
+// index by Region.
+func (mt *Meter) Snapshot() []RegionStats {
+	mt.flush()
+	out := make([]RegionStats, NumRegions)
+	for r := Region(0); r < NumRegions; r++ {
+		out[r] = RegionStats{
+			Region:  r,
+			IntTaps: mt.intTaps[r],
+			FPTaps:  mt.fpTaps[r],
+			Ops:     mt.ops[r],
+			Wall:    mt.wall[r],
+		}
+	}
+	return out
+}

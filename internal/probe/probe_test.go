@@ -1,0 +1,146 @@
+package probe
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNopIdentity(t *testing.T) {
+	n := Nop{}
+	if n.Idx(7) != 7 || n.Cnt(-3) != -3 || n.Pix(200) != 200 ||
+		n.Word(1<<63) != 1<<63 || n.F64(2.5) != 2.5 {
+		t.Error("Nop tap is not the identity")
+	}
+	restore := n.Enter(RMatch)
+	if n.CurrentRegion() != RApp {
+		t.Error("Nop left RApp")
+	}
+	restore()
+	if n.Swap(RBlend) != RApp {
+		t.Error("Nop Swap did not report RApp")
+	}
+}
+
+func TestIsNopAndOrNop(t *testing.T) {
+	if !IsNop(nil) || !IsNop(Nop{}) {
+		t.Error("nil / Nop{} not recognized as no-op")
+	}
+	if IsNop(NewMeter()) {
+		t.Error("Meter misclassified as no-op")
+	}
+	if _, ok := OrNop(nil).(Nop); !ok {
+		t.Error("OrNop(nil) is not Nop{}")
+	}
+	m := NewMeter()
+	if OrNop(m) != Sink(m) {
+		t.Error("OrNop rewrote a non-nil sink")
+	}
+}
+
+func TestMeterAttribution(t *testing.T) {
+	m := NewMeter()
+	restore := m.Enter(RMatch)
+	m.Idx(1)
+	m.Cnt(2)
+	m.F64(3.5)
+	m.Ops(OpInt, 10)
+
+	// Swap must move tap attribution without disturbing the Enter
+	// stack.
+	prev := m.Swap(RBlend)
+	if prev != RMatch {
+		t.Fatalf("Swap returned %v, want RMatch", prev)
+	}
+	m.Pix(9)
+	m.Swap(prev)
+	restore()
+
+	if m.CurrentRegion() != RApp {
+		t.Errorf("after restore region = %v, want RApp", m.CurrentRegion())
+	}
+	if got := m.IntTaps(RMatch); got != 2 {
+		t.Errorf("RMatch int taps = %d, want 2", got)
+	}
+	if got := m.FPTaps(RMatch); got != 1 {
+		t.Errorf("RMatch fp taps = %d, want 1", got)
+	}
+	if got := m.IntTaps(RBlend); got != 1 {
+		t.Errorf("RBlend int taps = %d, want 1", got)
+	}
+	if got := m.OpCount(RMatch, OpInt); got != 10 {
+		t.Errorf("RMatch int ops = %d, want 10", got)
+	}
+	if got := TotalOps(m, OpInt); got != 10 {
+		t.Errorf("TotalOps = %d, want 10", got)
+	}
+}
+
+func TestMeterTapsAreIdentity(t *testing.T) {
+	m := NewMeter()
+	if m.Idx(7) != 7 || m.Cnt(-3) != -3 || m.Pix(200) != 200 ||
+		m.Word(1<<63) != 1<<63 || m.F64(2.5) != 2.5 {
+		t.Error("Meter tap perturbed a value")
+	}
+}
+
+func TestMeterNestedEnter(t *testing.T) {
+	m := NewMeter()
+	outer := m.Enter(RFASTDetect)
+	inner := m.Enter(RORBDescribe)
+	if m.CurrentRegion() != RORBDescribe {
+		t.Fatal("inner Enter did not switch")
+	}
+	inner()
+	if m.CurrentRegion() != RFASTDetect {
+		t.Error("inner restore did not return to outer region")
+	}
+	outer()
+	if m.CurrentRegion() != RApp {
+		t.Error("outer restore did not return to RApp")
+	}
+}
+
+func TestMeterWallAccumulates(t *testing.T) {
+	m := NewMeter()
+	restore := m.Enter(RRANSAC)
+	time.Sleep(2 * time.Millisecond)
+	restore()
+	snap := m.Snapshot()
+	if snap[RRANSAC].Wall <= 0 {
+		t.Error("no wall time charged to entered region")
+	}
+	var total time.Duration
+	for _, rs := range snap {
+		total += rs.Wall
+	}
+	if total < snap[RRANSAC].Wall {
+		t.Error("snapshot wall times inconsistent")
+	}
+}
+
+func TestMeterEnterDoesNotAllocate(t *testing.T) {
+	m := NewMeter()
+	allocs := testing.AllocsPerRun(100, func() {
+		restore := m.Enter(RMatch)
+		m.Idx(1)
+		restore()
+	})
+	if allocs > 0 {
+		t.Errorf("Enter/restore allocates %.0f per call, want 0", allocs)
+	}
+}
+
+func TestRegionAndOpClassStrings(t *testing.T) {
+	if RAny.String() != "any" {
+		t.Errorf("RAny = %q", RAny.String())
+	}
+	if RRemapBilinear.String() != "remapBilinear" {
+		t.Errorf("RRemapBilinear = %q", RRemapBilinear.String())
+	}
+	if OpFloat.String() != "float" {
+		t.Errorf("OpFloat = %q", OpFloat.String())
+	}
+	if Region(200).String() == "" || OpClass(99).String() == "" {
+		t.Error("out-of-range String empty")
+	}
+}

@@ -2,7 +2,8 @@
 // distribution of execution time over the application's functions,
 // which the paper extracts with Linux perf. Here the same breakdown
 // comes from the per-region operation accounting of an instrumented
-// run, weighted by the energy model's per-class CPIs.
+// run — any probe.Counters, a campaign machine or a live probe.Meter —
+// weighted by the energy model's per-class CPIs.
 //
 // The paper's headline numbers: ~68% of execution time inside OpenCV
 // library functions, with a single function — WarpPerspectiveInvoker —
@@ -14,12 +15,12 @@ import (
 	"sort"
 
 	"vsresil/internal/energy"
-	"vsresil/internal/fault"
+	"vsresil/internal/probe"
 )
 
 // FunctionShare is one row of the profile.
 type FunctionShare struct {
-	Region   fault.Region
+	Region   probe.Region
 	Cycles   float64
 	Fraction float64
 }
@@ -40,21 +41,22 @@ type Profile struct {
 
 // libraryRegions are the regions that correspond to vision-library
 // code in the original binary.
-var libraryRegions = map[fault.Region]bool{
-	fault.RFASTDetect:    true,
-	fault.RORBDescribe:   true,
-	fault.RMatch:         true,
-	fault.RRANSAC:        true,
-	fault.RWarpInvoker:   true,
-	fault.RRemapBilinear: true,
-	fault.RBlend:         true,
+var libraryRegions = map[probe.Region]bool{
+	probe.RFASTDetect:    true,
+	probe.RORBDescribe:   true,
+	probe.RMatch:         true,
+	probe.RRANSAC:        true,
+	probe.RWarpInvoker:   true,
+	probe.RRemapBilinear: true,
+	probe.RBlend:         true,
 }
 
-// Collect builds the execution profile from a completed run's machine.
-func Collect(m *fault.Machine, model energy.Model) Profile {
+// Collect builds the execution profile from a completed run's op
+// counters (a campaign machine or a live probe.Meter).
+func Collect(cs probe.Counters, model energy.Model) Profile {
 	var p Profile
-	for r := fault.Region(0); r < fault.NumRegions; r++ {
-		cycles := model.RegionCycles(m, r)
+	for r := probe.Region(0); r < probe.NumRegions; r++ {
+		cycles := model.RegionCycles(cs, r)
 		if cycles == 0 {
 			continue
 		}
@@ -70,7 +72,7 @@ func Collect(m *fault.Machine, model energy.Model) Profile {
 		if libraryRegions[f.Region] {
 			p.LibraryFraction += f.Fraction
 		}
-		if f.Region == fault.RWarpInvoker || f.Region == fault.RRemapBilinear {
+		if f.Region == probe.RWarpInvoker || f.Region == probe.RRemapBilinear {
 			p.WarpFraction += f.Fraction
 		}
 	}

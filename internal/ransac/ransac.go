@@ -14,6 +14,7 @@ import (
 
 	"vsresil/internal/fault"
 	"vsresil/internal/geom"
+	"vsresil/internal/probe"
 	"vsresil/internal/stats"
 )
 
@@ -96,9 +97,20 @@ type Result struct {
 var ErrNoConsensus = errors.New("ransac: no model reached the inlier threshold")
 
 // Estimate fits the configured model to the correspondences src[i] ->
-// dst[i]. The fault machine m may be nil.
-func Estimate(src, dst []geom.Pt, cfg Config, m *fault.Machine) (*Result, error) {
-	defer m.Enter(fault.RRANSAC)()
+// dst[i]. s is any probe.Sink; pass probe.Nop{} for an uninstrumented
+// run (nil is normalized).
+func Estimate(src, dst []geom.Pt, cfg Config, s probe.Sink) (*Result, error) {
+	if s = probe.OrNop(s); probe.IsNop(s) {
+		return estimate(src, dst, cfg, probe.Nop{})
+	}
+	if m, ok := s.(*fault.Machine); ok {
+		return estimate(src, dst, cfg, m)
+	}
+	return estimate(src, dst, cfg, s)
+}
+
+func estimate[S probe.Sink](src, dst []geom.Pt, cfg Config, m S) (*Result, error) {
+	defer m.Enter(probe.RRANSAC)()
 	if len(src) != len(dst) {
 		return nil, fmt.Errorf("ransac: correspondence count mismatch %d vs %d", len(src), len(dst))
 	}
@@ -134,8 +146,8 @@ func Estimate(src, dst []geom.Pt, cfg Config, m *fault.Machine) (*Result, error)
 			continue
 		}
 		count := 0
-		m.Ops(fault.OpFloat, uint64(n*8))
-		m.Ops(fault.OpBranch, uint64(n))
+		m.Ops(probe.OpFloat, uint64(n*8))
+		m.Ops(probe.OpBranch, uint64(n))
 		for i := 0; i < n; i++ {
 			p := h.Apply(src[m.Idx(i)])
 			if p.Dist2(dst[i]) <= thresh2 {
@@ -242,7 +254,7 @@ func fitIndices(src, dst []geom.Pt, idx []int, model Model) (geom.Homography, bo
 
 // collectInliers returns the indices whose reprojection error is
 // within the squared threshold.
-func collectInliers(h geom.Homography, src, dst []geom.Pt, thresh2 float64, n int, m *fault.Machine) []int {
+func collectInliers[S probe.Sink](h geom.Homography, src, dst []geom.Pt, thresh2 float64, n int, m S) []int {
 	inliers := make([]int, 0, n)
 	for i := 0; i < n; i++ {
 		p := h.Apply(src[i])

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"vsresil/internal/probe"
 )
 
 // latencyBuckets are the per-job-type latency histogram upper bounds,
@@ -42,6 +44,14 @@ type metrics struct {
 	latCounts map[JobType][]uint64
 	latSum    map[JobType]float64
 	latN      map[JobType]uint64
+
+	// per-stage accumulators fed by probe.Meter snapshots from
+	// summarize runs; indexed by probe.Region.
+	stageRuns    uint64
+	stageWall    [probe.NumRegions]time.Duration
+	stageOps     [probe.NumRegions][probe.NumOpClasses]uint64
+	stageIntTaps [probe.NumRegions]uint64
+	stageFPTaps  [probe.NumRegions]uint64
 }
 
 func newMetrics() *metrics {
@@ -97,6 +107,25 @@ func (m *metrics) goldenLookup(hit bool) {
 		m.goldenMisses++
 	}
 	m.mu.Unlock()
+}
+
+// stagesDone folds one metered pipeline run's per-region stats into
+// the service-lifetime stage accumulators.
+func (m *metrics) stagesDone(snap []probe.RegionStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stageRuns++
+	for _, rs := range snap {
+		if rs.Region >= probe.NumRegions {
+			continue
+		}
+		m.stageWall[rs.Region] += rs.Wall
+		m.stageIntTaps[rs.Region] += rs.IntTaps
+		m.stageFPTaps[rs.Region] += rs.FPTaps
+		for c := probe.OpClass(0); c < probe.NumOpClasses; c++ {
+			m.stageOps[rs.Region][c] += rs.Ops[c]
+		}
+	}
 }
 
 // jobFinished records a job reaching a terminal (or requeued) state
@@ -167,6 +196,27 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "vsd_trials_per_sec %.1f\n", m.trialsPerSec(now))
 	fmt.Fprintf(w, "vsd_golden_cache_hits_total %d\n", m.goldenHits)
 	fmt.Fprintf(w, "vsd_golden_cache_misses_total %d\n", m.goldenMisses)
+	if m.stageRuns > 0 {
+		fmt.Fprintf(w, "vsd_stage_metered_runs_total %d\n", m.stageRuns)
+		for r := probe.Region(0); r < probe.NumRegions; r++ {
+			fmt.Fprintf(w, "vsd_stage_latency_seconds_total{stage=%q} %.6f\n", r, m.stageWall[r].Seconds())
+		}
+		for r := probe.Region(0); r < probe.NumRegions; r++ {
+			for c := probe.OpClass(0); c < probe.NumOpClasses; c++ {
+				if n := m.stageOps[r][c]; n > 0 {
+					fmt.Fprintf(w, "vsd_stage_ops_total{stage=%q,class=%q} %d\n", r, c, n)
+				}
+			}
+		}
+		for r := probe.Region(0); r < probe.NumRegions; r++ {
+			if n := m.stageIntTaps[r]; n > 0 {
+				fmt.Fprintf(w, "vsd_stage_taps_total{stage=%q,kind=\"int\"} %d\n", r, n)
+			}
+			if n := m.stageFPTaps[r]; n > 0 {
+				fmt.Fprintf(w, "vsd_stage_taps_total{stage=%q,kind=\"fp\"} %d\n", r, n)
+			}
+		}
+	}
 	for _, t := range types {
 		counts := m.latCounts[t]
 		var cum uint64

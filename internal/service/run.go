@@ -13,6 +13,7 @@ import (
 	"vsresil/internal/experiments"
 	"vsresil/internal/fault"
 	"vsresil/internal/imgproc"
+	"vsresil/internal/probe"
 	"vsresil/internal/stitch"
 	"vsresil/internal/virat"
 	"vsresil/internal/vs"
@@ -32,6 +33,20 @@ type SummarizeResult struct {
 	// set include_pgm.
 	PrimaryPGM string  `json:"primary_pgm,omitempty"`
 	ElapsedSec float64 `json:"elapsed_sec"`
+	// Stages is the probe.Meter's per-stage profile of this run; only
+	// stages with activity are listed.
+	Stages []StageStat `json:"stages,omitempty"`
+}
+
+// StageStat is one pipeline stage's share of a summarize run, as
+// recorded by the probe.Meter the service threads through the
+// pipeline.
+type StageStat struct {
+	Stage     string  `json:"stage"`
+	WallSec   float64 `json:"wall_sec"`
+	Ops       uint64  `json:"ops"`
+	IntTaps   uint64  `json:"int_taps"`
+	FloatTaps uint64  `json:"float_taps"`
 }
 
 // PanoramaInfo describes one rendered mini-panorama.
@@ -147,13 +162,17 @@ func (s *Service) runSummarize(ctx context.Context, j *Job) (any, error) {
 	app := vs.New(cfg, len(frames))
 
 	type runOut struct {
-		res *stitch.Result
-		err error
+		res   *stitch.Result
+		stats []probe.RegionStats
+		err   error
 	}
 	ch := make(chan runOut, 1)
 	go func() {
-		res, err := app.Run(frames, nil)
-		ch <- runOut{res, err}
+		// Thread a Meter through the pipeline: summarize traffic is the
+		// service's live source of per-stage latency and op profiles.
+		meter := probe.NewMeter()
+		res, err := app.Run(frames, meter)
+		ch <- runOut{res, meter.Snapshot(), err}
 	}()
 	var out runOut
 	select {
@@ -164,6 +183,7 @@ func (s *Service) runSummarize(ctx context.Context, j *Job) (any, error) {
 	if out.err != nil {
 		return nil, out.err
 	}
+	s.metrics.stagesDone(out.stats)
 
 	sr := &SummarizeResult{
 		Algorithm:  alg.String(),
@@ -178,6 +198,22 @@ func (s *Service) runSummarize(ctx context.Context, j *Job) (any, error) {
 			W: p.Image.W, H: p.Image.H,
 			MinX: p.Bounds.MinX, MinY: p.Bounds.MinY,
 			Frames: p.Frames,
+		})
+	}
+	for _, rs := range out.stats {
+		var ops uint64
+		for _, n := range rs.Ops {
+			ops += n
+		}
+		if ops == 0 && rs.IntTaps == 0 && rs.FPTaps == 0 && rs.Wall == 0 {
+			continue
+		}
+		sr.Stages = append(sr.Stages, StageStat{
+			Stage:     rs.Region.String(),
+			WallSec:   rs.Wall.Seconds(),
+			Ops:       ops,
+			IntTaps:   rs.IntTaps,
+			FloatTaps: rs.FPTaps,
 		})
 	}
 	if spec.IncludePGM {

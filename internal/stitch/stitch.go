@@ -14,11 +14,11 @@ import (
 	"fmt"
 	"sync"
 
-	"vsresil/internal/fault"
 	"vsresil/internal/features"
 	"vsresil/internal/geom"
 	"vsresil/internal/imgproc"
 	"vsresil/internal/match"
+	"vsresil/internal/probe"
 	"vsresil/internal/ransac"
 	"vsresil/internal/warp"
 )
@@ -243,10 +243,14 @@ type registration struct {
 	h       geom.Homography
 }
 
-// Run stitches the frames into mini-panoramas. The fault machine m may
-// be nil for uninstrumented runs.
-func (st *Stitcher) Run(frames []*imgproc.Gray, m *fault.Machine) (*Result, error) {
-	defer m.Enter(fault.RApp)()
+// Run stitches the frames into mini-panoramas. m is any probe.Sink;
+// pass probe.Nop{} for an uninstrumented run (nil is normalized). The
+// stitcher's own taps are per-frame, so it threads the interface
+// straight through; the per-pixel stages re-dispatch onto their
+// devirtualized kernels at their own entry points.
+func (st *Stitcher) Run(frames []*imgproc.Gray, m probe.Sink) (*Result, error) {
+	m = probe.OrNop(m)
+	defer m.Enter(probe.RApp)()
 	if len(frames) == 0 {
 		return nil, ErrNoFrames
 	}
@@ -361,7 +365,7 @@ func growPts(s []geom.Pt, n int) []geom.Pt {
 
 // registerPair estimates the transform mapping frame `cur` onto frame
 // `ref`, trying a homography first and falling back to affine.
-func (st *Stitcher) registerPair(cur, ref *frameFeatures, m *fault.Machine) (geom.Homography, FrameStatus, int, int) {
+func (st *Stitcher) registerPair(cur, ref *frameFeatures, m probe.Sink) (geom.Homography, FrameStatus, int, int) {
 	curKps, curDescs := cur.kps, cur.descs
 	if st.cfg.KeyPointStride > 1 {
 		// VS_KDS: match only a fraction of the key points.
@@ -418,7 +422,7 @@ func gate(floor int, fraction float64, queryKps int) int {
 }
 
 // composite renders each segment's mini-panorama.
-func (st *Stitcher) composite(frames []*imgproc.Gray, regs []registration, segments int, res *Result, m *fault.Machine) error {
+func (st *Stitcher) composite(frames []*imgproc.Gray, regs []registration, segments int, res *Result, m probe.Sink) error {
 	for seg := 0; seg < segments; seg++ {
 		var b warp.Bounds
 		count := 0

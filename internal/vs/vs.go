@@ -23,6 +23,7 @@ import (
 	"vsresil/internal/fault"
 	"vsresil/internal/imgproc"
 	"vsresil/internal/match"
+	"vsresil/internal/probe"
 	"vsresil/internal/stats"
 	"vsresil/internal/stitch"
 )
@@ -150,20 +151,32 @@ func (a *App) Config() Config { return a.cfg }
 func (a *App) Dropped() int { return len(a.dropSet) }
 
 // Run executes the application on the input frames. The frame slice
-// must have the length passed to New. The fault machine m may be nil.
+// must have the length passed to New. s is any probe.Sink: a
+// *fault.Machine for injection campaigns, a *probe.Meter for metered
+// serving runs, or probe.Nop{} for the uninstrumented fast path (nil
+// is normalized to Nop).
 //
 // Run first "decodes" the input (copying each retained frame through
 // instrumented pixel traffic, the analogue of the video decode and
 // downsampling stage) and then stitches.
-func (a *App) Run(frames []*imgproc.Gray, m *fault.Machine) (*stitch.Result, error) {
+func (a *App) Run(frames []*imgproc.Gray, s probe.Sink) (*stitch.Result, error) {
 	if a.nFrames >= 0 && len(frames) != a.nFrames {
 		return nil, fmt.Errorf("vs: got %d frames, configured for %d", len(frames), a.nFrames)
 	}
-	retained, err := a.decode(frames, m)
+	s = probe.OrNop(s)
+	var retained []*imgproc.Gray
+	var err error
+	if probe.IsNop(s) {
+		retained, err = decode(a, frames, probe.Nop{})
+	} else if m, ok := s.(*fault.Machine); ok {
+		retained, err = decode(a, frames, m)
+	} else {
+		retained, err = decode(a, frames, s)
+	}
 	if err != nil {
 		return nil, err
 	}
-	res, err := a.stitcher.Run(retained, m)
+	res, err := a.stitcher.Run(retained, s)
 	// The stitch result references only freshly rendered panoramas,
 	// never the decoded frames, so their buffers can feed the next
 	// trial's decode. (A crashed trial unwinds past this and simply
@@ -221,11 +234,11 @@ func (a *App) RunEncoded(frames []*imgproc.Gray) fault.App {
 }
 
 // decode copies the retained input frames into run-private buffers,
-// passing a sample of the pixel traffic through fault taps. Corrupted
+// passing a sample of the pixel traffic through sink taps. Corrupted
 // writes land only in the private copy, exactly like a decoder writing
 // a corrupted frame buffer.
-func (a *App) decode(frames []*imgproc.Gray, m *fault.Machine) ([]*imgproc.Gray, error) {
-	defer m.Enter(fault.RDecode)()
+func decode[S probe.Sink](a *App, frames []*imgproc.Gray, m S) ([]*imgproc.Gray, error) {
+	defer m.Enter(probe.RDecode)()
 	out := make([]*imgproc.Gray, 0, len(frames))
 	n := m.Cnt(len(frames))
 	if n < 0 || n > len(frames) {
@@ -259,10 +272,10 @@ func (a *App) decode(frames []*imgproc.Gray, m *fault.Machine) ([]*imgproc.Gray,
 		// share of the paper's Fig 8 profile is dominated by this
 		// stage in the original application.
 		px := uint64(len(dst.Pix))
-		m.Ops(fault.OpInt, px*14)
-		m.Ops(fault.OpLoad, px*6)
-		m.Ops(fault.OpStore, px*4)
-		m.Ops(fault.OpBranch, px*3)
+		m.Ops(probe.OpInt, px*14)
+		m.Ops(probe.OpLoad, px*6)
+		m.Ops(probe.OpStore, px*4)
+		m.Ops(probe.OpBranch, px*3)
 		out = append(out, dst)
 	}
 	return out, nil

@@ -18,6 +18,7 @@ import (
 	"vsresil/internal/fault"
 	"vsresil/internal/geom"
 	"vsresil/internal/imgproc"
+	"vsresil/internal/probe"
 )
 
 // Bounds is an axis-aligned integer rectangle [MinX,MaxX)x[MinY,MaxY).
@@ -235,15 +236,26 @@ func (c *Canvas) writeIdx(i int, v, w float64) {
 
 // Resolve renders the canvas to an 8-bit image; untouched pixels are
 // black. The divide-and-saturate step is floating point funneled
-// through the uint8 clamp — the FPR masking path.
-func (c *Canvas) Resolve(m *fault.Machine) *imgproc.Gray {
-	defer m.Enter(fault.RBlend)()
+// through the uint8 clamp — the FPR masking path. s is any probe.Sink;
+// pass probe.Nop{} for an uninstrumented render (nil is normalized).
+func (c *Canvas) Resolve(s probe.Sink) *imgproc.Gray {
+	if s = probe.OrNop(s); probe.IsNop(s) {
+		return resolveCanvas(c, probe.Nop{})
+	}
+	if m, ok := s.(*fault.Machine); ok {
+		return resolveCanvas(c, m)
+	}
+	return resolveCanvas(c, s)
+}
+
+func resolveCanvas[S probe.Sink](c *Canvas, m S) *imgproc.Gray {
+	defer m.Enter(probe.RBlend)()
 	out := imgproc.NewGray(c.B.W(), c.B.H())
 	w := m.Cnt(c.B.W())
 	h := m.Cnt(c.B.H())
 	for y := 0; y < h; y++ {
-		m.Ops(fault.OpFloat, uint64(w))
-		m.Ops(fault.OpStore, uint64(w))
+		m.Ops(probe.OpFloat, uint64(w))
+		m.Ops(probe.OpStore, uint64(w))
 		rowBase := m.Idx(y * out.W)
 		for x := 0; x < w; x++ {
 			i := rowBase + x
@@ -280,9 +292,23 @@ func (c *Canvas) Coverage() float64 {
 // distance to the source frame border so overlapping frames blend
 // smoothly.
 //
-// It returns the number of destination pixels written.
-func WarpOntoCanvas(src *imgproc.Gray, h geom.Homography, c *Canvas, m *fault.Machine) (int, error) {
-	defer m.Enter(fault.RWarpInvoker)()
+// It returns the number of destination pixels written. s is any
+// probe.Sink; pass probe.Nop{} for an uninstrumented warp (nil is
+// normalized). The no-op instantiation additionally runs a tap-free
+// scanline kernel for stage 1, so clean serving runs pay no per-pixel
+// instrumentation overhead.
+func WarpOntoCanvas(src *imgproc.Gray, h geom.Homography, c *Canvas, s probe.Sink) (int, error) {
+	if s = probe.OrNop(s); probe.IsNop(s) {
+		return warpOntoCanvas(src, h, c, probe.Nop{})
+	}
+	if m, ok := s.(*fault.Machine); ok {
+		return warpOntoCanvas(src, h, c, m)
+	}
+	return warpOntoCanvas(src, h, c, s)
+}
+
+func warpOntoCanvas[S probe.Sink](src *imgproc.Gray, h geom.Homography, c *Canvas, m S) (int, error) {
+	defer m.Enter(probe.RWarpInvoker)()
 	inv, err := h.Inverse()
 	if err != nil {
 		return 0, err
@@ -321,71 +347,79 @@ func WarpOntoCanvas(src *imgproc.Gray, h geom.Homography, c *Canvas, m *fault.Ma
 	written := 0
 	halfW := float64(src.W) / 2
 	halfH := float64(src.H) / 2
-	y0 := m.Cnt(0)
-	y1 := m.Cnt(th)
-	for ty := y0; ty < y1; ty++ {
-		m.Ops(fault.OpInt, uint64(tw)*6)
-		m.Ops(fault.OpLoad, uint64(tw)*4)
-		// Per-pixel arithmetic of the inverse map + bilinear sample:
-		// 3x3 matrix-vector product (15 flops), perspective divide (2)
-		// and bilinear interpolation (7).
-		m.Ops(fault.OpFloat, uint64(tw)*24)
-		// Destination row base: address arithmetic through a GPR, as
-		// in the compiled invoker. Corruption displaces or faults the
-		// row's stores.
-		rowIdx := m.Idx(ty * tw)
-		fy := float64(region.MinY + ty)
-		if fast {
-			proj.setRow(fy)
-		}
-		for tx := 0; tx < tw; tx++ {
-			// Inverse map the destination pixel to source coordinates.
-			// These coordinate temporaries are the workload's dominant
-			// floating-point state.
-			var spX, spY float64
+	if _, clean := any(m).(probe.Nop); clean && fast {
+		// Devirtualized clean path: identical arithmetic with the taps
+		// compiled out and the bilinear sample inlined into the row
+		// loop. Bit-exactness vs the instrumented loop under a plan-free
+		// sink is pinned by the equivalence tests.
+		written = warpStage1Clean(src, &proj, region, vals, wts, c.Mode, halfW, halfH)
+	} else {
+		y0 := m.Cnt(0)
+		y1 := m.Cnt(th)
+		for ty := y0; ty < y1; ty++ {
+			m.Ops(probe.OpInt, uint64(tw)*6)
+			m.Ops(probe.OpLoad, uint64(tw)*4)
+			// Per-pixel arithmetic of the inverse map + bilinear sample:
+			// 3x3 matrix-vector product (15 flops), perspective divide (2)
+			// and bilinear interpolation (7).
+			m.Ops(probe.OpFloat, uint64(tw)*24)
+			// Destination row base: address arithmetic through a GPR, as
+			// in the compiled invoker. Corruption displaces or faults the
+			// row's stores.
+			rowIdx := m.Idx(ty * tw)
+			fy := float64(region.MinY + ty)
 			if fast {
-				spX, spY = proj.at(tx)
-			} else {
-				sp := inv.Apply(geom.Pt{X: float64(region.MinX + tx), Y: fy})
-				spX, spY = sp.X, sp.Y
+				proj.setRow(fy)
 			}
-			sx := m.F64(spX)
-			sy := m.F64(spY)
-			v, ok := remapBilinear(src, sx, sy, m)
-			if !ok {
-				continue
-			}
-			weight := 1.0
-			if c.Mode == BlendFeather {
-				// Feather weight: 1 at frame center falling toward the
-				// border, so seams blend.
-				wx := 1 - math.Abs(sx-halfW)/halfW
-				wy := 1 - math.Abs(sy-halfH)/halfH
-				weight = wx * wy
-				if weight < 0.05 {
-					weight = 0.05
+			for tx := 0; tx < tw; tx++ {
+				// Inverse map the destination pixel to source coordinates.
+				// These coordinate temporaries are the workload's dominant
+				// floating-point state.
+				var spX, spY float64
+				if fast {
+					spX, spY = proj.at(tx)
+				} else {
+					sp := inv.Apply(geom.Pt{X: float64(region.MinX + tx), Y: fy})
+					spX, spY = sp.X, sp.Y
 				}
+				sx := m.F64(spX)
+				sy := m.F64(spY)
+				v, ok := remapBilinear(src, sx, sy, m)
+				if !ok {
+					continue
+				}
+				weight := 1.0
+				if c.Mode == BlendFeather {
+					// Feather weight: 1 at frame center falling toward the
+					// border, so seams blend.
+					wx := 1 - math.Abs(sx-halfW)/halfW
+					wy := 1 - math.Abs(sy-halfH)/halfH
+					weight = wx * wy
+					if weight < 0.05 {
+						weight = 0.05
+					}
+				}
+				// Per-pixel destination address (base + row + column), as
+				// the compiled store computes it.
+				i := m.Idx(rowIdx + tx)
+				vals[i] = float64(v)
+				wts[i] = weight
+				written++
 			}
-			// Per-pixel destination address (base + row + column), as
-			// the compiled store computes it.
-			i := m.Idx(rowIdx + tx)
-			vals[i] = float64(v)
-			wts[i] = weight
-			written++
 		}
 	}
 
 	// Stage 2: composite the warped frame onto the panorama canvas —
 	// the stitching copy of the original pipeline (blend region,
 	// bounds-checked like the library's ROI copy).
-	restore := m.Enter(fault.RBlend)
+	restore := m.Enter(probe.RBlend)
 	gain := 1.0
 	if c.GainCompensation {
-		gain = c.frameGain(region, vals, wts, m)
+		gain = frameGain(c, region, vals, wts, m)
 	}
 	for ty := 0; ty < th; ty++ {
-		m.Ops(fault.OpLoad, uint64(tw))
-		m.Ops(fault.OpStore, uint64(tw))
+		m.Ops(probe.OpLoad, uint64(tw))
+		m.Ops(probe.OpStore, uint64(tw))
 		rowIdx := m.Idx(ty * tw)
 		for tx := 0; tx < tw; tx++ {
 			i := rowIdx + tx
@@ -399,9 +433,66 @@ func WarpOntoCanvas(src *imgproc.Gray, h geom.Homography, c *Canvas, m *fault.Ma
 	return written, nil
 }
 
+// warpStage1Clean is the uninstrumented stage-1 warp: one scanline at
+// a time through the cached projector with the bilinear sample inlined
+// by hand (the instrumented remapBilinear is too large to inline and
+// its per-pixel call would otherwise dominate the clean path). Every
+// expression mirrors the instrumented loop exactly — same projection,
+// same NaN/bounds rejects, same interpolation association order — so a
+// clean run is byte-identical to a plan-free instrumented one.
+func warpStage1Clean(src *imgproc.Gray, proj *scanProjector, region Bounds, vals, wts []float64, mode BlendMode, halfW, halfH float64) int {
+	tw, th := region.W(), region.H()
+	fw := float64(src.W - 1)
+	fh := float64(src.H - 1)
+	written := 0
+	for ty := 0; ty < th; ty++ {
+		rowIdx := ty * tw
+		proj.setRow(float64(region.MinY + ty))
+		for tx := 0; tx < tw; tx++ {
+			sx, sy := proj.at(tx)
+			if math.IsNaN(sx) || math.IsNaN(sy) || sx < 0 || sy < 0 || sx > fw || sy > fh {
+				continue
+			}
+			x0 := int(sx)
+			y0 := int(sy)
+			x1 := x0 + 1
+			y1 := y0 + 1
+			if x1 >= src.W {
+				x1 = src.W - 1
+			}
+			if y1 >= src.H {
+				y1 = src.H - 1
+			}
+			p00 := float64(src.Pix[y0*src.W+x0])
+			p10 := float64(src.Pix[y0*src.W+x1])
+			p01 := float64(src.Pix[y1*src.W+x0])
+			p11 := float64(src.Pix[y1*src.W+x1])
+			fx := sx - math.Floor(sx)
+			fy := sy - math.Floor(sy)
+			top := p00 + fx*(p10-p00)
+			bot := p01 + fx*(p11-p01)
+			v := imgproc.SaturateUint8(top + fy*(bot-top))
+			weight := 1.0
+			if mode == BlendFeather {
+				wx := 1 - math.Abs(sx-halfW)/halfW
+				wy := 1 - math.Abs(sy-halfH)/halfH
+				weight = wx * wy
+				if weight < 0.05 {
+					weight = 0.05
+				}
+			}
+			i := rowIdx + tx
+			vals[i] = float64(v)
+			wts[i] = weight
+			written++
+		}
+	}
+	return written
+}
+
 // frameGain estimates the exposure gain that matches the incoming
 // frame's intensity to the canvas content it overlaps.
-func (c *Canvas) frameGain(region Bounds, vals, wts []float64, m *fault.Machine) float64 {
+func frameGain[S probe.Sink](c *Canvas, region Bounds, vals, wts []float64, m S) float64 {
 	tw := region.W()
 	var canvasSum, frameSum float64
 	var n int
@@ -425,7 +516,7 @@ func (c *Canvas) frameGain(region Bounds, vals, wts []float64, m *fault.Machine)
 			n++
 		}
 	}
-	m.Ops(fault.OpFloat, uint64(n)*3)
+	m.Ops(probe.OpFloat, uint64(n)*3)
 	if n < 16 || frameSum <= 0 {
 		return 1 // not enough overlap to estimate a gain
 	}
@@ -448,8 +539,8 @@ func (c *Canvas) frameGain(region Bounds, vals, wts []float64, m *fault.Machine)
 // and the fractional weights through FPR taps. Corrupted indices
 // access out of bounds and panic, the crash mechanism of the paper's
 // GPR campaign.
-func remapBilinear(src *imgproc.Gray, x, y float64, m *fault.Machine) (uint8, bool) {
-	prev := m.Swap(fault.RRemapBilinear)
+func remapBilinear[S probe.Sink](src *imgproc.Gray, x, y float64, m S) (uint8, bool) {
+	prev := m.Swap(probe.RRemapBilinear)
 	defer m.Swap(prev)
 	if math.IsNaN(x) || math.IsNaN(y) {
 		return 0, false
@@ -484,9 +575,21 @@ func remapBilinear(src *imgproc.Gray, x, y float64, m *fault.Machine) (uint8, bo
 // WarpPerspective is the standalone hot function: it warps src through
 // h into a dstW x dstH image, with destination pixel (x, y) sampling
 // source location h^-1(x, y). This is the exact shape of the paper's
-// WP toy benchmark (image + matrix in, image out).
-func WarpPerspective(src *imgproc.Gray, h geom.Homography, dstW, dstH int, m *fault.Machine) (*imgproc.Gray, error) {
-	defer m.Enter(fault.RWarpInvoker)()
+// WP toy benchmark (image + matrix in, image out). s is any
+// probe.Sink; pass probe.Nop{} for an uninstrumented warp (nil is
+// normalized).
+func WarpPerspective(src *imgproc.Gray, h geom.Homography, dstW, dstH int, s probe.Sink) (*imgproc.Gray, error) {
+	if s = probe.OrNop(s); probe.IsNop(s) {
+		return warpPerspective(src, h, dstW, dstH, probe.Nop{})
+	}
+	if m, ok := s.(*fault.Machine); ok {
+		return warpPerspective(src, h, dstW, dstH, m)
+	}
+	return warpPerspective(src, h, dstW, dstH, s)
+}
+
+func warpPerspective[S probe.Sink](src *imgproc.Gray, h geom.Homography, dstW, dstH int, m S) (*imgproc.Gray, error) {
+	defer m.Enter(probe.RWarpInvoker)()
 	inv, err := h.Inverse()
 	if err != nil {
 		return nil, err
@@ -506,10 +609,14 @@ func WarpPerspective(src *imgproc.Gray, h geom.Homography, dstW, dstH int, m *fa
 		defer putFloats(cols)
 		proj.init(inv, 0, dstW, cols)
 	}
+	if _, clean := any(m).(probe.Nop); clean && fast {
+		warpDstClean(src, &proj, dst, hh)
+		return dst, nil
+	}
 	for y := 0; y < hh; y++ {
-		m.Ops(fault.OpFloat, uint64(ww)*24)
-		m.Ops(fault.OpLoad, uint64(ww)*4)
-		m.Ops(fault.OpStore, uint64(ww))
+		m.Ops(probe.OpFloat, uint64(ww)*24)
+		m.Ops(probe.OpLoad, uint64(ww)*4)
+		m.Ops(probe.OpStore, uint64(ww))
 		rowBase := m.Idx(y * dstW)
 		if fast {
 			proj.setRow(float64(y))
@@ -532,4 +639,41 @@ func WarpPerspective(src *imgproc.Gray, h geom.Homography, dstW, dstH int, m *fa
 		}
 	}
 	return dst, nil
+}
+
+// warpDstClean is warpPerspective's uninstrumented pixel loop, the
+// same hand-inlined bilinear kernel as warpStage1Clean but writing
+// straight into the destination image.
+func warpDstClean(src *imgproc.Gray, proj *scanProjector, dst *imgproc.Gray, rows int) {
+	fw := float64(src.W - 1)
+	fh := float64(src.H - 1)
+	for y := 0; y < rows; y++ {
+		rowBase := y * dst.W
+		proj.setRow(float64(y))
+		for x := 0; x < dst.W; x++ {
+			sx, sy := proj.at(x)
+			if math.IsNaN(sx) || math.IsNaN(sy) || sx < 0 || sy < 0 || sx > fw || sy > fh {
+				continue
+			}
+			x0 := int(sx)
+			y0 := int(sy)
+			x1 := x0 + 1
+			y1 := y0 + 1
+			if x1 >= src.W {
+				x1 = src.W - 1
+			}
+			if y1 >= src.H {
+				y1 = src.H - 1
+			}
+			p00 := float64(src.Pix[y0*src.W+x0])
+			p10 := float64(src.Pix[y0*src.W+x1])
+			p01 := float64(src.Pix[y1*src.W+x0])
+			p11 := float64(src.Pix[y1*src.W+x1])
+			fx := sx - math.Floor(sx)
+			fy := sy - math.Floor(sy)
+			top := p00 + fx*(p10-p00)
+			bot := p01 + fx*(p11-p01)
+			dst.Pix[rowBase+x] = imgproc.SaturateUint8(top + fy*(bot-top))
+		}
+	}
 }

@@ -17,6 +17,7 @@ import (
 	"vsresil/internal/fault"
 	"vsresil/internal/geom"
 	"vsresil/internal/imgproc"
+	"vsresil/internal/probe"
 	"vsresil/internal/virat"
 	"vsresil/internal/warp"
 )
@@ -47,10 +48,10 @@ func Default(preset virat.Preset) *Bench {
 	return New(src, h, src.W+src.W/6, src.H+src.H/6)
 }
 
-// Run executes the benchmark under the machine and returns the
-// serialized output image — the fault.App adapter for campaigns.
-func (b *Bench) Run(m *fault.Machine) ([]byte, error) {
-	dst, err := warp.WarpPerspective(b.Src, b.H, b.DstW, b.DstH, m)
+// Run executes the benchmark under the sink and returns the
+// serialized output image. RunMachine adapts it for campaigns.
+func (b *Bench) Run(s probe.Sink) ([]byte, error) {
+	dst, err := warp.WarpPerspective(b.Src, b.H, b.DstW, b.DstH, s)
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +63,8 @@ func (b *Bench) Run(m *fault.Machine) ([]byte, error) {
 	return out, nil
 }
 
-// App returns the fault.App for campaign use.
+// App returns the fault.App for campaign use: the benchmark run with
+// the campaign's machine threaded through the probe seam.
 func (b *Bench) App() fault.App {
-	return b.Run
+	return func(m *fault.Machine) ([]byte, error) { return b.Run(m) }
 }
