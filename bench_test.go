@@ -8,6 +8,7 @@ import (
 	"context"
 	"testing"
 
+	"vsresil/internal/campaign"
 	"vsresil/internal/energy"
 	"vsresil/internal/experiments"
 	"vsresil/internal/fault"
@@ -178,12 +179,15 @@ func BenchmarkPipelineInstrumented(b *testing.B) {
 // BenchmarkCampaignThroughput measures fault-injection trials per
 // second on the smallest meaningful workload — the capacity-planning
 // number for sizing vsd campaign jobs (also exported live at
-// /metrics as vsd_trials_per_sec).
+// /metrics as vsd_trials_per_sec). It runs through the campaign
+// engine's single-shard path, the exact code every production call
+// site takes.
 func BenchmarkCampaignThroughput(b *testing.B) {
 	p := virat.TestScale()
 	p.Frames = 8
 	frames := virat.Input2(p).Frames()
 	app := vs.New(vs.DefaultConfig(vs.AlgVS), len(frames))
+	workload := campaign.NewWorkload("bench", "", app.RunEncoded(frames))
 	const trialsPerCampaign = 20
 	// The golden run is workload state, not campaign work: capture it
 	// once up front, as the service and experiment harnesses do.
@@ -191,18 +195,20 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	var runner campaign.Runner
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := fault.RunCampaign(context.Background(), fault.Config{
-			Trials: trialsPerCampaign, Class: fault.GPR, Region: fault.RAny, Seed: uint64(i),
+		res, err := runner.RunSharded(context.Background(), campaign.Spec{
+			Workload: workload, Class: fault.GPR, Region: fault.RAny,
+			Trials: trialsPerCampaign, Seed: uint64(i),
 			Golden: golden,
-		}, app.RunEncoded(frames))
+		}, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if res.Completed != trialsPerCampaign {
-			b.Fatalf("campaign completed %d/%d trials", res.Completed, trialsPerCampaign)
+		if res.Fault.Completed != trialsPerCampaign {
+			b.Fatalf("campaign completed %d/%d trials", res.Fault.Completed, trialsPerCampaign)
 		}
 	}
 	b.StopTimer()

@@ -14,10 +14,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
+	"vsresil/internal/campaign"
 	"vsresil/internal/fault"
 	"vsresil/internal/imgproc"
 	"vsresil/internal/quality"
@@ -42,38 +42,31 @@ func run() error {
 		frames     = flag.Int("frames", 24, "override the preset's frame count (0 = preset default)")
 		trials     = flag.Int("trials", 1000, "number of error injections")
 		seed       = flag.Uint64("seed", 1, "campaign seed")
-		workers    = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		workers    = flag.Int("workers", 0, "parallel trial workers per shard (0 = GOMAXPROCS)")
+		shards     = flag.Int("shards", 1, "split the campaign into this many concurrently executed shards (results merge bit-identically)")
 		sdcEDs     = flag.Bool("sdc-quality", false, "classify every SDC's Egregiousness Degree")
 		regionStr  = flag.String("region", "", "restrict injections to one function (e.g. remapBilinear)")
 		stratified = flag.Bool("stratified", false, "use the Relyzer-style equivalence-class campaign (per-stratum sampling, population-weighted estimate)")
 	)
 	flag.Parse()
 
-	alg, err := parseAlgorithm(*algName)
+	alg, err := vs.ParseAlgorithm(*algName)
 	if err != nil {
 		return err
 	}
-	var class fault.Class
-	switch strings.ToLower(*className) {
-	case "gpr":
-		class = fault.GPR
-	case "fpr":
-		class = fault.FPR
-	default:
-		return fmt.Errorf("unknown register class %q", *className)
-	}
-	region := fault.RAny
-	if *regionStr != "" {
-		region, err = parseRegion(*regionStr)
-		if err != nil {
-			return err
-		}
-	}
-	preset, err := parsePreset(*scale, *frames)
+	class, err := fault.ParseClass(*className)
 	if err != nil {
 		return err
 	}
-	seq, err := sequenceFor(*input, preset)
+	region, err := fault.ParseRegion(*regionStr)
+	if err != nil {
+		return err
+	}
+	preset, err := virat.ParsePreset(*scale, *frames)
+	if err != nil {
+		return err
+	}
+	seq, err := virat.ParseInput(*input, preset)
 	if err != nil {
 		return err
 	}
@@ -84,34 +77,33 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	vframes := seq.Frames()
-	cfg := vs.DefaultConfig(alg)
-	cfg.Seed = *seed
-	app := vs.New(cfg, len(vframes))
-
 	if *stratified {
+		vframes := seq.Frames()
+		cfg := vs.DefaultConfig(alg)
+		cfg.Seed = *seed
+		app := vs.New(cfg, len(vframes))
 		return runStratified(ctx, app, vframes, class, *trials, *seed, *workers, alg, seq)
 	}
 
-	fmt.Printf("campaign: %s on %s, %v faults, %d trials, region=%s\n",
-		alg, seq.Name, class, *trials, region)
-	start := time.Now()
-	res, err := fault.RunCampaign(ctx, fault.Config{
-		Trials:         *trials,
-		Class:          class,
-		Region:         region,
-		Seed:           *seed,
-		Workers:        *workers,
-		KeepSDCOutputs: *sdcEDs,
-	}, app.RunEncoded(vframes))
-	interrupted := err != nil && errors.Is(err, context.Canceled) && res != nil
+	fmt.Printf("campaign: %s on %s, %v faults, %d trials, region=%s, shards=%d\n",
+		alg, seq.Name, class, *trials, region, *shards)
+	var runner campaign.Runner
+	crun, err := runner.RunSharded(ctx, campaign.Spec{
+		Workload: campaign.VS(alg, seq, *seed),
+		Class:    class,
+		Region:   region,
+		Trials:   *trials,
+		Seed:     *seed,
+		Workers:  *workers,
+		SDC:      campaign.SDCPolicy{Keep: *sdcEDs},
+	}, *shards)
+	interrupted := err != nil && errors.Is(err, context.Canceled) && crun != nil
 	if err != nil && !interrupted {
 		return err
 	}
-	elapsed := time.Since(start)
-	completed := res.Completed
+	res := crun.Fault
 	if interrupted {
-		fmt.Printf("interrupted: %d/%d trials completed, reporting partial results\n", completed, *trials)
+		fmt.Printf("interrupted: %d/%d trials completed, reporting partial results\n", res.Completed, *trials)
 	}
 
 	fmt.Printf("golden run: %d taps in site space, %d total steps\n", res.TotalTaps, res.GoldenSteps)
@@ -128,7 +120,7 @@ func run() error {
 		res.RegHist.ChiSquareUniform(), fault.NumRegisters-1)
 	fmt.Printf("rate-curve knee: ~%d injections\n", res.Curve.Knee(0.02))
 	fmt.Printf("campaign wall time: %s (%.1f trials/s)\n",
-		elapsed.Round(time.Millisecond), float64(completed)/elapsed.Seconds())
+		crun.Elapsed.Round(time.Millisecond), float64(crun.Executed)/crun.Elapsed.Seconds())
 
 	if *sdcEDs {
 		golden, gox, goy, err := stitch.DecodePrimary(res.GoldenOutput)
@@ -189,55 +181,4 @@ func runStratified(ctx context.Context, app *vs.App, frames []*imgproc.Gray,
 		w[fault.OutcomeMask], w[fault.OutcomeCrash], w[fault.OutcomeSDC], w[fault.OutcomeHang])
 	fmt.Printf("campaign wall time: %s\n", time.Since(start).Round(time.Millisecond))
 	return nil
-}
-
-// parseAlgorithm maps a paper name to a variant.
-func parseAlgorithm(name string) (vs.Algorithm, error) {
-	for _, a := range vs.Algorithms() {
-		if strings.EqualFold(a.String(), name) {
-			return a, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown algorithm %q", name)
-}
-
-// parseRegion maps a function name to a region.
-func parseRegion(name string) (fault.Region, error) {
-	for r := fault.Region(0); r < fault.NumRegions; r++ {
-		if strings.EqualFold(r.String(), name) {
-			return r, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown region %q", name)
-}
-
-// parsePreset maps a scale name to a preset.
-func parsePreset(scale string, frames int) (virat.Preset, error) {
-	var p virat.Preset
-	switch strings.ToLower(scale) {
-	case "test":
-		p = virat.TestScale()
-	case "bench":
-		p = virat.BenchScale()
-	case "paper":
-		p = virat.PaperScale()
-	default:
-		return p, fmt.Errorf("unknown scale %q", scale)
-	}
-	if frames > 0 {
-		p.Frames = frames
-	}
-	return p, nil
-}
-
-// sequenceFor builds the requested input.
-func sequenceFor(input int, p virat.Preset) (*virat.Sequence, error) {
-	switch input {
-	case 1:
-		return virat.Input1(p), nil
-	case 2:
-		return virat.Input2(p), nil
-	default:
-		return nil, fmt.Errorf("unknown input %d", input)
-	}
 }

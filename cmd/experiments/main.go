@@ -22,7 +22,6 @@ import (
 	"time"
 
 	"vsresil/internal/experiments"
-	"vsresil/internal/virat"
 )
 
 func main() {
@@ -73,7 +72,7 @@ func run() error {
 		}()
 	}
 
-	o, err := optionsFor(*scaleName)
+	o, err := experiments.ParseScale(*scaleName)
 	if err != nil {
 		return err
 	}
@@ -121,21 +120,4 @@ func run() error {
 		return fmt.Errorf("unknown figure %q", *fig)
 	}
 	return nil
-}
-
-func optionsFor(scale string) (experiments.Options, error) {
-	switch strings.ToLower(scale) {
-	case "small":
-		return experiments.DefaultOptions(), nil
-	case "bench":
-		o := experiments.DefaultOptions()
-		o.Preset = virat.BenchScale()
-		o.Trials = 1000
-		o.QualityTrials = 2000
-		return o, nil
-	case "paper":
-		return experiments.PaperOptions(), nil
-	default:
-		return experiments.Options{}, fmt.Errorf("unknown scale %q (want small, bench or paper)", scale)
-	}
 }

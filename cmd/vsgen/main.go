@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 
 	"vsresil/internal/imgproc"
 	"vsresil/internal/virat"
@@ -35,29 +34,13 @@ func run() error {
 	)
 	flag.Parse()
 
-	var p virat.Preset
-	switch strings.ToLower(*scale) {
-	case "test":
-		p = virat.TestScale()
-	case "bench":
-		p = virat.BenchScale()
-	case "paper":
-		p = virat.PaperScale()
-	default:
-		return fmt.Errorf("unknown scale %q", *scale)
+	p, err := virat.ParsePreset(*scale, *frames)
+	if err != nil {
+		return err
 	}
-	if *frames > 0 {
-		p.Frames = *frames
-	}
-
-	var seq *virat.Sequence
-	switch *input {
-	case 1:
-		seq = virat.Input1(p)
-	case 2:
-		seq = virat.Input2(p)
-	default:
-		return fmt.Errorf("unknown input %d", *input)
+	seq, err := virat.ParseInput(*input, p)
+	if err != nil {
+		return err
 	}
 
 	if err := os.MkdirAll(*outdir, 0o755); err != nil {

@@ -27,48 +27,6 @@ func main() {
 	}
 }
 
-// parseAlgorithm maps a paper name to a variant.
-func parseAlgorithm(name string) (vs.Algorithm, error) {
-	for _, a := range vs.Algorithms() {
-		if strings.EqualFold(a.String(), name) {
-			return a, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown algorithm %q (want VS, VS_RFD, VS_KDS or VS_SM)", name)
-}
-
-// parsePreset maps a scale name to a preset, with optional frame
-// override.
-func parsePreset(scale string, frames int) (virat.Preset, error) {
-	var p virat.Preset
-	switch strings.ToLower(scale) {
-	case "test":
-		p = virat.TestScale()
-	case "bench":
-		p = virat.BenchScale()
-	case "paper":
-		p = virat.PaperScale()
-	default:
-		return p, fmt.Errorf("unknown scale %q (want test, bench or paper)", scale)
-	}
-	if frames > 0 {
-		p.Frames = frames
-	}
-	return p, nil
-}
-
-// sequenceFor builds the requested input.
-func sequenceFor(input int, p virat.Preset) (*virat.Sequence, error) {
-	switch input {
-	case 1:
-		return virat.Input1(p), nil
-	case 2:
-		return virat.Input2(p), nil
-	default:
-		return nil, fmt.Errorf("unknown input %d (want 1 or 2)", input)
-	}
-}
-
 func run() error {
 	var (
 		input   = flag.Int("input", 1, "input video: 1 (fast pan, scene cuts) or 2 (slow sweep)")
@@ -82,15 +40,15 @@ func run() error {
 	)
 	flag.Parse()
 
-	alg, err := parseAlgorithm(*algName)
+	alg, err := vs.ParseAlgorithm(*algName)
 	if err != nil {
 		return err
 	}
-	preset, err := parsePreset(*scale, *frames)
+	preset, err := virat.ParsePreset(*scale, *frames)
 	if err != nil {
 		return err
 	}
-	seq, err := sequenceFor(*input, preset)
+	seq, err := virat.ParseInput(*input, preset)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,193 @@
+// Package campaign is the one engine every fault-injection campaign in
+// the repo runs through. A declarative Spec names the workload, the
+// fault model knobs (class, region, trials, window, seed) and the
+// execution knobs (workers, SDC-output policy, checkpoint streaming);
+// a Runner owns the campaign lifecycle around it — golden capture and
+// caching, the trial worker pool, checkpoint/resume streaming and
+// context cancellation. The study API (internal/core), every figure
+// harness (internal/experiments), the vsd service and cmd/afirun all
+// sit on this package instead of hand-building fault.Config literals.
+//
+// The capability the shared engine unlocks is deterministic shard
+// decomposition. Campaign plans are pre-generated from Spec.Seed, so
+// Spec.Shards(k) splits one campaign into k disjoint sub-campaigns
+// over trial-index windows, and Merge recombines their Results —
+// outcome counts, crash splits, coverage histograms and the rate
+// curve — bit-identically to the unsharded run. Shards execute across
+// local worker pools today (Runner.RunSharded) and are the seam for
+// fanning a single vsd campaign job out across machines next.
+package campaign
+
+import (
+	"fmt"
+
+	"vsresil/internal/fault"
+)
+
+// Workload is the application a campaign injects into.
+type Workload struct {
+	// Name labels the workload in results and reports (e.g. "Input1",
+	// "WP", "uploaded[12]").
+	Name string
+	// Key is the golden-cache identity: it must capture everything
+	// that determines the fault-free run (application, configuration,
+	// input). "" marks the workload uncacheable — every campaign
+	// captures a fresh golden run.
+	Key string
+	// App is the instrumented application under test.
+	App fault.App
+}
+
+// NewWorkload wraps an arbitrary fault.App as a campaign workload.
+// Pass key "" unless the app+input pair has a stable identity worth
+// caching the golden run under.
+func NewWorkload(name, key string, app fault.App) Workload {
+	return Workload{Name: name, Key: key, App: app}
+}
+
+// SDCPolicy says what happens to the corrupted output bytes of SDC
+// trials.
+type SDCPolicy struct {
+	// Keep retains SDC outputs in the result for quality analysis
+	// (Fig 12, the ED study).
+	Keep bool
+	// Max caps how many outputs Keep retains (<= 0 = unlimited). The
+	// Max lowest-index SDC trials keep their bytes, deterministically
+	// regardless of worker count or shard decomposition.
+	Max int
+	// OnOutput, if set, streams each SDC output to the callback
+	// instead of retaining it, bounding memory regardless of SDC
+	// count. Keep and Max are ignored when OnOutput is set.
+	OnOutput func(rec fault.TrialRecord, output []byte)
+}
+
+// Shard selects the trial-index window a Spec executes: shard Index of
+// Count, covering [Index*Trials/Count, (Index+1)*Trials/Count). The
+// zero value (Count 0) runs the whole campaign.
+type Shard struct {
+	Index, Count int
+}
+
+// window returns the trial-index range the shard covers out of a
+// trials-sized campaign.
+func (s Shard) window(trials int) (lo, hi int) {
+	if s.Count <= 1 {
+		return 0, trials
+	}
+	return s.Index * trials / s.Count, (s.Index + 1) * trials / s.Count
+}
+
+// Spec declares one fault-injection campaign. Trials always counts the
+// whole campaign; Shard (when set) selects the sub-window this Spec
+// executes.
+type Spec struct {
+	// Workload is the application under test.
+	Workload Workload
+	// Class selects GPR or FPR injections.
+	Class fault.Class
+	// Region restricts injections to one function (RAny = whole app).
+	Region fault.Region
+	// Trials is the number of error injections in the full campaign.
+	Trials int
+	// Window overrides the register-liveness window (0 = class
+	// default).
+	Window uint64
+	// Seed makes the campaign reproducible: plans are pre-generated
+	// from it, which is what makes sharding and resume deterministic.
+	Seed uint64
+	// Workers bounds trial parallelism (0 = GOMAXPROCS). When sharded,
+	// the bound applies per shard.
+	Workers int
+	// StepFactor sizes the hang budget as a multiple of golden steps
+	// (0 = fault.DefaultStepFactor).
+	StepFactor float64
+	// CheckpointEvery controls the rate-curve snapshot interval
+	// (0 = Trials/20).
+	CheckpointEvery int
+	// SDC is the SDC-output retention policy.
+	SDC SDCPolicy
+	// Shard selects the trial window to execute (zero value = all).
+	Shard Shard
+	// Golden, when non-nil, supplies a precomputed golden run,
+	// bypassing both capture and the Runner's cache.
+	Golden *fault.GoldenRun
+	// OnTrial, if set, receives every completed trial's checkpoint
+	// record. Invocations are serialized, including across the
+	// concurrent shards of RunSharded. Record indices are plan
+	// indices, valid across any shard decomposition of the same Spec.
+	OnTrial func(rec fault.TrialRecord)
+	// Resume holds checkpoint records from an interrupted run of the
+	// same Spec. Records outside this Spec's shard window are ignored,
+	// so a journal replayed from a whole campaign can be handed to
+	// every shard unchanged.
+	Resume []fault.TrialRecord
+}
+
+// Shards splits the campaign into k disjoint sub-campaigns whose
+// merged Results are bit-identical to the unsharded run. k is clamped
+// to [1, Trials]. The returned Specs share the receiver's hooks
+// (OnTrial, SDC.OnOutput); RunSharded serializes them — callers
+// driving shards themselves must make the hooks safe for concurrent
+// use or run shards sequentially.
+func (s Spec) Shards(k int) []Spec {
+	if k < 1 {
+		k = 1
+	}
+	if s.Trials > 0 && k > s.Trials {
+		k = s.Trials
+	}
+	out := make([]Spec, k)
+	for i := range out {
+		out[i] = s
+		out[i].Shard = Shard{Index: i, Count: k}
+	}
+	return out
+}
+
+// validate checks the Spec before any work is spent on it.
+func (s *Spec) validate() error {
+	if s.Workload.App == nil {
+		return fmt.Errorf("campaign: spec has no workload app")
+	}
+	if s.Trials <= 0 {
+		return fmt.Errorf("campaign: non-positive trial count %d", s.Trials)
+	}
+	if s.Shard.Count < 0 || s.Shard.Count > s.Trials {
+		return fmt.Errorf("campaign: shard count %d outside [0,%d]", s.Shard.Count, s.Trials)
+	}
+	if s.Shard.Count > 0 && (s.Shard.Index < 0 || s.Shard.Index >= s.Shard.Count) {
+		return fmt.Errorf("campaign: shard index %d outside [0,%d)", s.Shard.Index, s.Shard.Count)
+	}
+	return nil
+}
+
+// faultConfig translates the Spec (and its shard window) into the
+// fault-layer campaign config.
+func (s *Spec) faultConfig(golden *fault.GoldenRun) fault.Config {
+	lo, hi := s.Shard.window(s.Trials)
+	cfg := fault.Config{
+		Trials:          hi - lo,
+		Class:           s.Class,
+		Region:          s.Region,
+		Window:          s.Window,
+		Seed:            s.Seed,
+		Workers:         s.Workers,
+		StepFactor:      s.StepFactor,
+		CheckpointEvery: s.CheckpointEvery,
+		KeepSDCOutputs:  s.SDC.Keep,
+		MaxSDCOutputs:   s.SDC.Max,
+		OnSDCOutput:     s.SDC.OnOutput,
+		OnTrial:         s.OnTrial,
+		Golden:          golden,
+	}
+	if s.Shard.Count > 1 {
+		cfg.PlanTrials = s.Trials
+		cfg.PlanOffset = lo
+	}
+	for _, rec := range s.Resume {
+		if rec.Index >= lo && rec.Index < hi {
+			cfg.Resume = append(cfg.Resume, rec)
+		}
+	}
+	return cfg
+}

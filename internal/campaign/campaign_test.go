@@ -1,0 +1,269 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vsresil/internal/fault"
+)
+
+// toyApp is a miniature fault.App with a realistic mix of tap classes
+// (crash-prone indices, SDC-prone pixels, mask-prone saturated
+// floats), cheap enough for property-style campaign sweeps.
+func toyApp(m *fault.Machine) ([]byte, error) {
+	buf := make([]uint8, 64)
+	for i := range buf {
+		buf[i] = uint8(i * 3)
+	}
+	out := make([]uint8, 64)
+	n := m.Cnt(len(buf))
+	if n < 0 || n > len(buf) {
+		return nil, errors.New("toy: invalid length")
+	}
+	for i := 0; i < n; i++ {
+		idx := m.Idx(i)
+		v := m.Pix(buf[idx]) // panics if idx out of range
+		f := m.F64(float64(v) * 1.5)
+		if f > 255 {
+			f = 255
+		}
+		if f < 0 {
+			f = 0
+		}
+		out[m.Idx(i)] = uint8(f)
+	}
+	return out, nil
+}
+
+// toySpec is the campaign the decomposition tests shard and merge.
+func toySpec() Spec {
+	return Spec{
+		Workload: NewWorkload("toy", "", toyApp),
+		Class:    fault.GPR,
+		Region:   fault.RAny,
+		Trials:   60,
+		Seed:     7,
+		Workers:  2,
+		SDC:      SDCPolicy{Keep: true, Max: 3},
+	}
+}
+
+// requireIdentical compares every campaign observable of two results.
+func requireIdentical(t *testing.T, label string, a, b *fault.Result) {
+	t.Helper()
+	if a.Completed != b.Completed {
+		t.Errorf("%s: completed %d vs %d", label, a.Completed, b.Completed)
+	}
+	if a.Counts != b.Counts {
+		t.Errorf("%s: outcome counts differ: %v vs %v", label, a.Counts, b.Counts)
+	}
+	if !reflect.DeepEqual(a.CrashCounts, b.CrashCounts) {
+		t.Errorf("%s: crash splits differ: %v vs %v", label, a.CrashCounts, b.CrashCounts)
+	}
+	if !reflect.DeepEqual(a.RegHist.Counts, b.RegHist.Counts) {
+		t.Errorf("%s: register histograms differ", label)
+	}
+	if !reflect.DeepEqual(a.BitHist.Counts, b.BitHist.Counts) {
+		t.Errorf("%s: bit histograms differ", label)
+	}
+	if !reflect.DeepEqual(a.Curve.Checkpoints, b.Curve.Checkpoints) {
+		t.Errorf("%s: rate-curve checkpoints differ: %v vs %v", label, a.Curve.Checkpoints, b.Curve.Checkpoints)
+	}
+	if !reflect.DeepEqual(a.Curve.Snapshots, b.Curve.Snapshots) {
+		t.Errorf("%s: rate-curve snapshots differ", label)
+	}
+	if !bytes.Equal(a.GoldenOutput, b.GoldenOutput) {
+		t.Errorf("%s: golden outputs differ", label)
+	}
+	if len(a.Trials) != len(b.Trials) {
+		t.Fatalf("%s: trial counts differ: %d vs %d", label, len(a.Trials), len(b.Trials))
+	}
+	for i := range a.Trials {
+		ta, tb := a.Trials[i], b.Trials[i]
+		if ta.Outcome != tb.Outcome || ta.Crash != tb.Crash || ta.Landed != tb.Landed {
+			t.Errorf("%s: trial %d differs: (%v,%v,landed=%v) vs (%v,%v,landed=%v)",
+				label, i, ta.Outcome, ta.Crash, ta.Landed, tb.Outcome, tb.Crash, tb.Landed)
+		}
+		if (ta.Output == nil) != (tb.Output == nil) || !bytes.Equal(ta.Output, tb.Output) {
+			t.Errorf("%s: trial %d SDC output retention differs", label, i)
+		}
+	}
+}
+
+// TestShardMergeEquivalence is the headline property: for any shard
+// count, RunSharded merges bit-identically to the unsharded run —
+// outcome counts, crash split, coverage histograms, rate curve and the
+// deterministic SDC-output retention.
+func TestShardMergeEquivalence(t *testing.T) {
+	var runner Runner
+	base, err := runner.Run(context.Background(), toySpec())
+	if err != nil {
+		t.Fatalf("unsharded run: %v", err)
+	}
+	for _, k := range []int{1, 2, 5} {
+		merged, err := runner.RunSharded(context.Background(), toySpec(), k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		requireIdentical(t, "k="+string(rune('0'+k)), base.Fault, merged.Fault)
+		if merged.Executed != base.Executed {
+			t.Errorf("k=%d: executed %d, want %d", k, merged.Executed, base.Executed)
+		}
+	}
+}
+
+// TestShardedResume interrupts a sharded run mid-campaign, then
+// replays its checkpoint stream into a fresh sharded run: the resumed
+// merge must still be bit-identical to the unsharded campaign. Record
+// indices are plan indices, so the journal needs no per-shard
+// bookkeeping. The specs here carry no SDC retention policy: a
+// checkpoint record has no output bytes, so in-memory retention
+// cannot survive a resume — callers wanting outputs across restarts
+// stream them at first execution via SDC.OnOutput, as vsd does.
+func TestShardedResume(t *testing.T) {
+	noRetention := func() Spec {
+		s := toySpec()
+		s.SDC = SDCPolicy{}
+		return s
+	}
+	var runner Runner
+	base, err := runner.Run(context.Background(), noRetention())
+	if err != nil {
+		t.Fatalf("unsharded run: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	var recs []fault.TrialRecord
+	spec := noRetention()
+	spec.OnTrial = func(rec fault.TrialRecord) {
+		mu.Lock()
+		recs = append(recs, rec)
+		n := len(recs)
+		mu.Unlock()
+		if n == 10 {
+			cancel()
+		}
+	}
+	partial, err := runner.RunSharded(ctx, spec, 3)
+	if err == nil {
+		t.Fatal("interrupted sharded run returned no error")
+	}
+	mu.Lock()
+	checkpoint := append([]fault.TrialRecord(nil), recs...)
+	mu.Unlock()
+	// Interruption still yields a best-effort aggregate for reporting.
+	if partial == nil || partial.Fault == nil {
+		t.Fatal("interrupted sharded run returned no partial result")
+	}
+	if got := partial.Fault.Completed; got == 0 || got >= toySpec().Trials {
+		t.Fatalf("partial result completed %d trials, want partial coverage", got)
+	}
+	counted := 0
+	for _, n := range partial.Fault.Counts {
+		counted += n
+	}
+	if counted != partial.Fault.Completed {
+		t.Errorf("partial counts sum to %d, completed %d", counted, partial.Fault.Completed)
+	}
+	if len(checkpoint) == 0 || len(checkpoint) >= toySpec().Trials {
+		t.Fatalf("interruption checkpointed %d trials, want partial coverage", len(checkpoint))
+	}
+
+	resumed := noRetention()
+	resumed.Resume = checkpoint
+	merged, err := runner.RunSharded(context.Background(), resumed, 3)
+	if err != nil {
+		t.Fatalf("resumed sharded run: %v", err)
+	}
+	requireIdentical(t, "resumed shards", base.Fault, merged.Fault)
+	if want := base.Fault.Completed - len(checkpoint); merged.Executed != want {
+		t.Errorf("resumed run executed %d trials, want %d", merged.Executed, want)
+	}
+}
+
+// TestMergeValidation rejects decompositions that do not reassemble
+// the original campaign.
+func TestMergeValidation(t *testing.T) {
+	var runner Runner
+	shards := toySpec().Shards(3)
+	results := make([]*Result, len(shards))
+	for i, s := range shards {
+		r, err := runner.Run(context.Background(), s)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		results[i] = r
+	}
+	if _, err := Merge(results...); err != nil {
+		t.Fatalf("full merge: %v", err)
+	}
+	if _, err := Merge(results[0], results[2]); err == nil {
+		t.Error("merge with a missing shard succeeded")
+	}
+	if _, err := Merge(results[1], results[1], results[2]); err == nil {
+		t.Error("merge with a duplicated shard succeeded")
+	}
+	if _, err := Merge(); err == nil {
+		t.Error("empty merge succeeded")
+	}
+}
+
+// TestGoldenCacheSharing checks that a keyed workload captures its
+// golden run once and that the runner reports hits and misses.
+func TestGoldenCacheSharing(t *testing.T) {
+	var calls atomic.Int64
+	counted := func(m *fault.Machine) ([]byte, error) {
+		calls.Add(1)
+		return toyApp(m)
+	}
+	hits, misses := 0, 0
+	runner := Runner{
+		Goldens: NewGoldenCache(4),
+		OnGoldenLookup: func(hit bool) {
+			if hit {
+				hits++
+			} else {
+				misses++
+			}
+		},
+	}
+	spec := toySpec()
+	spec.Workload = NewWorkload("toy", "toy-key", counted)
+	spec.Trials = 10
+	for i := 0; i < 3; i++ {
+		if _, err := runner.Run(context.Background(), spec); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	// One golden capture plus one invocation per trial: a cache miss on
+	// any later run would add a second capture.
+	if want := int64(3*spec.Trials + 1); calls.Load() != want {
+		t.Errorf("app invoked %d times, want %d (one shared golden capture)", calls.Load(), want)
+	}
+	if hits != 2 || misses != 1 {
+		t.Errorf("lookup stats hits=%d misses=%d, want 2/1", hits, misses)
+	}
+}
+
+// TestSpecValidation covers the cheap declarative checks.
+func TestSpecValidation(t *testing.T) {
+	var runner Runner
+	bad := []Spec{
+		{},                                       // no app
+		{Workload: NewWorkload("x", "", toyApp)}, // no trials
+		{Workload: NewWorkload("x", "", toyApp), Trials: 4, Shard: Shard{Index: 2, Count: 2}}, // index out of range
+		{Workload: NewWorkload("x", "", toyApp), Trials: 4, Shard: Shard{Index: 0, Count: 9}}, // more shards than trials
+	}
+	for i, s := range bad {
+		if _, err := runner.Run(context.Background(), s); err == nil {
+			t.Errorf("spec %d validated unexpectedly", i)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package campaign
+
+import (
+	"sync"
+
+	"vsresil/internal/fault"
+)
+
+// goldenEntry is one cached golden run. The once gate makes
+// concurrent campaigns over the same workload share a single capture
+// instead of racing duplicate fault-free runs.
+type goldenEntry struct {
+	once   sync.Once
+	golden *fault.GoldenRun
+	err    error
+}
+
+// GoldenCache shares golden runs across campaigns, keyed by
+// Workload.Key. Entries hold the golden output bytes (for VS, a
+// serialized panorama set), so caches are kept small; when full, an
+// arbitrary entry is evicted — the access pattern (campaign sweeps
+// over a few workloads) does not reward LRU.
+type GoldenCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*goldenEntry
+}
+
+// NewGoldenCache returns a cache bounded to max entries (max <= 0
+// means unbounded).
+func NewGoldenCache(max int) *GoldenCache {
+	return &GoldenCache{max: max, entries: make(map[string]*goldenEntry)}
+}
+
+// Get returns the golden run for key, capturing it with a fault-free
+// execution of app on first use. hit reports whether the capture was
+// skipped. The capture itself runs outside the cache lock; only
+// bookkeeping is locked.
+func (c *GoldenCache) Get(key string, app fault.App) (g *fault.GoldenRun, hit bool, err error) {
+	c.mu.Lock()
+	e := c.entries[key]
+	hit = e != nil
+	if e == nil {
+		if c.max > 0 && len(c.entries) >= c.max {
+			for k := range c.entries {
+				delete(c.entries, k)
+				break
+			}
+		}
+		e = &goldenEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		e.golden, e.err = fault.CaptureGolden(app)
+		if e.err != nil {
+			// Do not cache failures: the next campaign retries the
+			// capture (the input may be transiently bad, e.g. a
+			// canceled upload).
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+		}
+	})
+	return e.golden, hit, e.err
+}

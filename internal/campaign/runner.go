@@ -1,0 +1,160 @@
+package campaign
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"vsresil/internal/fault"
+)
+
+// Runner executes campaign Specs. The zero value is usable (no golden
+// caching); long-lived owners (the experiment harnesses, the vsd
+// service) configure a shared GoldenCache so campaign sweeps over the
+// same workload skip repeated fault-free captures.
+type Runner struct {
+	// Goldens caches golden runs across campaigns, keyed by
+	// Workload.Key. nil (or an empty Workload.Key) captures a fresh
+	// golden per run.
+	Goldens *GoldenCache
+	// OnGoldenLookup, if set, observes every cache lookup (for
+	// metrics). Not called for uncacheable workloads or Specs that
+	// supply their own Golden.
+	OnGoldenLookup func(hit bool)
+}
+
+// Result is one campaign run's outcome: the fault-layer aggregates
+// plus engine-level accounting.
+type Result struct {
+	// Spec is the campaign as executed (including its shard window).
+	Spec Spec
+	// Fault holds the outcome counts, crash split, coverage
+	// histograms, rate curve and trials.
+	Fault *fault.Result
+	// Executed counts the trials this run actually executed —
+	// Fault.Completed minus the checkpoints resumed without
+	// re-execution. Throughput metrics divide by this, not Completed.
+	Executed int
+	// Elapsed is the wall time of the run, golden capture included.
+	Elapsed time.Duration
+}
+
+// golden acquires the fault-free golden run for spec: the Spec's own,
+// the cache's, or a fresh capture.
+func (r *Runner) golden(spec *Spec) (*fault.GoldenRun, error) {
+	if spec.Golden != nil {
+		return spec.Golden, nil
+	}
+	if r.Goldens != nil && spec.Workload.Key != "" {
+		g, hit, err := r.Goldens.Get(spec.Workload.Key, spec.Workload.App)
+		if r.OnGoldenLookup != nil {
+			r.OnGoldenLookup(hit)
+		}
+		return g, err
+	}
+	return fault.CaptureGolden(spec.Workload.App)
+}
+
+// Run executes one campaign (or one shard of one, when spec.Shard is
+// set). If ctx is canceled mid-campaign, Run returns the partial
+// Result together with a non-nil error wrapping ctx's error, exactly
+// like fault.RunCampaign — callers wanting partial data on
+// interruption must check the Result even when err != nil.
+func (r *Runner) Run(ctx context.Context, spec Spec) (*Result, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	golden, err := r.golden(&spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg := spec.faultConfig(golden)
+	resumed := len(cfg.Resume)
+	fres, err := fault.RunCampaign(ctx, cfg, spec.Workload.App)
+	if fres == nil {
+		return nil, err
+	}
+	return &Result{
+		Spec:     spec,
+		Fault:    fres,
+		Executed: fres.Completed - resumed,
+		Elapsed:  time.Since(start),
+	}, err
+}
+
+// RunSharded splits the campaign into k shards, executes them
+// concurrently (each on its own trial worker pool) and merges the
+// results. The merged Result is bit-identical to Run with the same
+// unsharded Spec. Spec hooks (OnTrial, SDC.OnOutput) are serialized
+// across shards. On cancellation the error is non-nil and the Result
+// is a best-effort partial aggregate (matching Run's contract) —
+// sufficient for reporting, but not bit-identical to anything;
+// callers resume from the OnTrial checkpoint stream.
+func (r *Runner) RunSharded(ctx context.Context, spec Spec, k int) (*Result, error) {
+	shards := spec.Shards(k)
+	if len(shards) == 1 {
+		return r.Run(ctx, shards[0])
+	}
+	// Serialize the caller's hooks: each shard's fault campaign
+	// serializes its own invocations, but shards run concurrently.
+	var hookMu sync.Mutex
+	if onTrial := spec.OnTrial; onTrial != nil {
+		wrapped := func(rec fault.TrialRecord) {
+			hookMu.Lock()
+			defer hookMu.Unlock()
+			onTrial(rec)
+		}
+		for i := range shards {
+			shards[i].OnTrial = wrapped
+		}
+	}
+	if onOutput := spec.SDC.OnOutput; onOutput != nil {
+		wrapped := func(rec fault.TrialRecord, output []byte) {
+			hookMu.Lock()
+			defer hookMu.Unlock()
+			onOutput(rec, output)
+		}
+		for i := range shards {
+			shards[i].SDC.OnOutput = wrapped
+		}
+	}
+	// One golden capture up front for all shards. The cache would
+	// dedup concurrent captures anyway; this also covers uncacheable
+	// workloads.
+	start := time.Now()
+	golden, err := r.golden(&spec)
+	if err != nil {
+		return nil, err
+	}
+	for i := range shards {
+		shards[i].Golden = golden
+	}
+
+	results := make([]*Result, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.Run(ctx, shards[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, serr := range errs {
+		if serr != nil {
+			partial := partialMerge(spec, results)
+			if partial != nil {
+				partial.Elapsed = time.Since(start)
+			}
+			return partial, serr
+		}
+	}
+	merged, err := Merge(results...)
+	if err != nil {
+		return nil, err
+	}
+	merged.Elapsed = time.Since(start)
+	return merged, nil
+}

@@ -1,0 +1,43 @@
+package campaign
+
+import (
+	"fmt"
+
+	"vsresil/internal/imgproc"
+	"vsresil/internal/virat"
+	"vsresil/internal/vs"
+	"vsresil/internal/wp"
+)
+
+// VS returns the workload for one VS variant on a synthetic input
+// sequence — the combination every paper campaign injects into. The
+// cache key covers the variant, the app seed and the input identity,
+// so campaigns sweeping classes, regions or trial counts over the
+// same workload share one golden capture.
+func VS(alg vs.Algorithm, seq *virat.Sequence, appSeed uint64) Workload {
+	cfg := vs.DefaultConfig(alg)
+	cfg.Seed = appSeed
+	frames := seq.Frames()
+	key := fmt.Sprintf("vs:%s|seed=%d|%s:%dx%dx%d", alg, appSeed,
+		seq.Name, len(frames), seq.FrameW, seq.FrameH)
+	return VSApp(cfg, frames, seq.Name, key)
+}
+
+// VSApp returns the workload for a fully specified VS configuration
+// over explicit frames — uploaded inputs, stitcher overrides, and any
+// other case VS's defaults don't cover. cacheKey must capture
+// everything that determines the fault-free run; pass "" to disable
+// golden caching (e.g. when cfg carries overrides with no stable
+// identity).
+func VSApp(cfg vs.Config, frames []*imgproc.Gray, name, cacheKey string) Workload {
+	app := vs.New(cfg, len(frames))
+	return Workload{Name: name, Key: cacheKey, App: app.RunEncoded(frames)}
+}
+
+// WP returns the standalone WarpPerspective toy-benchmark workload of
+// the Fig 11b case study.
+func WP(preset virat.Preset) Workload {
+	bench := wp.Default(preset)
+	key := fmt.Sprintf("wp:%dx%dx%d", preset.Frames, preset.FrameW, preset.FrameH)
+	return Workload{Name: "WP", Key: key, App: bench.App()}
+}

@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 
+	"vsresil/internal/campaign"
 	"vsresil/internal/energy"
 	"vsresil/internal/fault"
 	"vsresil/internal/imgproc"
@@ -91,18 +92,20 @@ func Run(ctx context.Context, cfg StudyConfig) (*StudyResult, error) {
 	if cfg.Trials <= 0 {
 		return res, nil
 	}
-	campaign, err := fault.RunCampaign(ctx, fault.Config{
-		Trials:         cfg.Trials,
-		Class:          cfg.Class,
-		Region:         fault.RAny,
-		Seed:           cfg.Seed,
-		Workers:        cfg.Workers,
-		KeepSDCOutputs: cfg.AnalyzeSDCQuality,
-	}, app.RunEncoded(frames))
+	var runner campaign.Runner
+	crun, err := runner.Run(ctx, campaign.Spec{
+		Workload: campaign.NewWorkload(cfg.Input.Name, "", app.RunEncoded(frames)),
+		Class:    cfg.Class,
+		Region:   fault.RAny,
+		Trials:   cfg.Trials,
+		Seed:     cfg.Seed,
+		Workers:  cfg.Workers,
+		SDC:      campaign.SDCPolicy{Keep: cfg.AnalyzeSDCQuality},
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: campaign: %w", err)
 	}
-	res.Campaign = campaign
+	res.Campaign = crun.Fault
 
 	if !cfg.AnalyzeSDCQuality {
 		return res, nil
@@ -123,7 +126,7 @@ func Run(ctx context.Context, cfg StudyConfig) (*StudyResult, error) {
 		baseOX, baseOY = basePrim.Bounds.MinX, basePrim.Bounds.MinY
 	}
 	qcfg := quality.DefaultConfig()
-	for _, enc := range campaign.SDCOutputs() {
+	for _, enc := range res.Campaign.SDCOutputs() {
 		faulty, fox, foy, err := stitch.DecodePrimary(enc)
 		if err != nil {
 			faulty = nil // undecodable output: maximally corrupt

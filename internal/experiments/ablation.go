@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"vsresil/internal/campaign"
 	"vsresil/internal/fault"
 	"vsresil/internal/stitch"
 	"vsresil/internal/virat"
@@ -31,25 +32,25 @@ func AblationWindow(ctx context.Context, o Options, windows []uint64) (*Ablation
 		windows = []uint64{8, 32, 96, 256, 1024}
 	}
 	seq := virat.Input1(o.Preset)
-	frames := seq.Frames()
-	cfg := vs.DefaultConfig(vs.AlgVS)
-	cfg.Seed = o.Seed
-	app := vs.New(cfg, len(frames))
+	workload := campaign.VS(vs.AlgVS, seq, o.Seed)
 
 	out := &AblationWindowResult{Windows: windows}
 	for _, w := range windows {
-		res, err := fault.RunCampaign(ctx, fault.Config{
-			Trials:  o.Trials,
-			Class:   fault.GPR,
-			Region:  fault.RAny,
-			Window:  w,
-			Seed:    o.Seed,
-			Workers: o.Workers,
-		}, app.RunEncoded(frames))
+		// The golden run is window-independent, so the sweep shares
+		// one capture through the engine's cache.
+		res, err := runner.Run(ctx, campaign.Spec{
+			Workload: workload,
+			Class:    fault.GPR,
+			Region:   fault.RAny,
+			Trials:   o.Trials,
+			Window:   w,
+			Seed:     o.Seed,
+			Workers:  o.Workers,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: window %d: %w", w, err)
 		}
-		out.Rates = append(out.Rates, res.Rates())
+		out.Rates = append(out.Rates, res.Fault.Rates())
 	}
 	return out, nil
 }
@@ -91,18 +92,22 @@ func AblationBlend(ctx context.Context, o Options) (*AblationBlendResult, error)
 		cfg := vs.DefaultConfig(vs.AlgVS)
 		cfg.Seed = o.Seed
 		cfg.Stitch = &scfg
-		app := vs.New(cfg, len(frames))
-		res, err := fault.RunCampaign(ctx, fault.Config{
-			Trials:  o.Trials,
-			Class:   fault.GPR,
-			Region:  fault.RWarpInvoker,
-			Seed:    o.Seed + seedSalt,
-			Workers: o.Workers,
-		}, app.RunEncoded(frames))
+		// The stitcher override changes the golden run, so the blend
+		// mode is part of the workload's cache identity.
+		key := fmt.Sprintf("vs-blend:%d|seed=%d|%s:%dx%dx%d",
+			mode, o.Seed, seq.Name, len(frames), seq.FrameW, seq.FrameH)
+		res, err := runner.Run(ctx, campaign.Spec{
+			Workload: campaign.VSApp(cfg, frames, seq.Name, key),
+			Class:    fault.GPR,
+			Region:   fault.RWarpInvoker,
+			Trials:   o.Trials,
+			Seed:     o.Seed + seedSalt,
+			Workers:  o.Workers,
+		})
 		if err != nil {
 			return [fault.NumOutcomes]float64{}, err
 		}
-		return res.Rates(), nil
+		return res.Fault.Rates(), nil
 	}
 
 	out := &AblationBlendResult{}

@@ -5,10 +5,10 @@ import (
 	"fmt"
 	"io"
 
+	"vsresil/internal/campaign"
 	"vsresil/internal/fault"
 	"vsresil/internal/virat"
 	"vsresil/internal/vs"
-	"vsresil/internal/wp"
 )
 
 // Fig11bResult reproduces the hot-function case study (Fig 11b):
@@ -35,26 +35,22 @@ func Fig11b(ctx context.Context, o Options) (*Fig11bResult, error) {
 
 	// Standalone WP benchmark. One golden capture serves both
 	// region-scoped campaigns — the golden run is fault-free, so it is
-	// independent of the injection region.
-	bench := wp.Default(o.Preset)
-	wpApp := bench.App()
-	wpGolden, err := fault.CaptureGolden(wpApp)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: WP golden: %w", err)
-	}
+	// independent of the injection region; the engine's cache shares
+	// it.
+	wpWorkload := campaign.WP(o.Preset)
 	for _, region := range regions {
-		res, err := fault.RunCampaign(ctx, fault.Config{
-			Trials:  o.Trials,
-			Class:   fault.GPR,
-			Region:  region,
-			Seed:    o.Seed + uint64(region),
-			Workers: o.Workers,
-			Golden:  wpGolden,
-		}, wpApp)
+		res, err := runner.Run(ctx, campaign.Spec{
+			Workload: wpWorkload,
+			Class:    fault.GPR,
+			Region:   region,
+			Trials:   o.Trials,
+			Seed:     o.Seed + uint64(region),
+			Workers:  o.Workers,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: WP campaign %v: %w", region, err)
 		}
-		out.Rows = append(out.Rows, Fig11bRow{App: "WP", Function: region, Rates: res.Rates()})
+		out.Rows = append(out.Rows, Fig11bRow{App: "WP", Function: region, Rates: res.Fault.Rates()})
 	}
 
 	// Full VS application, same functions.

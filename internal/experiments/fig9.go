@@ -5,36 +5,37 @@ import (
 	"fmt"
 	"io"
 
+	"vsresil/internal/campaign"
 	"vsresil/internal/fault"
 	"vsresil/internal/virat"
 	"vsresil/internal/vs"
 )
 
+// runner is the campaign engine all figure harnesses share: one
+// golden cache across Fig 9/10/11/12, so campaigns sweeping classes,
+// regions and algorithms over the same workload reuse a single
+// fault-free capture. The population is bounded by algorithms x
+// inputs x presets actually exercised (a handful), so the cache is
+// unbounded.
+var runner = campaign.Runner{Goldens: campaign.NewGoldenCache(0)}
+
 // campaignFor runs a fault-injection campaign for one algorithm on one
 // input.
 func campaignFor(ctx context.Context, o Options, alg vs.Algorithm, seq *virat.Sequence,
 	class fault.Class, region fault.Region, trials int, keepSDC bool) (*fault.Result, error) {
-	frames := seq.Frames()
-	cfg := vs.DefaultConfig(alg)
-	cfg.Seed = o.Seed
-	app := vs.New(cfg, len(frames))
-	golden, err := sharedGolden(goldenKey{alg: alg, input: seq.Name, preset: o.Preset, seed: o.Seed}, app, frames)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: golden %v/%s: %w", alg, seq.Name, err)
-	}
-	res, err := fault.RunCampaign(ctx, fault.Config{
-		Trials:         trials,
-		Class:          class,
-		Region:         region,
-		Seed:           o.Seed + uint64(alg)*101 + uint64(class)*7919,
-		Workers:        o.Workers,
-		KeepSDCOutputs: keepSDC,
-		Golden:         golden,
-	}, app.RunEncoded(frames))
+	res, err := runner.Run(ctx, campaign.Spec{
+		Workload: campaign.VS(alg, seq, o.Seed),
+		Class:    class,
+		Region:   region,
+		Trials:   trials,
+		Seed:     o.Seed + uint64(alg)*101 + uint64(class)*7919,
+		Workers:  o.Workers,
+		SDC:      campaign.SDCPolicy{Keep: keepSDC},
+	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: campaign %v/%s/%v: %w", alg, seq.Name, class, err)
 	}
-	return res, nil
+	return res.Fault, nil
 }
 
 // Fig9Result reproduces Fig 9: (a) outcome rates vs number of

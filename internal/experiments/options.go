@@ -13,6 +13,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"vsresil/internal/virat"
 )
@@ -56,6 +57,26 @@ func PaperOptions() Options {
 		Trials:        1000,
 		QualityTrials: 5000,
 		Seed:          1,
+	}
+}
+
+// ParseScale maps an experiment-scale name to Options,
+// case-insensitively: "small" (or ""), "bench" or "paper". The
+// experiments CLI and the vsd experiment jobs share this parser.
+func ParseScale(name string) (Options, error) {
+	switch strings.ToLower(name) {
+	case "", "small":
+		return DefaultOptions(), nil
+	case "bench":
+		o := DefaultOptions()
+		o.Preset = virat.BenchScale()
+		o.Trials = 1000
+		o.QualityTrials = 2000
+		return o, nil
+	case "paper":
+		return PaperOptions(), nil
+	default:
+		return Options{}, fmt.Errorf("experiments: unknown scale %q (want small, bench or paper)", name)
 	}
 }
 

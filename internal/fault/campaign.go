@@ -112,10 +112,10 @@ type Config struct {
 	CheckpointEvery int
 	// MaxSDCOutputs caps how many SDC outputs KeepSDCOutputs retains
 	// (<= 0 = unlimited). Long campaigns otherwise hold every corrupted
-	// panorama in memory at once. When the cap is hit, further SDC
-	// trials are counted but their output bytes are dropped; which
-	// outputs are kept follows trial completion order, so under
-	// Workers > 1 the retained subset (not the counts) may vary.
+	// panorama in memory at once. Once the cap is hit, SDC trials are
+	// still counted but only the MaxSDCOutputs lowest-index SDC trials
+	// keep their output bytes — the retained subset is deterministic
+	// regardless of worker count and completion order.
 	MaxSDCOutputs int
 	// OnSDCOutput, if set, streams each SDC trial's corrupted output to
 	// the callback instead of retaining it in Result.Trials, bounding
@@ -135,6 +135,17 @@ type Config struct {
 	// and each trial is deterministic in its plan, a resumed campaign
 	// reaches the same outcome counts as an uninterrupted one.
 	Resume []TrialRecord
+	// PlanTrials is the plan-space size when this run is one shard of a
+	// larger campaign: plans for trials [0, PlanTrials) are
+	// pre-generated from Seed exactly as the unsharded campaign would
+	// generate them, and this run executes only the window
+	// [PlanOffset, PlanOffset+Trials). 0 means Trials (the whole
+	// campaign is one shard). TrialRecord indices are plan indices, so
+	// checkpoints from a shard replay into the same shard — or into the
+	// unsharded campaign — unambiguously.
+	PlanTrials int
+	// PlanOffset is the first plan index this run executes (sharding).
+	PlanOffset int
 	// Golden, when non-nil, is a precomputed golden run of the same
 	// app, and RunCampaign skips its own fault-free execution. Because
 	// the application is deterministic under a nil plan, a captured
@@ -247,7 +258,9 @@ type Result struct {
 	BitHist *stats.Histogram
 	// Curve tracks outcome rates vs injection count (Fig 9a).
 	Curve *stats.RateCurve
-	// Trials holds every trial in plan order. When the campaign was
+	// Trials holds every trial of this run's plan window in plan order
+	// (the whole campaign unless Config selects a shard window, in
+	// which case entry i is plan PlanOffset+i). When the campaign was
 	// interrupted, entries for never-executed plans are zero-valued;
 	// Completed says how many entries are real.
 	Trials []Trial
@@ -272,8 +285,15 @@ func (r *Result) Rate(o Outcome) float64 {
 // Rates returns the Mask, Crash, SDC and Hang rates in outcome order.
 func (r *Result) Rates() [NumOutcomes]float64 {
 	var out [NumOutcomes]float64
-	for o := Outcome(0); o < NumOutcomes; o++ {
-		out[o] = r.Rate(o)
+	total := 0
+	for _, c := range r.Counts {
+		total += c
+	}
+	if total == 0 {
+		return out
+	}
+	for o, c := range r.Counts {
+		out[o] = float64(c) / float64(total)
 	}
 	return out
 }
@@ -293,6 +313,48 @@ func (r *Result) SDCOutputs() [][]byte {
 // for the requested class/region.
 var ErrNoTaps = errors.New("fault: golden run executed no taps for the requested class/region")
 
+// NewResult returns an empty Result for cfg with the aggregate
+// structures sized and the golden reference recorded; callers fold
+// completed trials in with Accumulate, in plan-index order.
+// RunCampaign builds its Result through this path, and the campaign
+// engine's shard merge uses the same path — which is what makes a
+// merged shard set bit-identical to the unsharded run.
+func NewResult(cfg Config, goldenOut []byte, goldenSteps, totalTaps uint64) *Result {
+	every := cfg.CheckpointEvery
+	if every <= 0 {
+		every = cfg.Trials / 20
+		if every == 0 {
+			every = 1
+		}
+	}
+	return &Result{
+		Config:       cfg,
+		GoldenOutput: goldenOut,
+		GoldenSteps:  goldenSteps,
+		TotalTaps:    totalTaps,
+		CrashCounts:  make(map[CrashKind]int),
+		RegHist:      stats.NewHistogram(NumRegisters),
+		BitHist:      stats.NewHistogram(RegisterBits),
+		Curve:        stats.NewRateCurve(int(NumOutcomes), every),
+	}
+}
+
+// Accumulate folds one completed trial into the outcome counts, crash
+// split, coverage histograms and rate curve. Trials must be
+// accumulated in plan-index order for the curve checkpoints to be
+// deterministic. Accumulate does not append to r.Trials — the caller
+// owns that slice.
+func (r *Result) Accumulate(t *Trial) {
+	r.Completed++
+	r.Counts[t.Outcome]++
+	if t.Outcome == OutcomeCrash {
+		r.CrashCounts[t.Crash]++
+	}
+	r.RegHist.Add(t.Plan.Reg)
+	r.BitHist.Add(t.Plan.Bit)
+	r.Curve.Add(int(t.Outcome))
+}
+
 // RunCampaign executes a statistical fault-injection campaign against
 // app: one golden run to size the site space and capture the reference
 // output (skipped when cfg.Golden supplies a precomputed one), then
@@ -307,6 +369,14 @@ var ErrNoTaps = errors.New("fault: golden run executed no taps for the requested
 func RunCampaign(ctx context.Context, cfg Config, app App) (*Result, error) {
 	if cfg.Trials <= 0 {
 		return nil, fmt.Errorf("fault: non-positive trial count %d", cfg.Trials)
+	}
+	planTrials := cfg.PlanTrials
+	if planTrials == 0 {
+		planTrials = cfg.Trials
+	}
+	if cfg.PlanOffset < 0 || cfg.PlanOffset+cfg.Trials > planTrials {
+		return nil, fmt.Errorf("fault: plan window [%d,%d) outside plan space [0,%d)",
+			cfg.PlanOffset, cfg.PlanOffset+cfg.Trials, planTrials)
 	}
 	golden := cfg.Golden
 	if golden == nil {
@@ -336,10 +406,12 @@ func RunCampaign(ctx context.Context, cfg Config, app App) (*Result, error) {
 	}
 	budget := uint64(float64(golden.Steps) * stepFactor)
 
-	// Pre-generate all plans from the seed so results do not depend on
-	// worker scheduling.
+	// Pre-generate the full plan space from the seed so results depend
+	// on neither worker scheduling nor shard decomposition: a shard
+	// draws the same plans the unsharded campaign would and executes
+	// only its window.
 	rng := stats.NewRNG(cfg.Seed)
-	plans := make([]Plan, cfg.Trials)
+	plans := make([]Plan, planTrials)
 	for i := range plans {
 		plans[i] = Plan{
 			Class:  cfg.Class,
@@ -350,6 +422,7 @@ func RunCampaign(ctx context.Context, cfg Config, app App) (*Result, error) {
 			Region: cfg.Region,
 		}
 	}
+	plans = plans[cfg.PlanOffset : cfg.PlanOffset+cfg.Trials]
 
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -362,22 +435,26 @@ func RunCampaign(ctx context.Context, cfg Config, app App) (*Result, error) {
 	trials := make([]Trial, cfg.Trials)
 	done := make([]bool, cfg.Trials)
 	for _, rec := range cfg.Resume {
-		if rec.Index < 0 || rec.Index >= cfg.Trials {
-			return nil, fmt.Errorf("fault: resume record index %d out of range [0,%d)", rec.Index, cfg.Trials)
+		// Record indices are plan indices; map them into this run's
+		// window.
+		local := rec.Index - cfg.PlanOffset
+		if local < 0 || local >= cfg.Trials {
+			return nil, fmt.Errorf("fault: resume record index %d out of range [%d,%d)",
+				rec.Index, cfg.PlanOffset, cfg.PlanOffset+cfg.Trials)
 		}
 		if rec.Outcome >= NumOutcomes {
 			return nil, fmt.Errorf("fault: resume record %d has invalid outcome %d", rec.Index, rec.Outcome)
 		}
-		if done[rec.Index] {
+		if done[local] {
 			return nil, fmt.Errorf("fault: duplicate resume record for trial %d", rec.Index)
 		}
-		trials[rec.Index] = Trial{
-			Plan:    plans[rec.Index],
+		trials[local] = Trial{
+			Plan:    plans[local],
 			Outcome: rec.Outcome,
 			Crash:   rec.Crash,
 			Landed:  rec.Landed,
 		}
-		done[rec.Index] = true
+		done[local] = true
 	}
 
 	// keepOutput makes runTrial hold on to SDC output bytes; the
@@ -385,7 +462,10 @@ func RunCampaign(ctx context.Context, cfg Config, app App) (*Result, error) {
 	// or dropped once the cap is reached.
 	keepOutput := cfg.KeepSDCOutputs || cfg.OnSDCOutput != nil
 	var hookMu sync.Mutex // serializes OnTrial/OnSDCOutput and cap accounting
-	keptSDC := 0
+	// keptSDC tracks the local indices of retained SDC outputs while
+	// MaxSDCOutputs caps them; the eviction below converges on the
+	// lowest-index SDC trials whatever order workers complete in.
+	var keptSDC []int
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -398,18 +478,34 @@ func RunCampaign(ctx context.Context, cfg Config, app App) (*Result, error) {
 				if t.Output != nil {
 					switch {
 					case cfg.OnSDCOutput != nil:
-						cfg.OnSDCOutput(t.Record(i), t.Output)
+						cfg.OnSDCOutput(t.Record(cfg.PlanOffset+i), t.Output)
 						t.Output = nil
-					case cfg.MaxSDCOutputs > 0 && keptSDC >= cfg.MaxSDCOutputs:
-						t.Output = nil
-					default:
-						keptSDC++
+					case cfg.MaxSDCOutputs > 0:
+						if len(keptSDC) < cfg.MaxSDCOutputs {
+							keptSDC = append(keptSDC, i)
+						} else {
+							// Cap reached: evict the highest retained
+							// index if this trial precedes it, else drop
+							// this trial's output.
+							hi := 0
+							for j := 1; j < len(keptSDC); j++ {
+								if keptSDC[j] > keptSDC[hi] {
+									hi = j
+								}
+							}
+							if i < keptSDC[hi] {
+								trials[keptSDC[hi]].Output = nil
+								keptSDC[hi] = i
+							} else {
+								t.Output = nil
+							}
+						}
 					}
 				}
 				trials[i] = t
 				done[i] = true
 				if cfg.OnTrial != nil {
-					cfg.OnTrial(t.Record(i))
+					cfg.OnTrial(t.Record(cfg.PlanOffset + i))
 				}
 				hookMu.Unlock()
 			}
@@ -431,37 +527,12 @@ feed:
 	close(idxCh)
 	wg.Wait()
 
-	every := cfg.CheckpointEvery
-	if every <= 0 {
-		every = cfg.Trials / 20
-		if every == 0 {
-			every = 1
-		}
-	}
-	res := &Result{
-		Config:       cfg,
-		GoldenOutput: goldenOut,
-		GoldenSteps:  golden.Steps,
-		TotalTaps:    totalTaps,
-		CrashCounts:  make(map[CrashKind]int),
-		RegHist:      stats.NewHistogram(NumRegisters),
-		BitHist:      stats.NewHistogram(RegisterBits),
-		Curve:        stats.NewRateCurve(int(NumOutcomes), every),
-		Trials:       trials,
-	}
+	res := NewResult(cfg, goldenOut, golden.Steps, totalTaps)
+	res.Trials = trials
 	for i := range trials {
-		if !done[i] {
-			continue
+		if done[i] {
+			res.Accumulate(&trials[i])
 		}
-		t := &trials[i]
-		res.Completed++
-		res.Counts[t.Outcome]++
-		if t.Outcome == OutcomeCrash {
-			res.CrashCounts[t.Crash]++
-		}
-		res.RegHist.Add(t.Plan.Reg)
-		res.BitHist.Add(t.Plan.Bit)
-		res.Curve.Add(int(t.Outcome))
 	}
 	if ctxErr != nil {
 		return res, fmt.Errorf("fault: campaign interrupted after %d/%d trials: %w", res.Completed, cfg.Trials, ctxErr)

@@ -1,0 +1,34 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseClass maps a register-class name to a Class: "gpr" or "fpr",
+// case-insensitively; "" defaults to GPR. The CLIs and the vsd wire
+// format share this parser.
+func ParseClass(name string) (Class, error) {
+	switch strings.ToLower(name) {
+	case "", "gpr":
+		return GPR, nil
+	case "fpr":
+		return FPR, nil
+	default:
+		return 0, fmt.Errorf("fault: unknown register class %q (want gpr or fpr)", name)
+	}
+}
+
+// ParseRegion maps a function name to an injection region,
+// case-insensitively; "" defaults to RAny (whole application).
+func ParseRegion(name string) (Region, error) {
+	if name == "" {
+		return RAny, nil
+	}
+	for r := Region(0); r < NumRegions; r++ {
+		if strings.EqualFold(r.String(), name) {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown region %q", name)
+}

@@ -3,9 +3,8 @@ package service
 import (
 	"fmt"
 	"hash/fnv"
-	"sync"
 
-	"vsresil/internal/fault"
+	"vsresil/internal/vs"
 )
 
 // maxGoldenCache bounds the service's golden-run cache. Entries hold
@@ -14,21 +13,13 @@ import (
 // pattern (campaign sweeps over a few workloads) does not reward LRU.
 const maxGoldenCache = 16
 
-// goldenEntry is one cached golden run. The once gate makes
-// concurrent campaigns over the same workload share a single capture
-// instead of racing duplicate fault-free runs.
-type goldenEntry struct {
-	once   sync.Once
-	golden *fault.GoldenRun
-	err    error
-}
-
 // goldenKey canonicalizes the campaign spec fields that determine the
 // golden run: the app (algorithm + seed) and the input. Class, region,
 // trials, campaign seed and worker count are irrelevant — the golden
-// run is fault-free and shared across them.
+// run is fault-free and shared across them. The key is the workload's
+// identity in the campaign engine's golden cache.
 func (spec *CampaignSpec) goldenKey() string {
-	alg, _ := parseAlgorithm(spec.Algorithm)
+	alg, _ := vs.ParseAlgorithm(spec.Algorithm)
 	in := spec.InputSpec
 	if len(in.FramesPGM) > 0 {
 		h := fnv.New64a()
@@ -43,40 +34,4 @@ func (spec *CampaignSpec) goldenKey() string {
 		input = 1
 	}
 	return fmt.Sprintf("%s|%d|gen:%d:%s:%d", alg, spec.Seed, input, in.Scale, in.Frames)
-}
-
-// goldenFor returns the golden run for key, capturing it with a
-// fault-free execution of app on first use. The capture itself runs
-// outside the service mutex; only cache bookkeeping is locked.
-func (s *Service) goldenFor(key string, app fault.App) (*fault.GoldenRun, error) {
-	s.goldenMu.Lock()
-	e := s.goldenCache[key]
-	hit := e != nil
-	if e == nil {
-		if len(s.goldenCache) >= maxGoldenCache {
-			for k := range s.goldenCache {
-				delete(s.goldenCache, k)
-				break
-			}
-		}
-		e = &goldenEntry{}
-		s.goldenCache[key] = e
-	}
-	s.goldenMu.Unlock()
-	s.metrics.goldenLookup(hit)
-
-	e.once.Do(func() {
-		e.golden, e.err = fault.CaptureGolden(app)
-		if e.err != nil {
-			// Do not cache failures: the next campaign retries the
-			// capture (the input may be transiently bad, e.g. a
-			// canceled upload).
-			s.goldenMu.Lock()
-			if s.goldenCache[key] == e {
-				delete(s.goldenCache, key)
-			}
-			s.goldenMu.Unlock()
-		}
-	})
-	return e.golden, e.err
 }

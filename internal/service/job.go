@@ -19,9 +19,9 @@ import (
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
-	"strings"
 	"time"
 
+	"vsresil/internal/experiments"
 	"vsresil/internal/fault"
 	"vsresil/internal/imgproc"
 	"vsresil/internal/virat"
@@ -106,6 +106,10 @@ type CampaignSpec struct {
 	// (0 = GOMAXPROCS). The service worker running the job is a
 	// separate, coarser bound.
 	Workers int `json:"workers,omitempty"`
+	// Shards splits the campaign into that many disjoint sub-campaigns
+	// executed concurrently and merged bit-identically to the unsharded
+	// run (0 or 1 = unsharded). Workers applies per shard.
+	Shards int `json:"shards,omitempty"`
 }
 
 // ExperimentSpec parameterizes a paper-figure experiment job.
@@ -142,7 +146,7 @@ func (s *JobSpec) Validate() error {
 		if s.Summarize == nil {
 			return fmt.Errorf("service: summarize job missing \"summarize\" spec")
 		}
-		if _, err := parseAlgorithm(s.Summarize.Algorithm); err != nil {
+		if _, err := vs.ParseAlgorithm(s.Summarize.Algorithm); err != nil {
 			return err
 		}
 		return s.Summarize.InputSpec.validate()
@@ -154,13 +158,16 @@ func (s *JobSpec) Validate() error {
 		if c.Trials <= 0 {
 			return fmt.Errorf("service: campaign needs trials > 0, got %d", c.Trials)
 		}
-		if _, err := parseAlgorithm(c.Algorithm); err != nil {
+		if c.Shards < 0 {
+			return fmt.Errorf("service: campaign shards must be >= 0, got %d", c.Shards)
+		}
+		if _, err := vs.ParseAlgorithm(c.Algorithm); err != nil {
 			return err
 		}
-		if _, err := parseClass(c.Class); err != nil {
+		if _, err := fault.ParseClass(c.Class); err != nil {
 			return err
 		}
-		if _, err := parseRegion(c.Region); err != nil {
+		if _, err := fault.ParseRegion(c.Region); err != nil {
 			return err
 		}
 		return c.InputSpec.validate()
@@ -171,7 +178,7 @@ func (s *JobSpec) Validate() error {
 		if s.Experiment.Fig == "" {
 			return fmt.Errorf("service: experiment needs a \"fig\" name")
 		}
-		if _, err := parseExperimentScale(s.Experiment.Scale); err != nil {
+		if _, err := experiments.ParseScale(s.Experiment.Scale); err != nil {
 			return err
 		}
 		return nil
@@ -187,7 +194,7 @@ func (in *InputSpec) validate() error {
 	if in.Input != 0 && in.Input != 1 && in.Input != 2 {
 		return fmt.Errorf("service: input must be 1 or 2, got %d", in.Input)
 	}
-	if _, err := parsePreset(in.Scale, in.Frames); err != nil {
+	if _, err := virat.ParsePreset(in.Scale, in.Frames); err != nil {
 		return err
 	}
 	return nil
@@ -210,7 +217,7 @@ func (in *InputSpec) frames() ([]*imgproc.Gray, string, error) {
 		}
 		return frames, fmt.Sprintf("uploaded[%d]", len(frames)), nil
 	}
-	preset, err := parsePreset(in.Scale, in.Frames)
+	preset, err := virat.ParsePreset(in.Scale, in.Frames)
 	if err != nil {
 		return nil, "", err
 	}
@@ -218,11 +225,9 @@ func (in *InputSpec) frames() ([]*imgproc.Gray, string, error) {
 	if input == 0 {
 		input = 1
 	}
-	var seq *virat.Sequence
-	if input == 1 {
-		seq = virat.Input1(preset)
-	} else {
-		seq = virat.Input2(preset)
+	seq, err := virat.ParseInput(input, preset)
+	if err != nil {
+		return nil, "", err
 	}
 	return seq.Frames(), seq.Name, nil
 }
@@ -294,59 +299,4 @@ func (j *Job) status() JobStatus {
 		st.FinishedAt = &t
 	}
 	return st
-}
-
-// --- spec parsing helpers -------------------------------------------
-
-func parseAlgorithm(name string) (vs.Algorithm, error) {
-	if name == "" {
-		return vs.AlgVS, nil
-	}
-	for _, a := range vs.Algorithms() {
-		if strings.EqualFold(a.String(), name) {
-			return a, nil
-		}
-	}
-	return 0, fmt.Errorf("service: unknown algorithm %q (want VS, VS_RFD, VS_KDS or VS_SM)", name)
-}
-
-func parseClass(name string) (fault.Class, error) {
-	switch strings.ToLower(name) {
-	case "", "gpr":
-		return fault.GPR, nil
-	case "fpr":
-		return fault.FPR, nil
-	default:
-		return 0, fmt.Errorf("service: unknown register class %q (want gpr or fpr)", name)
-	}
-}
-
-func parseRegion(name string) (fault.Region, error) {
-	if name == "" {
-		return fault.RAny, nil
-	}
-	for r := fault.Region(0); r < fault.NumRegions; r++ {
-		if strings.EqualFold(r.String(), name) {
-			return r, nil
-		}
-	}
-	return 0, fmt.Errorf("service: unknown region %q", name)
-}
-
-func parsePreset(scale string, frames int) (virat.Preset, error) {
-	var p virat.Preset
-	switch strings.ToLower(scale) {
-	case "", "test":
-		p = virat.TestScale()
-	case "bench":
-		p = virat.BenchScale()
-	case "paper":
-		p = virat.PaperScale()
-	default:
-		return p, fmt.Errorf("service: unknown scale %q (want test, bench or paper)", scale)
-	}
-	if frames > 0 {
-		p.Frames = frames
-	}
-	return p, nil
 }

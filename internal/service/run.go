@@ -7,15 +7,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"strings"
 	"time"
 
+	"vsresil/internal/campaign"
 	"vsresil/internal/experiments"
 	"vsresil/internal/fault"
 	"vsresil/internal/imgproc"
 	"vsresil/internal/probe"
 	"vsresil/internal/stitch"
-	"vsresil/internal/virat"
 	"vsresil/internal/vs"
 )
 
@@ -65,6 +64,7 @@ type CampaignResult struct {
 	Class       string             `json:"class"`
 	Region      string             `json:"region"`
 	Trials      int                `json:"trials"`
+	Shards      int                `json:"shards,omitempty"`
 	Completed   int                `json:"completed"`
 	Resumed     int                `json:"resumed"`
 	TotalTaps   uint64             `json:"total_taps"`
@@ -149,7 +149,7 @@ func (s *Service) execute(ctx context.Context, j *Job) {
 func (s *Service) runSummarize(ctx context.Context, j *Job) (any, error) {
 	spec := j.Spec.Summarize
 	started := time.Now()
-	alg, err := parseAlgorithm(spec.Algorithm)
+	alg, err := vs.ParseAlgorithm(spec.Algorithm)
 	if err != nil {
 		return nil, err
 	}
@@ -228,22 +228,25 @@ func (s *Service) runSummarize(ctx context.Context, j *Job) (any, error) {
 	return sr, nil
 }
 
-// runCampaign executes a fault-injection campaign with per-trial
-// checkpointing: every completed trial updates the job's progress and
-// is journaled in batches of CheckpointEvery, so an interrupted
-// campaign resumes instead of restarting.
+// runCampaign executes a fault-injection campaign through the campaign
+// engine, with per-trial checkpointing: every completed trial updates
+// the job's progress and is journaled in batches of CheckpointEvery, so
+// an interrupted campaign resumes instead of restarting. Specs with
+// shards > 1 fan out across concurrent shard runs and merge; trial
+// record indices are plan indices, so the journal replays into any
+// shard decomposition.
 func (s *Service) runCampaign(ctx context.Context, j *Job) (any, error) {
 	spec := j.Spec.Campaign
 	started := time.Now()
-	alg, err := parseAlgorithm(spec.Algorithm)
+	alg, err := vs.ParseAlgorithm(spec.Algorithm)
 	if err != nil {
 		return nil, err
 	}
-	class, err := parseClass(spec.Class)
+	class, err := fault.ParseClass(spec.Class)
 	if err != nil {
 		return nil, err
 	}
-	region, err := parseRegion(spec.Region)
+	region, err := fault.ParseRegion(spec.Region)
 	if err != nil {
 		return nil, err
 	}
@@ -253,15 +256,6 @@ func (s *Service) runCampaign(ctx context.Context, j *Job) (any, error) {
 	}
 	vcfg := vs.DefaultConfig(alg)
 	vcfg.Seed = spec.Seed
-	app := vs.New(vcfg, len(frames))
-
-	// One fault-free golden run per workload, cached across campaign
-	// jobs: repeated campaigns over the same app+input (sweeping
-	// classes, regions or trial counts) skip the capture entirely.
-	golden, err := s.goldenFor(spec.goldenKey(), app.RunEncoded(frames))
-	if err != nil {
-		return nil, err
-	}
 
 	s.mu.Lock()
 	resume := append([]fault.TrialRecord(nil), j.resume...)
@@ -271,7 +265,6 @@ func (s *Service) runCampaign(ctx context.Context, j *Job) (any, error) {
 	// pendingRecs batches checkpoint records between journal writes;
 	// guarded by s.mu alongside the job's progress.
 	var pendingRecs []fault.TrialRecord
-	executed := 0
 	flush := func(recs []fault.TrialRecord) {
 		s.journal.trials(j.ID, recs)
 	}
@@ -280,7 +273,6 @@ func (s *Service) runCampaign(ctx context.Context, j *Job) (any, error) {
 		j.Progress.Done++
 		j.resume = append(j.resume, rec)
 		pendingRecs = append(pendingRecs, rec)
-		executed++
 		var batch []fault.TrialRecord
 		if len(pendingRecs) >= s.cfg.CheckpointEvery {
 			batch = pendingRecs
@@ -293,16 +285,19 @@ func (s *Service) runCampaign(ctx context.Context, j *Job) (any, error) {
 		}
 	}
 
-	res, err := fault.RunCampaign(ctx, fault.Config{
-		Trials:  spec.Trials,
-		Class:   class,
-		Region:  region,
-		Seed:    spec.Seed,
-		Workers: spec.Workers,
-		OnTrial: onTrial,
-		Resume:  resume,
-		Golden:  golden,
-	}, app.RunEncoded(frames))
+	// The runner resolves the golden run through the service-wide
+	// cache: repeated campaigns over the same app+input (sweeping
+	// classes, regions or trial counts) skip the capture entirely.
+	res, err := s.runner.RunSharded(ctx, campaign.Spec{
+		Workload: campaign.VSApp(vcfg, frames, inputName, spec.goldenKey()),
+		Class:    class,
+		Region:   region,
+		Trials:   spec.Trials,
+		Seed:     spec.Seed,
+		Workers:  spec.Workers,
+		OnTrial:  onTrial,
+		Resume:   resume,
+	}, spec.Shards)
 
 	// Flush the tail of the checkpoint batch whether the campaign
 	// finished, failed or was interrupted — these records are exactly
@@ -317,32 +312,34 @@ func (s *Service) runCampaign(ctx context.Context, j *Job) (any, error) {
 	}
 
 	elapsed := time.Since(started)
+	fres := res.Fault
 	cr := &CampaignResult{
 		Algorithm:   alg.String(),
 		Input:       inputName,
 		Class:       class.String(),
 		Region:      region.String(),
 		Trials:      spec.Trials,
-		Completed:   res.Completed,
+		Shards:      spec.Shards,
+		Completed:   fres.Completed,
 		Resumed:     len(resume),
-		TotalTaps:   res.TotalTaps,
-		GoldenSteps: res.GoldenSteps,
+		TotalTaps:   fres.TotalTaps,
+		GoldenSteps: fres.GoldenSteps,
 		Counts:      make(map[string]int),
 		Rates:       make(map[string]float64),
 		ElapsedSec:  elapsed.Seconds(),
 	}
 	for o := fault.Outcome(0); o < fault.NumOutcomes; o++ {
-		cr.Counts[o.String()] = res.Counts[o]
-		cr.Rates[o.String()] = res.Rate(o)
+		cr.Counts[o.String()] = fres.Counts[o]
+		cr.Rates[o.String()] = fres.Rate(o)
 	}
-	if len(res.CrashCounts) > 0 {
+	if len(fres.CrashCounts) > 0 {
 		cr.CrashSplit = make(map[string]int)
-		for k, n := range res.CrashCounts {
+		for k, n := range fres.CrashCounts {
 			cr.CrashSplit[k.String()] = n
 		}
 	}
-	if executed > 0 && elapsed > 0 {
-		cr.TrialsPerSec = float64(executed) / elapsed.Seconds()
+	if res.Executed > 0 && elapsed > 0 {
+		cr.TrialsPerSec = float64(res.Executed) / elapsed.Seconds()
 	}
 	return cr, nil
 }
@@ -355,7 +352,7 @@ func (s *Service) runExperiment(ctx context.Context, j *Job) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	o, err := parseExperimentScale(spec.Scale)
+	o, err := experiments.ParseScale(spec.Scale)
 	if err != nil {
 		return nil, err
 	}
@@ -382,21 +379,4 @@ func (s *Service) runExperiment(ctx context.Context, j *Job) (any, error) {
 		Text:       buf.String(),
 		ElapsedSec: time.Since(started).Seconds(),
 	}, nil
-}
-
-func parseExperimentScale(scale string) (experiments.Options, error) {
-	switch strings.ToLower(scale) {
-	case "", "small":
-		return experiments.DefaultOptions(), nil
-	case "bench":
-		o := experiments.DefaultOptions()
-		o.Preset = virat.BenchScale()
-		o.Trials = 1000
-		o.QualityTrials = 2000
-		return o, nil
-	case "paper":
-		return experiments.PaperOptions(), nil
-	default:
-		return experiments.Options{}, fmt.Errorf("service: unknown experiment scale %q (want small, bench or paper)", scale)
-	}
 }

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"vsresil/internal/campaign"
 )
 
 // Config parameterizes a Service.
@@ -47,12 +49,11 @@ type Service struct {
 	busy    int
 	closed  bool
 
-	// goldenMu guards goldenCache: golden runs keyed by the campaign
-	// spec fields that determine them (algorithm, input, app seed), so
+	// runner is the campaign engine all campaign jobs run through. Its
+	// golden cache (bounded by maxGoldenCache, keyed by goldenKey) lets
 	// repeated campaigns over the same workload skip the fault-free
-	// capture run. Bounded by maxGoldenCache.
-	goldenMu    sync.Mutex
-	goldenCache map[string]*goldenEntry
+	// capture run.
+	runner *campaign.Runner
 }
 
 // Errors the HTTP layer maps to status codes.
@@ -76,10 +77,13 @@ func New(cfg Config) (*Service, error) {
 		cfg.CheckpointEvery = 25
 	}
 	s := &Service{
-		cfg:         cfg,
-		metrics:     newMetrics(),
-		jobs:        make(map[string]*Job),
-		goldenCache: make(map[string]*goldenEntry),
+		cfg:     cfg,
+		metrics: newMetrics(),
+		jobs:    make(map[string]*Job),
+	}
+	s.runner = &campaign.Runner{
+		Goldens:        campaign.NewGoldenCache(maxGoldenCache),
+		OnGoldenLookup: s.metrics.goldenLookup,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())

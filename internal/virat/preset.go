@@ -1,0 +1,41 @@
+package virat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParsePreset maps a scale name to a Preset, case-insensitively:
+// "test" (or ""), "bench" or "paper". frames > 0 overrides the
+// preset's frame count. Every CLI and the vsd wire format share this
+// parser instead of keeping their own switch.
+func ParsePreset(scale string, frames int) (Preset, error) {
+	var p Preset
+	switch strings.ToLower(scale) {
+	case "", "test":
+		p = TestScale()
+	case "bench":
+		p = BenchScale()
+	case "paper":
+		p = PaperScale()
+	default:
+		return p, fmt.Errorf("virat: unknown scale %q (want test, bench or paper)", scale)
+	}
+	if frames > 0 {
+		p.Frames = frames
+	}
+	return p, nil
+}
+
+// ParseInput builds the numbered paper input (1 or 2) at the given
+// preset.
+func ParseInput(input int, p Preset) (*Sequence, error) {
+	switch input {
+	case 1:
+		return Input1(p), nil
+	case 2:
+		return Input2(p), nil
+	default:
+		return nil, fmt.Errorf("virat: unknown input %d (want 1 or 2)", input)
+	}
+}

@@ -18,6 +18,7 @@ package vs
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"vsresil/internal/fault"
@@ -59,6 +60,21 @@ func (a Algorithm) String() string {
 // Algorithms returns all four variants in paper order.
 func Algorithms() []Algorithm {
 	return []Algorithm{AlgVS, AlgRFD, AlgKDS, AlgSM}
+}
+
+// ParseAlgorithm maps a paper name (case-insensitively) to a variant;
+// "" defaults to the baseline VS. The CLIs and the vsd wire format
+// share this parser.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	if name == "" {
+		return AlgVS, nil
+	}
+	for _, a := range Algorithms() {
+		if strings.EqualFold(a.String(), name) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("vs: unknown algorithm %q (want VS, VS_RFD, VS_KDS or VS_SM)", name)
 }
 
 // Config parameterizes an App.
