@@ -37,13 +37,16 @@ bench:
 
 # bench-json refreshes the "after" section of the committed benchmark
 # ledger from the root-package perf benchmarks (the figure harness
-# benchmarks are too slow to gate on) and fails on any >10% regression
-# against the ledger's "before" section.
-BENCH_JSON ?= BENCH_3.json
+# benchmarks are too slow to gate on) and prints per-metric deltas
+# against the ledger's "before" section. Only the campaign-throughput
+# benchmark gates (>10% regression fails); the micro-benchmarks stay
+# advisory — they are too noisy to block on.
+BENCH_JSON ?= BENCH_5.json
+BENCH_GATE ?= BenchmarkCampaignThroughput
 bench-json:
 	$(GO) test -run '^$$' -bench 'Pipeline|CampaignThroughput' -benchtime 3x . | tee bench.out
 	$(GO) run ./cmd/benchdiff parse -label after -in bench.out -out $(BENCH_JSON)
-	$(GO) run ./cmd/benchdiff compare -in $(BENCH_JSON)
+	$(GO) run ./cmd/benchdiff compare -in $(BENCH_JSON) -gate '$(BENCH_GATE)' -threshold 0.10
 	rm -f bench.out
 
 clean:

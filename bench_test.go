@@ -187,11 +187,12 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	p.Frames = 8
 	frames := virat.Input2(p).Frames()
 	app := vs.New(vs.DefaultConfig(vs.AlgVS), len(frames))
-	workload := campaign.NewWorkload("bench", "", app.RunEncoded(frames))
+	workload := campaign.NewStagedWorkload("bench", "", app.RunEncoded(frames), app.Staged(frames))
 	const trialsPerCampaign = 20
 	// The golden run is workload state, not campaign work: capture it
-	// once up front, as the service and experiment harnesses do.
-	golden, err := fault.CaptureGolden(app.RunEncoded(frames))
+	// once up front (with stage checkpoints, so trials skip their
+	// fault-free prefix), as the service and experiment harnesses do.
+	golden, err := fault.CaptureGoldenStaged(workload.Staged)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -8,10 +8,14 @@
 //	benchdiff compare -in BENCH_2.json -before before -after after
 //
 // parse merges one labeled section (e.g. "before", "after") into the
-// JSON file, preserving the other sections. compare exits nonzero when
-// any benchmark regressed by more than the threshold: ns/op, B/op and
-// allocs/op may not grow, and rate metrics such as trials/s may not
-// shrink.
+// JSON file, preserving the other sections. compare prints the
+// percentage delta of every metric across the union of both sections'
+// benchmarks — entries present on only one side (a benchmark or
+// counter that was added or retired) are reported, not errors. By
+// default the report is advisory and compare always exits zero; pass
+// -gate with a benchmark-name regexp to fail on regressions beyond
+// -threshold in the gated set: ns/op, B/op and allocs/op may not grow,
+// and rate metrics such as trials/s may not shrink.
 package main
 
 import (
@@ -113,9 +117,17 @@ func runCompare(args []string) error {
 	in := fs.String("in", "BENCH_2.json", "JSON ledger to compare")
 	before := fs.String("before", "before", "baseline section label")
 	after := fs.String("after", "after", "candidate section label")
-	threshold := fs.Float64("threshold", 0.10, "allowed relative regression")
+	threshold := fs.Float64("threshold", 0.10, "allowed relative regression in the gated set")
+	gate := fs.String("gate", "", "regexp of benchmark names whose regressions fail the comparison (\"\" = advisory only)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var gateRE *regexp.Regexp
+	if *gate != "" {
+		var err error
+		if gateRE, err = regexp.Compile(*gate); err != nil {
+			return fmt.Errorf("-gate: %w", err)
+		}
 	}
 
 	raw, err := os.ReadFile(*in)
@@ -135,45 +147,89 @@ func runCompare(args []string) error {
 		return fmt.Errorf("%s: no %q section", *in, *after)
 	}
 
-	names := make([]string, 0, len(base))
-	for name := range base {
-		if _, ok := cand[name]; ok {
-			names = append(names, name)
-		}
-	}
-	sort.Strings(names)
+	names := unionKeys(base, cand)
 	if len(names) == 0 {
-		return fmt.Errorf("%s: sections %q and %q share no benchmarks", *in, *before, *after)
+		return fmt.Errorf("%s: sections %q and %q are both empty", *in, *before, *after)
 	}
 
-	regressions := 0
+	gated := 0
+	shared := 0
+	var failures []string
 	for _, name := range names {
-		for unit, b := range base[name] {
-			a, ok := cand[name][unit]
-			if !ok || b == 0 {
+		for _, unit := range unionKeys(base[name], cand[name]) {
+			b, haveB := base[name][unit]
+			a, haveA := cand[name][unit]
+			switch {
+			case !haveB:
+				// One-sided: the candidate grew a benchmark or counter
+				// the baseline never reported. Nothing to diff against.
+				fmt.Printf("%-44s %-22s %14s -> %-14.6g (new)\n", name, unit, "-", a)
 				continue
+			case !haveA:
+				fmt.Printf("%-44s %-22s %14.6g -> %-14s (gone)\n", name, unit, b, "-")
+				continue
+			}
+			shared++
+			delta := "    n/a"
+			if b != 0 {
+				delta = fmt.Sprintf("%+.1f%%", 100*(a-b)/b)
 			}
 			var bad bool
 			switch {
 			case lowerBetter[unit]:
-				bad = a > b*(1+*threshold)
+				bad = b != 0 && a > b*(1+*threshold)
 			case higherBetter[unit]:
-				bad = a < b*(1-*threshold)
-			default:
-				continue
+				bad = b != 0 && a < b*(1-*threshold)
 			}
+			mark := ""
 			if bad {
-				regressions++
-				fmt.Printf("REGRESSION %-40s %-10s %.6g -> %.6g (%+.1f%%)\n",
-					name, unit, b, a, 100*(a-b)/b)
+				if gateRE != nil && gateRE.MatchString(name) {
+					mark = "  REGRESSION"
+					failures = append(failures, fmt.Sprintf("%s %s %+.1f%%", name, unit, 100*(a-b)/b))
+				} else {
+					mark = "  regressed (advisory)"
+				}
 			}
+			if gateRE != nil && gateRE.MatchString(name) && (lowerBetter[unit] || higherBetter[unit]) {
+				gated++
+			}
+			fmt.Printf("%-44s %-22s %14.6g -> %-14.6g %s%s\n", name, unit, b, a, delta, mark)
 		}
 	}
-	if regressions > 0 {
-		return fmt.Errorf("%d regression(s) beyond %.0f%%", regressions, *threshold*100)
+	if gateRE != nil && gated == 0 {
+		return fmt.Errorf("-gate %q matched no gateable metrics", *gate)
 	}
-	fmt.Printf("benchdiff: %d benchmarks within %.0f%% of %q\n", len(names), *threshold*100, *before)
+	if len(failures) > 0 {
+		return fmt.Errorf("%d gated regression(s) beyond %.0f%%: %s",
+			len(failures), *threshold*100, strings.Join(failures, "; "))
+	}
+	if gateRE != nil {
+		fmt.Printf("benchdiff: %d gated metrics within %.0f%% of %q (%d compared)\n",
+			gated, *threshold*100, *before, shared)
+	} else {
+		fmt.Printf("benchdiff: compared %d metrics against %q (advisory, no gate)\n", shared, *before)
+	}
 	return nil
+}
+
+// unionKeys returns the sorted union of both maps' keys.
+func unionKeys[V any](a, b map[string]V) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for k := range a {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for k := range b {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // benchLine matches one `go test -bench` result line:

@@ -36,13 +36,28 @@ type Workload struct {
 	Key string
 	// App is the instrumented application under test.
 	App fault.App
+	// Staged, when non-nil, is the stage-resumable view of the same
+	// app. Campaigns then capture checkpointed goldens and skip the
+	// fault-free prefix of every trial; a nil Staged runs each trial in
+	// full.
+	Staged fault.StagedApp
 }
 
 // NewWorkload wraps an arbitrary fault.App as a campaign workload.
 // Pass key "" unless the app+input pair has a stable identity worth
-// caching the golden run under.
+// caching the golden run under. Workloads built this way run every
+// trial in full; use NewStagedWorkload when the app has a resumable
+// stage decomposition.
 func NewWorkload(name, key string, app fault.App) Workload {
 	return Workload{Name: name, Key: key, App: app}
+}
+
+// NewStagedWorkload wraps an app that also has a stage-resumable view,
+// letting campaigns skip the fault-free prefix of each trial. app and
+// staged must be two views of the same computation: RunFull under a
+// nil snapshot hook must produce the same taps and bytes as app.
+func NewStagedWorkload(name, key string, app fault.App, staged fault.StagedApp) Workload {
+	return Workload{Name: name, Key: key, App: app, Staged: staged}
 }
 
 // SDCPolicy says what happens to the corrupted output bytes of SDC
@@ -179,6 +194,7 @@ func (s *Spec) faultConfig(golden *fault.GoldenRun) fault.Config {
 		OnSDCOutput:     s.SDC.OnOutput,
 		OnTrial:         s.OnTrial,
 		Golden:          golden,
+		Staged:          s.Workload.Staged,
 	}
 	if s.Shard.Count > 1 {
 		cfg.PlanTrials = s.Trials

@@ -32,11 +32,12 @@ func NewGoldenCache(max int) *GoldenCache {
 	return &GoldenCache{max: max, entries: make(map[string]*goldenEntry)}
 }
 
-// Get returns the golden run for key, capturing it with a fault-free
-// execution of app on first use. hit reports whether the capture was
-// skipped. The capture itself runs outside the cache lock; only
-// bookkeeping is locked.
-func (c *GoldenCache) Get(key string, app fault.App) (g *fault.GoldenRun, hit bool, err error) {
+// Get returns the golden run for key, invoking capture (one fault-free
+// execution of the workload — the runner picks the checkpointed staged
+// capture when the workload supports it) on first use. hit reports
+// whether the capture was skipped. The capture itself runs outside the
+// cache lock; only bookkeeping is locked.
+func (c *GoldenCache) Get(key string, capture func() (*fault.GoldenRun, error)) (g *fault.GoldenRun, hit bool, err error) {
 	c.mu.Lock()
 	e := c.entries[key]
 	hit = e != nil
@@ -53,7 +54,7 @@ func (c *GoldenCache) Get(key string, app fault.App) (g *fault.GoldenRun, hit bo
 	c.mu.Unlock()
 
 	e.once.Do(func() {
-		e.golden, e.err = fault.CaptureGolden(app)
+		e.golden, e.err = capture()
 		if e.err != nil {
 			// Do not cache failures: the next campaign retries the
 			// capture (the input may be transiently bad, e.g. a

@@ -40,19 +40,27 @@ type Result struct {
 }
 
 // golden acquires the fault-free golden run for spec: the Spec's own,
-// the cache's, or a fresh capture.
+// the cache's, or a fresh capture. Staged workloads capture with
+// checkpoints so every campaign sharing the golden can skip trial
+// prefixes.
 func (r *Runner) golden(spec *Spec) (*fault.GoldenRun, error) {
+	capture := func() (*fault.GoldenRun, error) {
+		if spec.Workload.Staged != nil {
+			return fault.CaptureGoldenStaged(spec.Workload.Staged)
+		}
+		return fault.CaptureGolden(spec.Workload.App)
+	}
 	if spec.Golden != nil {
 		return spec.Golden, nil
 	}
 	if r.Goldens != nil && spec.Workload.Key != "" {
-		g, hit, err := r.Goldens.Get(spec.Workload.Key, spec.Workload.App)
+		g, hit, err := r.Goldens.Get(spec.Workload.Key, capture)
 		if r.OnGoldenLookup != nil {
 			r.OnGoldenLookup(hit)
 		}
 		return g, err
 	}
-	return fault.CaptureGolden(spec.Workload.App)
+	return capture()
 }
 
 // Run executes one campaign (or one shard of one, when spec.Shard is

@@ -31,7 +31,12 @@ func VS(alg vs.Algorithm, seq *virat.Sequence, appSeed uint64) Workload {
 // identity).
 func VSApp(cfg vs.Config, frames []*imgproc.Gray, name, cacheKey string) Workload {
 	app := vs.New(cfg, len(frames))
-	return Workload{Name: name, Key: cacheKey, App: app.RunEncoded(frames)}
+	return Workload{
+		Name:   name,
+		Key:    cacheKey,
+		App:    app.RunEncoded(frames),
+		Staged: app.Staged(frames),
+	}
 }
 
 // WP returns the standalone WarpPerspective toy-benchmark workload of
@@ -39,5 +44,5 @@ func VSApp(cfg vs.Config, frames []*imgproc.Gray, name, cacheKey string) Workloa
 func WP(preset virat.Preset) Workload {
 	bench := wp.Default(preset)
 	key := fmt.Sprintf("wp:%dx%dx%d", preset.Frames, preset.FrameW, preset.FrameH)
-	return Workload{Name: "WP", Key: key, App: bench.App()}
+	return Workload{Name: "WP", Key: key, App: bench.App(), Staged: bench.Staged()}
 }

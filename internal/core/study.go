@@ -94,7 +94,7 @@ func Run(ctx context.Context, cfg StudyConfig) (*StudyResult, error) {
 	}
 	var runner campaign.Runner
 	crun, err := runner.Run(ctx, campaign.Spec{
-		Workload: campaign.NewWorkload(cfg.Input.Name, "", app.RunEncoded(frames)),
+		Workload: campaign.NewStagedWorkload(cfg.Input.Name, "", app.RunEncoded(frames), app.Staged(frames)),
 		Class:    cfg.Class,
 		Region:   fault.RAny,
 		Trials:   cfg.Trials,

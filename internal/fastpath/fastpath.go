@@ -23,3 +23,21 @@ func Enabled() bool { return enabled }
 // reference implementations. It must not be called concurrently with a
 // pipeline run; it exists for equivalence tests and A/B benchmarks.
 func SetEnabled(v bool) { enabled = v }
+
+// prefixSkip gates golden-prefix checkpoint restoration in
+// fault-injection campaigns: when on, a trial whose injection site
+// lies past a recorded stage boundary resumes from that boundary's
+// golden snapshot instead of re-executing the fault-free prefix. The
+// equivalence obligation is the same as for the kernel fast paths —
+// campaign results must be bit-identical with the gate on or off.
+var prefixSkip = true
+
+// PrefixSkip reports whether campaigns may skip the fault-free prefix
+// of a trial by resuming from a golden checkpoint.
+func PrefixSkip() bool { return prefixSkip }
+
+// SetPrefixSkip forces full re-execution of every trial (false) or
+// re-enables prefix skipping (true). Like SetEnabled it must not be
+// called concurrently with a running campaign; it exists for the
+// equivalence guard tests and A/B benchmarks.
+func SetPrefixSkip(v bool) { prefixSkip = v }

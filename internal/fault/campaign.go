@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sync"
 
+	"vsresil/internal/fastpath"
 	"vsresil/internal/stats"
 )
 
@@ -154,6 +155,15 @@ type Config struct {
 	// harnesses share one per app, and the vsd service caches them per
 	// job spec.
 	Golden *GoldenRun
+	// Staged, when non-nil, is the stage-resumable view of the same
+	// app, enabling golden-prefix skipping: trials whose injection site
+	// falls past a recorded stage boundary resume from that boundary's
+	// golden checkpoint instead of re-executing the fault-free prefix.
+	// Requires a golden run carrying checkpoints of the current schema
+	// (CaptureGoldenStaged); campaigns fall back to full execution
+	// otherwise, and the fastpath.PrefixSkip kill switch forces full
+	// execution for equivalence testing.
+	Staged StagedApp
 }
 
 // GoldenRun is the reusable result of one fault-free execution: the
@@ -169,6 +179,15 @@ type GoldenRun struct {
 	GPRTaps, FPRTaps uint64
 	// RegionGPR and RegionFPR are the per-region tap-space sizes.
 	RegionGPR, RegionFPR [NumRegions]uint64
+	// Checkpoints are the stage-boundary snapshots CaptureGoldenStaged
+	// recorded, in execution order; empty for plain captures.
+	Checkpoints []Checkpoint
+	// Schema is the checkpoint schema version the capture used (see
+	// CheckpointSchema). Campaigns only skip prefixes when it matches
+	// the current schema, so a golden run serialized or cached across a
+	// boundary-layout change degrades to full execution, never to a
+	// wrong resume.
+	Schema int
 }
 
 // Taps returns the injection-site space size for a class/region pair.
@@ -190,13 +209,20 @@ func (g *GoldenRun) Taps(c Class, r Region) uint64 {
 
 // CaptureGolden executes one fault-free run of app and returns the
 // reusable golden state. The machine's full tap geometry is recorded so
-// the result can seed campaigns of any class or region.
+// the result can seed campaigns of any class or region. The result
+// carries no checkpoints — use CaptureGoldenStaged when the app has a
+// staged view and campaigns should skip fault-free trial prefixes.
 func CaptureGolden(app App) (*GoldenRun, error) {
 	m := New()
 	out, err := app(m)
 	if err != nil {
 		return nil, fmt.Errorf("fault: golden run failed: %w", err)
 	}
+	return newGoldenRun(out, m), nil
+}
+
+// newGoldenRun records the completed golden machine's tap geometry.
+func newGoldenRun(out []byte, m *Machine) *GoldenRun {
 	g := &GoldenRun{
 		Output:  out,
 		Steps:   m.Steps(),
@@ -207,7 +233,7 @@ func CaptureGolden(app App) (*GoldenRun, error) {
 		g.RegionGPR[r] = m.RegionTaps(GPR, r)
 		g.RegionFPR[r] = m.RegionTaps(FPR, r)
 	}
-	return g, nil
+	return g
 }
 
 // TrialRecord is the compact, serializable summary of one completed
@@ -359,7 +385,12 @@ func (r *Result) Accumulate(t *Trial) {
 // app: one golden run to size the site space and capture the reference
 // output (skipped when cfg.Golden supplies a precomputed one), then
 // cfg.Trials injected runs on a bounded worker pool. Trials are
-// deterministic in cfg.Seed regardless of worker count.
+// deterministic in cfg.Seed regardless of worker count. A trial no
+// longer necessarily executes the application end to end: with a
+// staged app and a checkpointed golden run, each trial restores the
+// latest golden stage boundary before its injection site and executes
+// only the remaining stages — bit-identical to a full run, because the
+// skipped prefix is provably fault-free for that trial's plan.
 //
 // If ctx is canceled mid-campaign, RunCampaign stops feeding new
 // trials, waits for in-flight ones, and returns the partial Result
@@ -381,11 +412,22 @@ func RunCampaign(ctx context.Context, cfg Config, app App) (*Result, error) {
 	golden := cfg.Golden
 	if golden == nil {
 		var err error
-		if golden, err = CaptureGolden(app); err != nil {
+		if cfg.Staged != nil {
+			golden, err = CaptureGoldenStaged(cfg.Staged)
+		} else {
+			golden, err = CaptureGolden(app)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}
 	goldenOut := golden.Output
+	// Prefix skipping needs both sides of the seam: a staged app to
+	// resume into and a golden run that recorded boundaries under the
+	// current schema. Anything else (plain goldens, schema drift, the
+	// kill switch) degrades to full execution.
+	skip := cfg.Staged != nil && len(golden.Checkpoints) > 0 &&
+		golden.Schema == CheckpointSchema && fastpath.PrefixSkip()
 
 	totalTaps := golden.Taps(cfg.Class, cfg.Region)
 	if totalTaps == 0 {
@@ -473,7 +515,11 @@ func RunCampaign(ctx context.Context, cfg Config, app App) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				t := runTrial(plans[i], budget, goldenOut, keepOutput, app)
+				var cp *Checkpoint
+				if skip {
+					cp = golden.CheckpointFor(plans[i])
+				}
+				t := runTrial(plans[i], budget, goldenOut, keepOutput, app, cfg.Staged, cp)
 				hookMu.Lock()
 				if t.Output != nil {
 					switch {
@@ -544,7 +590,15 @@ feed:
 // the way AFI's Fault Monitor catches signals. keepSDC retains the
 // corrupted output bytes of SDC trials for the caller to stream or
 // store.
-func runTrial(plan Plan, budget uint64, goldenOut []byte, keepSDC bool, app App) (trial Trial) {
+//
+// When cp is non-nil the trial does not execute the whole application:
+// the machine's tap counters are fast-forwarded to the checkpoint's
+// and staged.Resume executes only the stages past the boundary. The
+// skipped prefix lies strictly before the plan's site in every
+// counter the plan reads, so it could neither fire, resolve, hang nor
+// crash there — its effects are exactly the golden snapshot the trial
+// restores, and the classification below is unchanged.
+func runTrial(plan Plan, budget uint64, goldenOut []byte, keepSDC bool, app App, staged StagedApp, cp *Checkpoint) (trial Trial) {
 	trial.Plan = plan
 	m := NewWithPlan(plan, budget)
 	defer func() {
@@ -569,7 +623,14 @@ func runTrial(plan Plan, budget uint64, goldenOut []byte, keepSDC bool, app App)
 			trial.Err = fmt.Errorf("fault: recovered panic: %v", r)
 		}
 	}()
-	out, err := app(m)
+	var out []byte
+	var err error
+	if cp != nil {
+		m.SeedCounters(cp.Counters)
+		out, err = staged.Resume(m, cp.State)
+	} else {
+		out, err = app(m)
+	}
 	if err != nil {
 		trial.Outcome = OutcomeCrash
 		trial.Crash = CrashAbort

@@ -141,12 +141,15 @@ func (h hangError) Error() string {
 }
 
 // Machine carries fault-injection state and operation accounting
-// through one end-to-end run of the application. It is the injecting
-// implementation of probe.Sink — the stage packages accept any Sink,
-// and campaigns thread a Machine through that seam. Tap methods remain
-// nil-safe for legacy call sites, but uninstrumented runs should use
-// probe.Nop{} (the devirtualized clean path) rather than a nil
-// *Machine.
+// through one run of the application — end to end for golden captures,
+// or from a restored stage boundary onward for campaign trials that
+// skip their fault-free prefix (the counters are then fast-forwarded
+// with SeedCounters so the suffix taps index identically). It is the
+// injecting implementation of probe.Sink — the stage packages accept
+// any Sink, and campaigns thread a Machine through that seam. Tap
+// methods remain nil-safe for legacy call sites, but uninstrumented
+// runs should use probe.Nop{} (the devirtualized clean path) rather
+// than a nil *Machine.
 //
 // Machine is not safe for concurrent use; every trial gets its own.
 type Machine struct {
@@ -162,10 +165,18 @@ type Machine struct {
 	regionGPR [NumRegions]uint64
 	regionFPR [NumRegions]uint64
 
-	steps      uint64
-	stepBudget uint64 // 0 = unlimited
+	steps uint64
+	// stepLimit is the hang threshold in taps: one compare per step,
+	// with ^uint64(0) standing in for "unlimited" so golden runs pay no
+	// extra branch.
+	stepLimit uint64
 
-	resolved bool // plan has fired or conclusively missed
+	// armedGPR/armedFPR say a still-unresolved plan targets that class.
+	// At most one is ever set; both are false on golden machines and
+	// after the plan fires or conclusively misses, which keeps the tap
+	// fast path to a single bool test instead of a plan dereference.
+	armedGPR bool
+	armedFPR bool
 	injected bool // a bit was actually flipped
 
 	ops [NumRegions][NumOpClasses]uint64
@@ -186,7 +197,7 @@ var _ probe.Counters = (*Machine)(nil)
 
 // New returns a counting machine with no fault plan (a golden run).
 func New() *Machine {
-	m := &Machine{region: RApp, regionStack: make([]Region, 0, 8)}
+	m := &Machine{region: RApp, stepLimit: ^uint64(0), regionStack: make([]Region, 0, 8)}
 	m.restoreFn = m.restoreRegion
 	return m
 }
@@ -195,7 +206,12 @@ func New() *Machine {
 // stepBudget bounds total taps before the run is declared hung; use 0
 // for unlimited (golden runs).
 func NewWithPlan(p Plan, stepBudget uint64) *Machine {
-	m := &Machine{plan: &p, stepBudget: stepBudget, region: RApp, regionStack: make([]Region, 0, 8)}
+	m := &Machine{plan: &p, stepLimit: stepBudget, region: RApp, regionStack: make([]Region, 0, 8)}
+	if stepBudget == 0 {
+		m.stepLimit = ^uint64(0)
+	}
+	m.armedGPR = p.Class == GPR
+	m.armedFPR = p.Class == FPR
 	m.restoreFn = m.restoreRegion
 	return m
 }
@@ -327,7 +343,7 @@ func (m *Machine) Ops(c OpClass, n uint64) {
 
 func (m *Machine) bumpStep() {
 	m.steps++
-	if m.stepBudget != 0 && m.steps > m.stepBudget {
+	if m.steps > m.stepLimit {
 		panic(hangError{steps: m.steps})
 	}
 }
@@ -340,10 +356,10 @@ func (m *Machine) tapGPR(v uint64) uint64 {
 	m.regionGPR[m.region]++
 	m.ops[m.region][OpInt]++
 	m.bumpStep()
-	p := m.plan
-	if p == nil || m.resolved || p.Class != GPR {
+	if !m.armedGPR {
 		return v
 	}
+	p := m.plan
 	site := idx
 	if p.Region != RAny {
 		if p.Region != m.region {
@@ -355,13 +371,13 @@ func (m *Machine) tapGPR(v uint64) uint64 {
 		return v
 	}
 	if site >= p.Site+p.Window {
-		m.resolved = true // register rewritten or dead: fault masked
+		m.armedGPR = false // register rewritten or dead: fault masked
 		return v
 	}
 	if int(stats.Hash64(idx)%NumRegisters) != p.Reg {
 		return v
 	}
-	m.resolved = true
+	m.armedGPR = false
 	m.injected = true
 	return v ^ (1 << uint(p.Bit))
 }
@@ -373,10 +389,10 @@ func (m *Machine) tapFPR(bits uint64) uint64 {
 	m.regionFPR[m.region]++
 	m.ops[m.region][OpFloat]++
 	m.bumpStep()
-	p := m.plan
-	if p == nil || m.resolved || p.Class != FPR {
+	if !m.armedFPR {
 		return bits
 	}
+	p := m.plan
 	site := idx
 	if p.Region != RAny {
 		if p.Region != m.region {
@@ -388,13 +404,13 @@ func (m *Machine) tapFPR(bits uint64) uint64 {
 		return bits
 	}
 	if site >= p.Site+p.Window {
-		m.resolved = true
+		m.armedFPR = false
 		return bits
 	}
 	if int(stats.Hash64(idx^0xF0F0)%NumRegisters) != p.Reg {
 		return bits
 	}
-	m.resolved = true
+	m.armedFPR = false
 	m.injected = true
 	return bits ^ (1 << uint(p.Bit))
 }

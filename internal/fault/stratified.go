@@ -198,7 +198,7 @@ func RunStratifiedCampaign(ctx context.Context, cfg StratifiedConfig, app App) (
 
 	outcomes := make([]Outcome, len(jobs))
 	if err := runJobs(ctx, cfg.Workers, len(jobs), func(i int) {
-		trial := runTrial(jobs[i].plan, budget, goldenOut, false, app)
+		trial := runTrial(jobs[i].plan, budget, goldenOut, false, app, nil, nil)
 		outcomes[i] = trial.Outcome
 	}); err != nil {
 		return nil, err

@@ -230,10 +230,13 @@ func New(cfg Config) *Stitcher {
 // Config returns the stitcher's effective configuration.
 func (st *Stitcher) Config() Config { return st.cfg }
 
-// frameFeatures caches per-frame detection results.
-type frameFeatures struct {
-	kps   []features.KeyPoint
-	descs []features.Descriptor
+// FrameFeatures holds one frame's detected key points and ORB
+// descriptors — the per-frame output of the feature stage, read-only
+// once built (registration only consumes it), which is what lets
+// golden checkpoints share it across resumed campaign trials.
+type FrameFeatures struct {
+	KPs   []features.KeyPoint
+	Descs []features.Descriptor
 }
 
 // registration is the transform of a frame into segment coordinates.
@@ -243,85 +246,142 @@ type registration struct {
 	h       geom.Homography
 }
 
+// AlignState is the registration pass's loop state between frame
+// pairs. It is a value type deliberately: a golden checkpoint captures
+// it with Snapshot, and a resumed trial continues from a plain copy —
+// appends in the copy allocate fresh storage, so the shared golden
+// snapshot is never mutated.
+type AlignState struct {
+	// N is the (tapped, hence possibly fault-corrupted) frame count
+	// bounding the pass; Next is the frame index the next AlignStep
+	// registers. The pass is finished when Next >= N.
+	N, Next int
+
+	segment      int
+	refFrame     int
+	refToSegment geom.Homography
+	failStreak   int
+	regs         []registration
+	reports      []FrameReport
+	discarded    int
+}
+
+// Snapshot returns a copy safe to retain while the receiver keeps
+// advancing: the slice prefixes are capped at their current length, so
+// both the live state and any state resumed from the snapshot append
+// into fresh storage instead of sharing a tail.
+func (a AlignState) Snapshot() AlignState {
+	a.regs = a.regs[:len(a.regs):len(a.regs)]
+	a.reports = a.reports[:len(a.reports):len(a.reports)]
+	return a
+}
+
+// DetectFrame runs the per-frame feature stage (FAST detection + ORB
+// description) — the unit the pipeline checkpoints between frames.
+func (st *Stitcher) DetectFrame(g *imgproc.Gray, m probe.Sink) FrameFeatures {
+	m = probe.OrNop(m)
+	kps := features.DetectFAST(g, st.cfg.FAST, m)
+	kps, descs := st.extractor.Describe(g, kps, m)
+	return FrameFeatures{KPs: kps, Descs: descs}
+}
+
+// BeginAlign starts the registration pass: frame 0 anchors segment 0
+// with the identity transform, and the frame count crosses the tap
+// seam (bound corruption is how injected faults reach this stage).
+func (st *Stitcher) BeginAlign(frames []*imgproc.Gray, m probe.Sink) AlignState {
+	m = probe.OrNop(m)
+	a := AlignState{Next: 1, refToSegment: geom.Identity()}
+	a.regs = append(a.regs, registration{frame: 0, segment: 0, h: geom.Identity()})
+	a.reports = append(a.reports, FrameReport{Index: 0, Status: StatusNewSegment, H: geom.Identity()})
+	a.N = m.Cnt(len(frames))
+	return a
+}
+
+// AlignStep registers frame a.Next against the current reference frame
+// (matching + RANSAC homography with affine fallback) and advances the
+// state by one frame — the per-pair unit the pipeline checkpoints.
+func (st *Stitcher) AlignStep(feats []FrameFeatures, a *AlignState, m probe.Sink) {
+	m = probe.OrNop(m)
+	i := a.Next
+	a.Next++
+	rep := FrameReport{Index: i, Segment: a.segment}
+	h, status, matches, inliers := st.registerPair(&feats[i], &feats[a.refFrame], m)
+	rep.Matches = matches
+	rep.Inliers = inliers
+	if status == StatusDiscarded {
+		a.failStreak++
+		a.discarded++
+		rep.Status = StatusDiscarded
+		if a.failStreak >= st.cfg.CutThreshold {
+			// Scene change: start a new mini-panorama at this frame.
+			a.segment++
+			a.refFrame = i
+			a.refToSegment = geom.Identity()
+			a.failStreak = 0
+			rep.Status = StatusNewSegment
+			rep.Segment = a.segment
+			rep.H = geom.Identity()
+			a.regs = append(a.regs, registration{frame: i, segment: a.segment, h: geom.Identity()})
+		}
+		a.reports = append(a.reports, rep)
+		return
+	}
+	a.failStreak = 0
+	// Compose: frame -> ref -> segment origin.
+	toSegment := a.refToSegment.Mul(h)
+	if !toSegment.Reasonable(0.2, 5) {
+		a.discarded++
+		rep.Status = StatusDiscarded
+		a.reports = append(a.reports, rep)
+		return
+	}
+	rep.Status = status
+	rep.H = toSegment
+	a.reports = append(a.reports, rep)
+	a.regs = append(a.regs, registration{frame: i, segment: a.segment, h: toSegment})
+	a.refFrame = i
+	a.refToSegment = toSegment
+}
+
+// Composite renders each segment's mini-panorama from the completed
+// registration state and assembles the Result. It reads the state
+// without mutating it, so a shared golden AlignState snapshot can feed
+// many resumed trials.
+func (st *Stitcher) Composite(frames []*imgproc.Gray, a *AlignState, m probe.Sink) (*Result, error) {
+	m = probe.OrNop(m)
+	res := &Result{Reports: a.reports, Discarded: a.discarded}
+	if err := st.composite(frames, a.regs, a.segment+1, res, m); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
 // Run stitches the frames into mini-panoramas. m is any probe.Sink;
 // pass probe.Nop{} for an uninstrumented run (nil is normalized). The
 // stitcher's own taps are per-frame, so it threads the interface
 // straight through; the per-pixel stages re-dispatch onto their
 // devirtualized kernels at their own entry points.
+//
+// Run is the whole pipeline in one call: per-frame features, the
+// registration pass, then compositing. Campaign trials instead drive
+// the stage methods (DetectFrame, BeginAlign, AlignStep, Composite)
+// through internal/vs so they can resume from a golden checkpoint
+// rather than executing every stage.
 func (st *Stitcher) Run(frames []*imgproc.Gray, m probe.Sink) (*Result, error) {
 	m = probe.OrNop(m)
 	defer m.Enter(probe.RApp)()
 	if len(frames) == 0 {
 		return nil, ErrNoFrames
 	}
-	res := &Result{Reports: make([]FrameReport, 0, len(frames))}
-
-	// Pass 1: register each frame against the previous good frame and
-	// accumulate segment-space transforms.
-	feats := make([]*frameFeatures, len(frames))
-	detect := func(i int) *frameFeatures {
-		if feats[i] == nil {
-			kps := features.DetectFAST(frames[i], st.cfg.FAST, m)
-			kps, descs := st.extractor.Describe(frames[i], kps, m)
-			feats[i] = &frameFeatures{kps: kps, descs: descs}
-		}
-		return feats[i]
+	feats := make([]FrameFeatures, 0, len(frames))
+	for i := range frames {
+		feats = append(feats, st.DetectFrame(frames[i], m))
 	}
-
-	var regs []registration
-	segment := 0
-	refFrame := 0
-	refToSegment := geom.Identity()
-	regs = append(regs, registration{frame: 0, segment: 0, h: geom.Identity()})
-	res.Reports = append(res.Reports, FrameReport{Index: 0, Status: StatusNewSegment, H: geom.Identity()})
-	failStreak := 0
-
-	n := m.Cnt(len(frames))
-	for i := 1; i < n; i++ {
-		rep := FrameReport{Index: i, Segment: segment}
-		h, status, matches, inliers := st.registerPair(detect(i), detect(refFrame), m)
-		rep.Matches = matches
-		rep.Inliers = inliers
-		if status == StatusDiscarded {
-			failStreak++
-			res.Discarded++
-			rep.Status = StatusDiscarded
-			if failStreak >= st.cfg.CutThreshold {
-				// Scene change: start a new mini-panorama at this frame.
-				segment++
-				refFrame = i
-				refToSegment = geom.Identity()
-				failStreak = 0
-				rep.Status = StatusNewSegment
-				rep.Segment = segment
-				rep.H = geom.Identity()
-				regs = append(regs, registration{frame: i, segment: segment, h: geom.Identity()})
-			}
-			res.Reports = append(res.Reports, rep)
-			continue
-		}
-		failStreak = 0
-		// Compose: frame -> ref -> segment origin.
-		toSegment := refToSegment.Mul(h)
-		if !toSegment.Reasonable(0.2, 5) {
-			res.Discarded++
-			rep.Status = StatusDiscarded
-			res.Reports = append(res.Reports, rep)
-			continue
-		}
-		rep.Status = status
-		rep.H = toSegment
-		res.Reports = append(res.Reports, rep)
-		regs = append(regs, registration{frame: i, segment: segment, h: toSegment})
-		refFrame = i
-		refToSegment = toSegment
+	a := st.BeginAlign(frames, m)
+	for a.Next < a.N {
+		st.AlignStep(feats, &a, m)
 	}
-
-	// Pass 2: composite each segment.
-	if err := st.composite(frames, regs, segment+1, res, m); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return st.Composite(frames, &a, m)
 }
 
 // pairScratch holds the per-registration working set (match list and
@@ -365,15 +425,15 @@ func growPts(s []geom.Pt, n int) []geom.Pt {
 
 // registerPair estimates the transform mapping frame `cur` onto frame
 // `ref`, trying a homography first and falling back to affine.
-func (st *Stitcher) registerPair(cur, ref *frameFeatures, m probe.Sink) (geom.Homography, FrameStatus, int, int) {
-	curKps, curDescs := cur.kps, cur.descs
+func (st *Stitcher) registerPair(cur, ref *FrameFeatures, m probe.Sink) (geom.Homography, FrameStatus, int, int) {
+	curKps, curDescs := cur.KPs, cur.Descs
 	if st.cfg.KeyPointStride > 1 {
 		// VS_KDS: match only a fraction of the key points.
 		curKps, curDescs = match.SubsampleStrongest(curKps, curDescs, st.cfg.KeyPointStride)
 	}
 	sc := getPairScratch()
 	defer putPairScratch(sc)
-	matches := st.matcher.AppendMatches(sc.matches, curDescs, ref.descs, m)
+	matches := st.matcher.AppendMatches(sc.matches, curDescs, ref.Descs, m)
 	sc.matches = matches
 	nm := len(matches)
 	src := growPts(sc.src, nm)
@@ -382,7 +442,7 @@ func (st *Stitcher) registerPair(cur, ref *frameFeatures, m probe.Sink) (geom.Ho
 	for i, mm := range matches {
 		x, y := curKps[mm.Query].Pt()
 		src[i] = geom.Pt{X: x, Y: y}
-		x, y = ref.kps[mm.Train].Pt()
+		x, y = ref.KPs[mm.Train].Pt()
 		dst[i] = geom.Pt{X: x, Y: y}
 	}
 

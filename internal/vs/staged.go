@@ -1,0 +1,69 @@
+package vs
+
+import (
+	"fmt"
+
+	"vsresil/internal/fault"
+	"vsresil/internal/imgproc"
+)
+
+// stagedApp is the fault.StagedApp view of an App over a fixed input:
+// the same computation as RunEncoded, expressed as resumable stages so
+// campaigns can skip the fault-free prefix of each trial.
+type stagedApp struct {
+	app    *App
+	frames []*imgproc.Gray
+}
+
+// Staged returns the stage-resumable campaign view of the app over the
+// given input frames. RunFull with a nil snap hook executes exactly
+// what RunEncoded(frames) would — same taps, same bytes — so one
+// golden capture serves both paths.
+func (a *App) Staged(frames []*imgproc.Gray) fault.StagedApp {
+	return &stagedApp{app: a, frames: frames}
+}
+
+// RunFull executes every stage: decode, per-frame features, the
+// registration pass, compositing. Snapshot boundaries are placed after
+// decode ("features[0]"), between per-frame detections, before the
+// registration pass ("align"), between frame pairs ("pair[i]") and
+// before compositing ("composite") — decode and compositing stay
+// atomic because their state (raw frames, float canvases) is the
+// expensive part to retain. When snapshots are taken the decoded
+// frames are referenced by the golden run forever, so they are not
+// recycled into the frame pool.
+func (s *stagedApp) RunFull(m *fault.Machine, snap func(name string, state any)) ([]byte, error) {
+	if s.app.nFrames >= 0 && len(s.frames) != s.app.nFrames {
+		return nil, fmt.Errorf("vs: got %d frames, configured for %d", len(s.frames), s.app.nFrames)
+	}
+	retained, err := decode(s.app, s.frames, m)
+	if err != nil {
+		return nil, err
+	}
+	var snapState func(string, pipeState)
+	if snap != nil {
+		snapState = func(name string, st pipeState) { snap(name, st) }
+	}
+	res, err := s.app.runFrom(pipeState{frames: retained}, m, snapState, snap == nil)
+	if err != nil {
+		return nil, err
+	}
+	return res.Encode(), nil
+}
+
+// Resume executes the stages from the checkpointed boundary onward on
+// a value copy of the shared golden state. The snapshot's slices are
+// capacity-capped, so the copy's appends allocate fresh storage and
+// the golden snapshot — including the decoded frames, which therefore
+// must not be recycled — is never mutated.
+func (s *stagedApp) Resume(m *fault.Machine, state any) ([]byte, error) {
+	st, ok := state.(pipeState)
+	if !ok {
+		return nil, fmt.Errorf("vs: resume state is %T, want pipeState", state)
+	}
+	res, err := s.app.runFrom(st, m, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	return res.Encode(), nil
+}

@@ -192,13 +192,92 @@ func (a *App) Run(frames []*imgproc.Gray, s probe.Sink) (*stitch.Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	res, err := a.stitcher.Run(retained, s)
+	return a.runFrom(pipeState{frames: retained}, s, nil, true)
+}
+
+// Pipeline phases, in execution order. A pipeState snapshot taken at
+// phase p with its progress counters is exactly the state a resumed
+// run needs to execute everything from p onward.
+const (
+	phaseFeatures  int8 = iota // per-frame FAST+ORB detection
+	phasePairs                 // pairwise registration (match + RANSAC)
+	phaseComposite             // warp + blend onto mini-panoramas
+)
+
+// pipeState is the pipeline's resumable state between stages: which
+// phase comes next and everything earlier stages produced. It is
+// copyable by design — golden checkpoints retain value snapshots, and
+// resumed trials run on plain copies whose slice appends never touch
+// the shared snapshot (see snapshot).
+type pipeState struct {
+	phase    int8
+	featDone int // frames whose features are already detected
+	frames   []*imgproc.Gray
+	feats    []stitch.FrameFeatures
+	align    stitch.AlignState
+}
+
+// snapshot returns a copy safe to retain across further pipeline
+// progress: slice prefixes are capped so any later append — by the
+// live golden run or by a trial resumed from the snapshot — allocates
+// instead of sharing a tail. Frames and per-frame features are
+// read-only once produced, so sharing their storage is safe.
+func (st pipeState) snapshot() pipeState {
+	st.frames = st.frames[:len(st.frames):len(st.frames)]
+	st.feats = st.feats[:len(st.feats):len(st.feats)]
+	st.align = st.align.Snapshot()
+	return st
+}
+
+// runFrom executes the pipeline from st onward: remaining per-frame
+// feature detection, the registration pass, then compositing. When
+// snap is non-nil it receives a labeled snapshot at every stage
+// boundary (before the boundary's first tap) — the golden checkpoint
+// capture. recycle returns decoded frames to the pool afterwards; it
+// must be false whenever snapshots (or a shared checkpoint the state
+// came from) still reference the frames.
+func (a *App) runFrom(st pipeState, m probe.Sink, snap func(name string, st pipeState), recycle bool) (*stitch.Result, error) {
+	if st.phase == phaseFeatures {
+		if len(st.frames) == 0 {
+			return nil, stitch.ErrNoFrames
+		}
+		if st.feats == nil {
+			st.feats = make([]stitch.FrameFeatures, 0, len(st.frames))
+		}
+		for st.featDone < len(st.frames) {
+			if snap != nil {
+				snap(fmt.Sprintf("features[%d]", st.featDone), st.snapshot())
+			}
+			st.feats = append(st.feats, a.stitcher.DetectFrame(st.frames[st.featDone], m))
+			st.featDone++
+		}
+		if snap != nil {
+			snap("align", st.snapshot())
+		}
+		st.align = a.stitcher.BeginAlign(st.frames, m)
+		st.phase = phasePairs
+	}
+	if st.phase == phasePairs {
+		for st.align.Next < st.align.N {
+			if snap != nil {
+				snap(fmt.Sprintf("pair[%d]", st.align.Next), st.snapshot())
+			}
+			a.stitcher.AlignStep(st.feats, &st.align, m)
+		}
+		if snap != nil {
+			snap("composite", st.snapshot())
+		}
+		st.phase = phaseComposite
+	}
+	res, err := a.stitcher.Composite(st.frames, &st.align, m)
 	// The stitch result references only freshly rendered panoramas,
 	// never the decoded frames, so their buffers can feed the next
 	// trial's decode. (A crashed trial unwinds past this and simply
 	// leaves its frames to the GC.)
-	for _, f := range retained {
-		putFrame(f)
+	if recycle {
+		for _, f := range st.frames {
+			putFrame(f)
+		}
 	}
 	return res, err
 }

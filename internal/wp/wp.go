@@ -14,6 +14,8 @@
 package wp
 
 import (
+	"fmt"
+
 	"vsresil/internal/fault"
 	"vsresil/internal/geom"
 	"vsresil/internal/imgproc"
@@ -67,4 +69,26 @@ func (b *Bench) Run(s probe.Sink) ([]byte, error) {
 // the campaign's machine threaded through the probe seam.
 func (b *Bench) App() fault.App {
 	return func(m *fault.Machine) ([]byte, error) { return b.Run(m) }
+}
+
+// stagedBench is the trivial single-stage fault.StagedApp view of WP:
+// the whole benchmark is one WarpPerspective call, so there is no
+// fault-free prefix to skip. The seam exists so WP campaigns flow
+// through the same differential trial executor as VS.
+type stagedBench struct{ b *Bench }
+
+// Staged returns the stage-resumable campaign view of the benchmark.
+func (b *Bench) Staged() fault.StagedApp { return stagedBench{b: b} }
+
+// RunFull executes the single stage; there are no interior boundaries,
+// so snap is never called and every trial runs in full.
+func (s stagedBench) RunFull(m *fault.Machine, snap func(name string, state any)) ([]byte, error) {
+	return s.b.Run(m)
+}
+
+// Resume can never be reached — RunFull records no checkpoints — so a
+// call means checkpoint bookkeeping went wrong somewhere; surface it
+// instead of silently running from the start with seeded counters.
+func (s stagedBench) Resume(m *fault.Machine, state any) ([]byte, error) {
+	return nil, fmt.Errorf("wp: resume from unexpected checkpoint state %T", state)
 }
