@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench bench-json clean
+.PHONY: all check fmt vet build test race bench bench-json fabric-smoke clean
 
 all: check
 
@@ -34,6 +34,13 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# fabric-smoke drives the in-process cluster: an HTTP coordinator, two
+# live workers, one worker killed mid-campaign (lease expiry +
+# reassignment), and a coordinator restart from its journal — all under
+# the race detector. Fast enough to run before pushing fabric changes.
+fabric-smoke:
+	$(GO) test -race -count=1 -run 'TestCluster|TestCoordinatorRestart' ./internal/fabric/
 
 # bench-json refreshes the "after" section of the committed benchmark
 # ledger from the root-package perf benchmarks (the figure harness

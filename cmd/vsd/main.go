@@ -11,6 +11,17 @@
 // section for curl examples. SIGINT/SIGTERM drain the queue: running
 // campaigns checkpoint their completed trials to the journal and the
 // next start resumes them.
+//
+// A vsd can also be one node of a campaign cluster:
+//
+//	vsd -addr :8080 -coordinator            # serve the fabric coordinator API
+//	vsd -addr :8081 -join http://host:8080  # lease and execute shards
+//
+// A coordinator decomposes submitted campaigns into leased shards,
+// reassigns the shards of dead workers, and merges completed shards
+// bit-identically to a single-node run; cmd/afirun submits with
+// -fabric. One process may do both (-coordinator -join pointing at
+// itself) to put the coordinator's cores to work too.
 package main
 
 import (
@@ -25,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"vsresil/internal/fabric"
 	"vsresil/internal/service"
 )
 
@@ -41,15 +53,36 @@ func run() error {
 		workers    = flag.Int("workers", 2, "concurrent job executors")
 		journal    = flag.String("journal", "vsd.journal", "job journal path (\"\" = in-memory only)")
 		checkpoint = flag.Int("checkpoint-every", 25, "campaign trials per journal checkpoint batch")
+		compact    = flag.Int("compact-every", 4096, "journal records between runtime compactions")
 		grace      = flag.Duration("grace", 10*time.Second, "shutdown drain budget")
 		debugAddr  = flag.String("debug-addr", "", "pprof debug listen address, e.g. localhost:6060 (\"\" = disabled)")
+
+		coordinator   = flag.Bool("coordinator", false, "serve the campaign-cluster coordinator API on this daemon")
+		fabricJournal = flag.String("fabric-journal", "vsd.fabric.journal", "coordinator lease/result journal path (\"\" = in-memory only)")
+		leaseTTL      = flag.Duration("lease-ttl", fabric.DefaultLeaseTTL, "shard lease duration; a worker silent this long is reassigned")
+		join          = flag.String("join", "", "join a coordinator at this base URL as a shard worker, e.g. http://host:8080")
+		workerID      = flag.String("worker-id", "", "worker identity on the fabric (default host:pid)")
 	)
 	flag.Parse()
+
+	var coord *fabric.Coordinator
+	if *coordinator {
+		var err error
+		coord, err = fabric.NewCoordinator(fabric.Config{
+			LeaseTTL:    *leaseTTL,
+			JournalPath: *fabricJournal,
+		})
+		if err != nil {
+			return err
+		}
+	}
 
 	svc, err := service.New(service.Config{
 		Workers:         *workers,
 		JournalPath:     *journal,
 		CheckpointEvery: *checkpoint,
+		CompactEvery:    *compact,
+		Fabric:          coord,
 	})
 	if err != nil {
 		return err
@@ -80,9 +113,30 @@ func run() error {
 		}
 	}()
 	fmt.Printf("vsd: listening on %s (workers=%d, journal=%q)\n", *addr, *workers, *journal)
+	if coord != nil {
+		fmt.Printf("vsd: fabric coordinator up (lease TTL %s, journal %q)\n", *leaseTTL, *fabricJournal)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	workerDone := make(chan struct{})
+	if *join != "" {
+		id := *workerID
+		if id == "" {
+			host, _ := os.Hostname()
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		w := &fabric.Worker{ID: id, Client: &fabric.Client{Base: *join}}
+		go func() {
+			defer close(workerDone)
+			fmt.Printf("vsd: joined fabric at %s as %q\n", *join, id)
+			w.Run(ctx)
+		}()
+	} else {
+		close(workerDone)
+	}
+
 	select {
 	case err := <-errCh:
 		return err
@@ -94,8 +148,14 @@ func run() error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	srv.Shutdown(shutdownCtx)
+	<-workerDone
 	if err := svc.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)
+	}
+	if coord != nil {
+		if err := coord.Close(); err != nil {
+			return fmt.Errorf("fabric drain: %w", err)
+		}
 	}
 	fmt.Println("vsd: drained cleanly")
 	return nil

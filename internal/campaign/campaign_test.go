@@ -188,6 +188,71 @@ func TestShardedResume(t *testing.T) {
 	}
 }
 
+// TestResumeWorkerCountSkew resumes one interrupted k=5 campaign
+// journal under several different worker counts: the cluster promises
+// that parallelism never shows in the results, so every resumed merge
+// must be bit-identical to the unsharded base run, and the SDC outputs
+// streamed across interrupt + resume must be byte-identical to the
+// base run's. (Resumed trials never re-execute, so the two runs'
+// streams partition the SDC set exactly.)
+func TestResumeWorkerCountSkew(t *testing.T) {
+	collect := func(spec Spec, sink map[int][]byte) Spec {
+		spec.SDC = SDCPolicy{OnOutput: func(rec fault.TrialRecord, out []byte) {
+			if _, dup := sink[rec.Index]; dup {
+				t.Errorf("SDC output for trial %d streamed twice", rec.Index)
+			}
+			sink[rec.Index] = append([]byte(nil), out...)
+		}}
+		return spec
+	}
+	var runner Runner
+	baseSDC := map[int][]byte{}
+	base, err := runner.Run(context.Background(), collect(toySpec(), baseSDC))
+	if err != nil {
+		t.Fatalf("unsharded run: %v", err)
+	}
+	if len(baseSDC) == 0 {
+		t.Fatal("base campaign produced no SDC outputs; the skew test needs some")
+	}
+
+	for _, w := range []int{1, 3, 7} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var mu sync.Mutex
+		var recs []fault.TrialRecord
+		sdc := map[int][]byte{}
+		spec := collect(toySpec(), sdc)
+		spec.OnTrial = func(rec fault.TrialRecord) {
+			mu.Lock()
+			recs = append(recs, rec)
+			n := len(recs)
+			mu.Unlock()
+			if n == 10 {
+				cancel()
+			}
+		}
+		if _, err := runner.RunSharded(ctx, spec, 5); err == nil {
+			t.Fatalf("workers=%d: interrupted run returned no error", w)
+		}
+		cancel()
+		mu.Lock()
+		checkpoint := append([]fault.TrialRecord(nil), recs...)
+		mu.Unlock()
+
+		resumed := collect(toySpec(), sdc)
+		resumed.Workers = w
+		resumed.Resume = checkpoint
+		merged, err := runner.RunSharded(context.Background(), resumed, 5)
+		if err != nil {
+			t.Fatalf("workers=%d: resumed run: %v", w, err)
+		}
+		requireIdentical(t, "workers="+string(rune('0'+w)), base.Fault, merged.Fault)
+		if !reflect.DeepEqual(sdc, baseSDC) {
+			t.Errorf("workers=%d: streamed SDC outputs differ from base run (%d vs %d indices)",
+				w, len(sdc), len(baseSDC))
+		}
+	}
+}
+
 // TestMergeValidation rejects decompositions that do not reassemble
 // the original campaign.
 func TestMergeValidation(t *testing.T) {

@@ -3,9 +3,42 @@ package campaign
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"vsresil/internal/fault"
 )
+
+// ShardSetError reports a shard set that does not tile the plan space
+// exactly once. Missing lists uncovered plan-index ranges, Overlaps
+// lists ranges covered by more than one part; both are half-open
+// [lo, hi) windows in ascending order. Callers that assemble shard
+// sets dynamically (the cluster coordinator, resumed campaigns) can
+// match with errors.As and re-dispatch exactly the missing windows.
+type ShardSetError struct {
+	PlanTrials int
+	Missing    [][2]int
+	Overlaps   [][2]int
+}
+
+func (e *ShardSetError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign: shards do not tile the %d-trial plan space", e.PlanTrials)
+	writeWindows := func(label string, ws [][2]int) {
+		if len(ws) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "; %s", label)
+		for i, w := range ws {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, " [%d,%d)", w[0], w[1])
+		}
+	}
+	writeWindows("missing trials", e.Missing)
+	writeWindows("overlapping trials", e.Overlaps)
+	return b.String()
+}
 
 // Merge recombines the results of a complete shard decomposition into
 // the Result the unsharded campaign would have produced. Because
@@ -18,7 +51,9 @@ import (
 //
 // The parts must cover the full plan space exactly once, agree on the
 // campaign parameters, and each be complete (no interrupted shards —
-// resume those first). Order does not matter.
+// resume those first). Order does not matter. A set that leaves gaps
+// or double-covers trials fails with a *ShardSetError naming every
+// missing and overlapping plan-index window.
 func Merge(parts ...*Result) (*Result, error) {
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("campaign: merge of zero results")
@@ -41,6 +76,7 @@ func Merge(parts ...*Result) (*Result, error) {
 	}
 	next := 0
 	executed := 0
+	var shardErr ShardSetError
 	for i, p := range sorted {
 		cfg := p.Fault.Config
 		pt := cfg.PlanTrials
@@ -55,10 +91,6 @@ func Merge(parts ...*Result) (*Result, error) {
 			cfg.StepFactor != first.StepFactor || cfg.CheckpointEvery != first.CheckpointEvery {
 			return nil, fmt.Errorf("campaign: merge part %d ran different campaign parameters", i)
 		}
-		if cfg.PlanOffset != next {
-			return nil, fmt.Errorf("campaign: shard windows leave a gap: part %d starts at trial %d, want %d",
-				i, cfg.PlanOffset, next)
-		}
 		if p.Fault.Completed != cfg.Trials {
 			return nil, fmt.Errorf("campaign: merge part %d is incomplete (%d/%d trials) — resume it before merging",
 				i, p.Fault.Completed, cfg.Trials)
@@ -66,11 +98,31 @@ func Merge(parts ...*Result) (*Result, error) {
 		if p.Fault.TotalTaps != sorted[0].Fault.TotalTaps || p.Fault.GoldenSteps != sorted[0].Fault.GoldenSteps {
 			return nil, fmt.Errorf("campaign: merge part %d ran a different golden run", i)
 		}
-		next += cfg.Trials
+		// Tiling check: with parts sorted by offset, a window starting
+		// past the high-water mark leaves a gap; one starting before it
+		// re-covers trials another part owns. Collect every violation so
+		// the error names the full repair set, not just the first hole.
+		off, end := cfg.PlanOffset, cfg.PlanOffset+cfg.Trials
+		if off > next {
+			shardErr.Missing = append(shardErr.Missing, [2]int{next, off})
+		} else if off < next {
+			hi := end
+			if hi > next {
+				hi = next
+			}
+			shardErr.Overlaps = append(shardErr.Overlaps, [2]int{off, hi})
+		}
+		if end > next {
+			next = end
+		}
 		executed += p.Executed
 	}
-	if next != planTrials {
-		return nil, fmt.Errorf("campaign: shards cover %d of %d trials", next, planTrials)
+	if next < planTrials {
+		shardErr.Missing = append(shardErr.Missing, [2]int{next, planTrials})
+	}
+	if len(shardErr.Missing) > 0 || len(shardErr.Overlaps) > 0 {
+		shardErr.PlanTrials = planTrials
+		return nil, &shardErr
 	}
 
 	mergedCfg := first

@@ -1,0 +1,677 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"vsresil/internal/campaign"
+	"vsresil/internal/fault"
+)
+
+// Campaign lifecycle states on the coordinator.
+const (
+	campRunning = "running"
+	campDone    = "done"
+	campFailed  = "failed"
+)
+
+// Errors the HTTP layer maps to status codes.
+var (
+	ErrNoCampaign  = errors.New("fabric: no such campaign")
+	ErrNotFinished = errors.New("fabric: campaign has not finished")
+	ErrClosed      = errors.New("fabric: coordinator closed")
+)
+
+// DefaultLeaseTTL is how long a shard lease lives without a heartbeat
+// before the shard is reassigned.
+const DefaultLeaseTTL = 15 * time.Second
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// LeaseTTL is the lease duration (default DefaultLeaseTTL).
+	// Workers heartbeat at TTL/3; expiry reassigns the shard.
+	LeaseTTL time.Duration
+	// JournalPath enables durability: campaigns, leases and shard
+	// results are journaled and replayed by the next start ("" =
+	// in-memory only).
+	JournalPath string
+	// Workload maps wire specs to workloads (default DefaultWorkload).
+	// Must match the builder every joined worker uses.
+	Workload WorkloadBuilder
+}
+
+// lease is one granted shard assignment.
+type lease struct {
+	id       string
+	campaign string
+	shard    int
+	worker   string
+	deadline time.Time
+	// progress is the worker's last heartbeat-reported completed-trial
+	// count, feeding the work-stealing policy and the trials gauge.
+	progress int
+}
+
+// shardState tracks one plan-index range of a campaign.
+type shardState struct {
+	lo, hi int
+	done   bool
+	// recs/sdc hold the winning completion (set once, with done).
+	recs []fault.TrialRecord
+	sdc  []SDCOutput
+	// leases are the active assignments; more than one means the shard
+	// was stolen.
+	leases map[string]*lease
+}
+
+// camp is one cluster campaign.
+type camp struct {
+	id         string
+	spec       CampaignSpec
+	shards     []*shardState
+	state      string
+	err        string
+	doneShards int
+	// result is the merged engine result (in-memory only); resultJSON
+	// is its wire rendering, which is what the journal persists.
+	result     *campaign.Result
+	resultJSON json.RawMessage
+	started    time.Time
+	finalizing bool
+}
+
+func newCamp(id string, spec CampaignSpec, k int) *camp {
+	cm := &camp{id: id, spec: spec, state: campRunning, shards: make([]*shardState, k)}
+	for i := range cm.shards {
+		lo, hi := planWindow(spec.Trials, i, k)
+		cm.shards[i] = &shardState{lo: lo, hi: hi, leases: make(map[string]*lease)}
+	}
+	return cm
+}
+
+// Coordinator owns the cluster's campaign table: it leases shards to
+// workers, reassigns them on expiry, arbitrates duplicate completions
+// and merges finished campaigns bit-identically to a single-node run.
+type Coordinator struct {
+	cfg     Config
+	journal *journal
+	build   WorkloadBuilder
+	runner  *campaign.Runner
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	sweepDone  chan struct{}
+	finalizeWG sync.WaitGroup
+
+	mu        sync.Mutex
+	closed    bool
+	camps     map[string]*camp
+	order     []*camp
+	leases    map[string]*lease
+	campSeq   int
+	leaseSeq  int
+	lastSeen  map[string]time.Time // worker id -> last contact
+	trialRing trialRing
+
+	// counters for /metrics
+	leasesIssued  uint64
+	leasesExpired uint64
+	leasesStolen  uint64
+	dupResults    uint64
+	trialsDone    uint64
+}
+
+// NewCoordinator builds a Coordinator, replays and compacts its
+// journal (if configured) and starts the lease-expiry sweeper.
+// Campaigns whose shards all completed before a crash but that never
+// merged are finalized again in the background.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.Workload == nil {
+		cfg.Workload = DefaultWorkload
+	}
+	c := &Coordinator{
+		cfg:       cfg,
+		build:     cfg.Workload,
+		runner:    &campaign.Runner{Goldens: campaign.NewGoldenCache(4)},
+		camps:     make(map[string]*camp),
+		leases:    make(map[string]*lease),
+		lastSeen:  make(map[string]time.Time),
+		sweepDone: make(chan struct{}),
+	}
+	c.baseCtx, c.baseCancel = context.WithCancel(context.Background())
+
+	if cfg.JournalPath != "" {
+		camps, campSeq, leaseSeq, err := replayJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		// Snapshot-on-replay compaction: the rewritten journal holds
+		// live state only, so lease churn never accumulates across
+		// restarts.
+		if err := compactJournal(cfg.JournalPath, camps); err != nil {
+			return nil, err
+		}
+		jl, err := openJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		c.journal = jl
+		c.campSeq, c.leaseSeq = campSeq, leaseSeq
+		for _, cm := range camps {
+			c.camps[cm.id] = cm
+			c.order = append(c.order, cm)
+			for _, sh := range cm.shards {
+				for id, l := range sh.leases {
+					c.leases[id] = l
+				}
+			}
+			if cm.state == campRunning && cm.doneShards == len(cm.shards) {
+				c.finalize(cm)
+			}
+		}
+	}
+
+	go c.sweeper()
+	return c, nil
+}
+
+// Close stops the sweeper, waits for in-flight merges and closes the
+// journal.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.baseCancel()
+	<-c.sweepDone
+	c.finalizeWG.Wait()
+	return c.journal.close()
+}
+
+// Submit registers a campaign decomposed into shards leases. It
+// validates the spec by building its workload once (the same
+// deterministic construction every worker will perform).
+func (c *Coordinator) Submit(spec CampaignSpec, shards int) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > spec.Trials {
+		shards = spec.Trials
+	}
+	if _, err := c.build(spec); err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return "", ErrClosed
+	}
+	c.campSeq++
+	cm := newCamp(fmt.Sprintf("c%d", c.campSeq), spec, shards)
+	cm.started = time.Now()
+	c.camps[cm.id] = cm
+	c.order = append(c.order, cm)
+	c.mu.Unlock()
+
+	c.journal.append(record{Op: "campaign", Campaign: cm.id, Spec: &cm.spec, Shards: shards})
+	return cm.id, nil
+}
+
+// Lease grants worker the next shard: the oldest campaign's first
+// unleased shard, or — when every remaining shard is already leased —
+// a duplicate lease on the one with the most remaining trials (work
+// stealing; the straggler and the thief race, first journaled result
+// wins). ok is false when the cluster has no work.
+func (c *Coordinator) Lease(worker string) (Lease, bool, error) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return Lease{}, false, ErrClosed
+	}
+	c.lastSeen[worker] = now
+	c.expireLocked(now)
+
+	cm, shard := c.pickPending()
+	stolen := false
+	if cm == nil {
+		cm, shard = c.pickSteal(worker)
+		stolen = cm != nil
+	}
+	if cm == nil {
+		return Lease{}, false, nil
+	}
+	c.leaseSeq++
+	sh := cm.shards[shard]
+	l := &lease{
+		id:       fmt.Sprintf("l%d", c.leaseSeq),
+		campaign: cm.id,
+		shard:    shard,
+		worker:   worker,
+		deadline: now.Add(c.cfg.LeaseTTL),
+	}
+	sh.leases[l.id] = l
+	c.leases[l.id] = l
+	c.leasesIssued++
+	if stolen {
+		c.leasesStolen++
+	}
+	d := l.deadline
+	c.journal.append(record{
+		Op: "lease", Campaign: cm.id, Lease: l.id, Shard: shard,
+		Worker: worker, Deadline: &d,
+	})
+	return Lease{
+		ID:         l.id,
+		Campaign:   cm.id,
+		Spec:       cm.spec,
+		ShardIndex: shard,
+		ShardCount: len(cm.shards),
+		PlanLo:     sh.lo,
+		PlanHi:     sh.hi,
+		TTL:        c.cfg.LeaseTTL,
+	}, true, nil
+}
+
+// pickPending returns the oldest running campaign's first shard with
+// no active lease; caller holds c.mu.
+func (c *Coordinator) pickPending() (*camp, int) {
+	for _, cm := range c.order {
+		if cm.state != campRunning {
+			continue
+		}
+		for i, sh := range cm.shards {
+			if !sh.done && len(sh.leases) == 0 {
+				return cm, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// pickSteal returns the singly-leased shard with the most remaining
+// trials (by last heartbeat), skipping shards the asking worker
+// already holds — duplicating a worker's own lease buys nothing.
+// Caller holds c.mu.
+func (c *Coordinator) pickSteal(worker string) (*camp, int) {
+	var bestCamp *camp
+	best, bestLeft := -1, 0
+	for _, cm := range c.order {
+		if cm.state != campRunning {
+			continue
+		}
+		for i, sh := range cm.shards {
+			if sh.done || len(sh.leases) != 1 {
+				continue
+			}
+			left := sh.hi - sh.lo
+			mine := false
+			for _, l := range sh.leases {
+				left -= l.progress
+				mine = mine || l.worker == worker
+			}
+			if mine || left <= 1 {
+				continue
+			}
+			if left > bestLeft {
+				bestCamp, best, bestLeft = cm, i, left
+			}
+		}
+	}
+	return bestCamp, best
+}
+
+// Heartbeat extends a lease and records the worker's progress. ok is
+// false when the lease is gone (expired, stolen-and-beaten, or its
+// shard already completed) — the worker should abandon the run.
+func (c *Coordinator) Heartbeat(worker, leaseID string, done int) bool {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lastSeen[worker] = now
+	l, ok := c.leases[leaseID]
+	if !ok {
+		return false
+	}
+	l.deadline = now.Add(c.cfg.LeaseTTL)
+	if done > l.progress {
+		c.noteTrials(now, done-l.progress)
+		l.progress = done
+	}
+	return true
+}
+
+// Complete accepts a worker's shard result. The first completion per
+// shard is journaled and wins; duplicates (from stolen or expired
+// leases that finished anyway) are counted and discarded. Completing
+// the last shard triggers the background merge.
+func (c *Coordinator) Complete(res ShardResult) (bool, error) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lastSeen[res.Worker] = now
+	cm := c.camps[res.Campaign]
+	if cm == nil {
+		return false, ErrNoCampaign
+	}
+	if res.Shard < 0 || res.Shard >= len(cm.shards) {
+		return false, fmt.Errorf("fabric: shard %d outside campaign %s (%d shards)", res.Shard, cm.id, len(cm.shards))
+	}
+	sh := cm.shards[res.Shard]
+	if sh.done {
+		c.dupResults++
+		delete(c.leases, res.Lease)
+		delete(sh.leases, res.Lease)
+		return false, nil
+	}
+	recs := dedupRecords(res.Recs)
+	if err := validateShard(sh, recs); err != nil {
+		return false, err
+	}
+	if l := c.leases[res.Lease]; l != nil {
+		c.noteTrials(now, (sh.hi-sh.lo)-l.progress)
+	} else {
+		c.noteTrials(now, sh.hi-sh.lo)
+	}
+	sh.done = true
+	sh.recs = recs
+	sh.sdc = res.SDC
+	// Retire every lease on the shard: stolen twins and stale holders
+	// learn on their next heartbeat and abandon the duplicate run.
+	for id := range sh.leases {
+		delete(c.leases, id)
+	}
+	sh.leases = make(map[string]*lease)
+	cm.doneShards++
+	// The journal write is the tie-break commit point: it happens
+	// under c.mu, before the completion is acknowledged.
+	c.journal.append(record{Op: "shard", Campaign: cm.id, Shard: res.Shard, Recs: recs, SDC: res.SDC})
+	if cm.doneShards == len(cm.shards) {
+		c.finalize(cm)
+	}
+	return true, nil
+}
+
+// validateShard checks that records tile the shard's plan window
+// exactly; deeper validation happens in the resume rebuild.
+func validateShard(sh *shardState, recs []fault.TrialRecord) error {
+	if len(recs) != sh.hi-sh.lo {
+		return fmt.Errorf("fabric: shard result has %d records, want %d", len(recs), sh.hi-sh.lo)
+	}
+	for i, rec := range recs {
+		if rec.Index != sh.lo+i {
+			return fmt.Errorf("fabric: shard result record %d has plan index %d, want %d", i, rec.Index, sh.lo+i)
+		}
+	}
+	return nil
+}
+
+// finalize rebuilds every shard's full fault.Result through the
+// campaign resume path and merges them. Caller holds c.mu; the heavy
+// work (one golden capture, zero trial executions) runs in the
+// background.
+func (c *Coordinator) finalize(cm *camp) {
+	if cm.finalizing {
+		return
+	}
+	cm.finalizing = true
+	c.finalizeWG.Add(1)
+	go func() {
+		defer c.finalizeWG.Done()
+		res, err := c.merge(cm)
+		c.mu.Lock()
+		if err != nil && errors.Is(err, context.Canceled) {
+			// Shutdown interrupted the merge: leave the campaign
+			// running so the restarted coordinator (which replays all
+			// shards done) finalizes it again.
+			cm.finalizing = false
+			c.mu.Unlock()
+			return
+		}
+		if err != nil {
+			cm.state = campFailed
+			cm.err = err.Error()
+		} else {
+			cm.state = campDone
+			cm.result = res
+			wire := wireResult(cm.spec, len(cm.shards), res)
+			if !cm.started.IsZero() {
+				wire.ElapsedSec = time.Since(cm.started).Seconds()
+			}
+			cm.resultJSON, _ = json.Marshal(wire)
+		}
+		state, errMsg, resJSON := cm.state, cm.err, cm.resultJSON
+		c.mu.Unlock()
+		c.journal.append(record{Op: "state", Campaign: cm.id, State: state, Err: errMsg, Result: resJSON})
+	}()
+}
+
+// merge reconstructs the single-node result from the journaled shard
+// records. Each shard re-runs through Runner.Run with every trial
+// supplied as a resume record: no trial executes, but plans,
+// histograms and the rate curve regenerate from the seed exactly as
+// they did on the worker, and the retained SDC bytes reattach by plan
+// index. campaign.Merge then rebuilds the unsharded result — the same
+// bit-identity path RunSharded uses in one process.
+func (c *Coordinator) merge(cm *camp) (*campaign.Result, error) {
+	w, err := c.build(cm.spec)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]*campaign.Result, len(cm.shards))
+	for i, sh := range cm.shards {
+		spec, err := cm.spec.campaignSpec(w, campaign.Shard{Index: i, Count: len(cm.shards)})
+		if err != nil {
+			return nil, err
+		}
+		spec.Resume = sh.recs
+		part, err := c.runner.Run(c.baseCtx, spec)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: rebuild shard %d: %w", i, err)
+		}
+		for _, out := range sh.sdc {
+			local := out.Index - sh.lo
+			if local < 0 || local >= len(part.Fault.Trials) {
+				return nil, fmt.Errorf("fabric: shard %d SDC output index %d outside window [%d,%d)", i, out.Index, sh.lo, sh.hi)
+			}
+			if part.Fault.Trials[local].Outcome == fault.OutcomeSDC {
+				part.Fault.Trials[local].Output = out.Data
+			}
+		}
+		parts[i] = part
+	}
+	return campaign.Merge(parts...)
+}
+
+// Status reports a campaign's cluster-wide progress.
+func (c *Coordinator) Status(id string) (CampaignStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cm := c.camps[id]
+	if cm == nil {
+		return CampaignStatus{}, ErrNoCampaign
+	}
+	st := CampaignStatus{
+		ID: cm.id, State: cm.state, Error: cm.err,
+		ShardsTotal: len(cm.shards), TrialsTotal: cm.spec.Trials,
+	}
+	for _, sh := range cm.shards {
+		if sh.done {
+			st.ShardsDone++
+			st.TrialsDone += sh.hi - sh.lo
+			continue
+		}
+		best := 0
+		for _, l := range sh.leases {
+			if l.progress > best {
+				best = l.progress
+			}
+		}
+		st.TrialsDone += best
+	}
+	return st, nil
+}
+
+// Result returns a finished campaign's wire result.
+func (c *Coordinator) Result(id string) (json.RawMessage, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cm := c.camps[id]
+	if cm == nil {
+		return nil, ErrNoCampaign
+	}
+	if cm.state == campFailed {
+		return nil, fmt.Errorf("fabric: campaign %s failed: %s", id, cm.err)
+	}
+	if cm.state != campDone || cm.resultJSON == nil {
+		return nil, ErrNotFinished
+	}
+	return cm.resultJSON, nil
+}
+
+// Merged returns a finished campaign's full in-memory engine result —
+// the equivalence tests compare it against a single-node run. It is
+// nil after a restart (only the wire rendering is journaled).
+func (c *Coordinator) Merged(id string) (*campaign.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cm := c.camps[id]
+	if cm == nil {
+		return nil, ErrNoCampaign
+	}
+	if cm.state != campDone {
+		return nil, ErrNotFinished
+	}
+	return cm.result, nil
+}
+
+// sweeper periodically expires dead leases so abandoned shards return
+// to the pending pool even when no worker is asking for work.
+func (c *Coordinator) sweeper() {
+	defer close(c.sweepDone)
+	tick := c.cfg.LeaseTTL / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.baseCtx.Done():
+			return
+		case now := <-t.C:
+			c.mu.Lock()
+			c.expireLocked(now)
+			c.mu.Unlock()
+		}
+	}
+}
+
+// expireLocked drops leases past their deadline; their shards become
+// pending again. Caller holds c.mu.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for id, l := range c.leases {
+		if now.Before(l.deadline) {
+			continue
+		}
+		delete(c.leases, id)
+		if cm := c.camps[l.campaign]; cm != nil {
+			delete(cm.shards[l.shard].leases, id)
+		}
+		c.leasesExpired++
+	}
+}
+
+// trialRing is a per-second ring of cluster-wide trial completions
+// backing the trials/s gauge (same shape as the service's).
+type trialRing struct {
+	slots [16]struct {
+		sec int64
+		n   uint64
+	}
+}
+
+// noteTrials credits n completed trials to the ring; caller holds c.mu.
+func (c *Coordinator) noteTrials(now time.Time, n int) {
+	if n <= 0 {
+		return
+	}
+	c.trialsDone += uint64(n)
+	sec := now.Unix()
+	slot := &c.trialRing.slots[sec%int64(len(c.trialRing.slots))]
+	if slot.sec != sec {
+		slot.sec = sec
+		slot.n = 0
+	}
+	slot.n += uint64(n)
+}
+
+// trialsPerSec computes the rate over a 10s window; caller holds c.mu.
+func (c *Coordinator) trialsPerSec(now time.Time) float64 {
+	const window = 10 * time.Second
+	cutoff := now.Add(-window).Unix()
+	var n uint64
+	for _, s := range c.trialRing.slots {
+		if s.sec > cutoff {
+			n += s.n
+		}
+	}
+	return float64(n) / window.Seconds()
+}
+
+// WriteMetrics renders the fabric gauges in the service's text
+// exposition format; the vsd /metrics endpoint appends it when the
+// daemon runs as a coordinator.
+func (c *Coordinator) WriteMetrics(w io.Writer) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	alive := 0
+	horizon := now.Add(-2 * c.cfg.LeaseTTL)
+	for _, t := range c.lastSeen {
+		if t.After(horizon) {
+			alive++
+		}
+	}
+	byState := map[string]int{campRunning: 0, campDone: 0, campFailed: 0}
+	shardsDone, shardsTotal := 0, 0
+	for _, cm := range c.camps {
+		byState[cm.state]++
+		shardsDone += cm.doneShards
+		shardsTotal += len(cm.shards)
+	}
+	fmt.Fprintf(w, "# fabric coordinator metrics\n")
+	fmt.Fprintf(w, "vsd_fabric_workers_alive %d\n", alive)
+	fmt.Fprintf(w, "vsd_fabric_leases_active %d\n", len(c.leases))
+	fmt.Fprintf(w, "vsd_fabric_leases_issued_total %d\n", c.leasesIssued)
+	fmt.Fprintf(w, "vsd_fabric_leases_expired_total %d\n", c.leasesExpired)
+	fmt.Fprintf(w, "vsd_fabric_leases_stolen_total %d\n", c.leasesStolen)
+	fmt.Fprintf(w, "vsd_fabric_duplicate_results_total %d\n", c.dupResults)
+	states := make([]string, 0, len(byState))
+	for st := range byState {
+		states = append(states, st)
+	}
+	sort.Strings(states)
+	for _, st := range states {
+		fmt.Fprintf(w, "vsd_fabric_campaigns{state=%q} %d\n", st, byState[st])
+	}
+	fmt.Fprintf(w, "vsd_fabric_shards_done %d\n", shardsDone)
+	fmt.Fprintf(w, "vsd_fabric_shards_total %d\n", shardsTotal)
+	fmt.Fprintf(w, "vsd_fabric_trials_total %d\n", c.trialsDone)
+	fmt.Fprintf(w, "vsd_fabric_trials_per_sec %.1f\n", c.trialsPerSec(now))
+}

@@ -1,0 +1,241 @@
+// Package fabric turns N vsd processes into one campaign cluster.
+//
+// A Coordinator decomposes a campaign into plan-index ranges via
+// campaign.Spec.Shards(k) and leases them to worker vsds over HTTP.
+// Leases carry deadlines and are journaled (the same JSONL
+// fold-and-compact shape as internal/service's job journal), so a
+// dead worker's shard is reassigned after its lease expires and a
+// restarted coordinator replays its lease table instead of starting
+// over. When every shard is leased, an idle worker steals the shard
+// with the most remaining trials (a duplicate lease); the first
+// journaled completion wins and later duplicates are discarded.
+//
+// Distribution changes where trials run, not what they compute.
+// Campaign plans are pre-generated from the seed, so a worker's shard
+// draws exactly the plans the single-node run would; the worker ships
+// back only fault.TrialRecords plus retained SDC bytes, and the
+// coordinator rebuilds each shard's full fault.Result locally through
+// the campaign resume path (zero re-execution — plans, histograms and
+// the rate curve regenerate deterministically) before campaign.Merge
+// recombines the shards bit-identically to the unsharded Runner run.
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"vsresil/internal/campaign"
+	"vsresil/internal/fault"
+	"vsresil/internal/vs"
+
+	"vsresil/internal/virat"
+)
+
+// CampaignSpec is the wire form of a cluster campaign: everything a
+// worker needs to rebuild the exact same campaign.Spec the coordinator
+// decomposed. Only synthetic inputs are supported on the fabric —
+// uploaded frame sets would have to ship to every worker.
+type CampaignSpec struct {
+	// Algorithm is the VS variant under test (default VS). A custom
+	// WorkloadBuilder may interpret this freely (the test harness keys
+	// toy workloads off it).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Class is the register class: "gpr" or "fpr" (default gpr).
+	Class string `json:"class,omitempty"`
+	// Region restricts injections to one function ("" = whole app).
+	Region string `json:"region,omitempty"`
+	// Input selects the synthetic sequence (1 or 2, default 1).
+	Input int `json:"input,omitempty"`
+	// Scale is the preset size: "test", "bench" or "paper".
+	Scale string `json:"scale,omitempty"`
+	// Frames overrides the preset's frame count (0 = preset default).
+	Frames int `json:"frames,omitempty"`
+	// Trials is the full campaign size (required, > 0).
+	Trials int `json:"trials"`
+	// Seed makes the campaign reproducible across the cluster.
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers bounds each worker's own trial parallelism
+	// (0 = GOMAXPROCS on the worker).
+	Workers int `json:"workers,omitempty"`
+	// KeepSDC retains SDC output bytes; MaxSDC caps how many (<= 0 =
+	// unlimited). Retention is deterministic across any decomposition:
+	// the merged result keeps the MaxSDC lowest-plan-index SDCs.
+	KeepSDC bool `json:"keep_sdc,omitempty"`
+	MaxSDC  int  `json:"max_sdc,omitempty"`
+}
+
+// Validate checks the declarative fields without building a workload.
+func (cs *CampaignSpec) Validate() error {
+	if cs.Trials <= 0 {
+		return fmt.Errorf("fabric: campaign needs trials > 0, got %d", cs.Trials)
+	}
+	if _, err := fault.ParseClass(cs.Class); err != nil {
+		return err
+	}
+	if _, err := fault.ParseRegion(cs.Region); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WorkloadBuilder maps a wire spec to the workload a campaign injects
+// into. Coordinator and workers must use the same builder: the merge's
+// bit-identity argument assumes every node captures the same golden
+// run, which holds because workloads are deterministic functions of
+// the spec.
+type WorkloadBuilder func(cs CampaignSpec) (campaign.Workload, error)
+
+// DefaultWorkload builds the standard VS-variant-on-synthetic-input
+// workload from the spec.
+func DefaultWorkload(cs CampaignSpec) (campaign.Workload, error) {
+	alg, err := vs.ParseAlgorithm(cs.Algorithm)
+	if err != nil {
+		return campaign.Workload{}, err
+	}
+	preset, err := virat.ParsePreset(cs.Scale, cs.Frames)
+	if err != nil {
+		return campaign.Workload{}, err
+	}
+	input := cs.Input
+	if input == 0 {
+		input = 1
+	}
+	seq, err := virat.ParseInput(input, preset)
+	if err != nil {
+		return campaign.Workload{}, err
+	}
+	return campaign.VS(alg, seq, cs.Seed), nil
+}
+
+// campaignSpec translates the wire spec (plus one shard window) into
+// the engine Spec a node runs. The same translation runs on workers
+// (to execute the shard) and on the coordinator (to rebuild shard
+// results through the resume path), which is what keeps both sides'
+// plan spaces identical.
+func (cs CampaignSpec) campaignSpec(w campaign.Workload, shard campaign.Shard) (campaign.Spec, error) {
+	class, err := fault.ParseClass(cs.Class)
+	if err != nil {
+		return campaign.Spec{}, err
+	}
+	region, err := fault.ParseRegion(cs.Region)
+	if err != nil {
+		return campaign.Spec{}, err
+	}
+	return campaign.Spec{
+		Workload: w,
+		Class:    class,
+		Region:   region,
+		Trials:   cs.Trials,
+		Seed:     cs.Seed,
+		Workers:  cs.Workers,
+		SDC:      campaign.SDCPolicy{Keep: cs.KeepSDC, Max: cs.MaxSDC},
+		Shard:    shard,
+	}, nil
+}
+
+// planWindow is the plan-index range shard i of k covers — the same
+// split campaign.Spec.Shards produces.
+func planWindow(trials, i, k int) (lo, hi int) {
+	if k <= 1 {
+		return 0, trials
+	}
+	return i * trials / k, (i + 1) * trials / k
+}
+
+// SDCOutput carries one retained SDC trial's corrupted output bytes,
+// keyed by plan index. Data marshals as base64 on the wire.
+type SDCOutput struct {
+	Index int    `json:"i"`
+	Data  []byte `json:"d"`
+}
+
+// Lease is one granted plan-index range: the campaign context a worker
+// needs plus the deadline discipline it must keep.
+type Lease struct {
+	ID       string       `json:"id"`
+	Campaign string       `json:"campaign"`
+	Spec     CampaignSpec `json:"spec"`
+	// ShardIndex/ShardCount place the lease in the decomposition;
+	// PlanLo/PlanHi are the resulting plan-index window [lo, hi).
+	ShardIndex int `json:"shard_index"`
+	ShardCount int `json:"shard_count"`
+	PlanLo     int `json:"plan_lo"`
+	PlanHi     int `json:"plan_hi"`
+	// TTL is the lease duration: a worker must heartbeat well inside
+	// it or the shard is reassigned.
+	TTL time.Duration `json:"ttl_ns"`
+}
+
+// ShardResult is a worker's completed shard: the checkpoint records of
+// every trial in the window (indices are plan indices) plus the SDC
+// outputs its retention policy kept.
+type ShardResult struct {
+	Worker   string              `json:"worker"`
+	Lease    string              `json:"lease"`
+	Campaign string              `json:"campaign"`
+	Shard    int                 `json:"shard"`
+	Recs     []fault.TrialRecord `json:"recs"`
+	SDC      []SDCOutput         `json:"sdc,omitempty"`
+}
+
+// CampaignStatus is the wire form of a cluster campaign's progress.
+type CampaignStatus struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	ShardsDone  int    `json:"shards_done"`
+	ShardsTotal int    `json:"shards_total"`
+	TrialsDone  int    `json:"trials_done"`
+	TrialsTotal int    `json:"trials_total"`
+	Error       string `json:"error,omitempty"`
+}
+
+// CampaignResult is the wire form of a finished cluster campaign —
+// the same aggregates the single-node CampaignResult reports, computed
+// from the bit-identical merged result.
+type CampaignResult struct {
+	Class       string             `json:"class"`
+	Region      string             `json:"region"`
+	Trials      int                `json:"trials"`
+	Shards      int                `json:"shards"`
+	Completed   int                `json:"completed"`
+	TotalTaps   uint64             `json:"total_taps"`
+	GoldenSteps uint64             `json:"golden_steps"`
+	Counts      map[string]int     `json:"counts"`
+	Rates       map[string]float64 `json:"rates"`
+	CrashSplit  map[string]int     `json:"crash_split,omitempty"`
+	RegChi2     float64            `json:"reg_chi2"`
+	CurveKnee   int                `json:"curve_knee"`
+	SDCKept     int                `json:"sdc_kept,omitempty"`
+	ElapsedSec  float64            `json:"elapsed_sec"`
+}
+
+// wireResult renders the merged engine result for the API.
+func wireResult(cs CampaignSpec, shards int, res *campaign.Result) *CampaignResult {
+	fres := res.Fault
+	out := &CampaignResult{
+		Class:       fres.Config.Class.String(),
+		Region:      fres.Config.Region.String(),
+		Trials:      cs.Trials,
+		Shards:      shards,
+		Completed:   fres.Completed,
+		TotalTaps:   fres.TotalTaps,
+		GoldenSteps: fres.GoldenSteps,
+		Counts:      make(map[string]int),
+		Rates:       make(map[string]float64),
+		RegChi2:     fres.RegHist.ChiSquareUniform(),
+		CurveKnee:   fres.Curve.Knee(0.02),
+		SDCKept:     len(fres.SDCOutputs()),
+		ElapsedSec:  res.Elapsed.Seconds(),
+	}
+	for o := fault.Outcome(0); o < fault.NumOutcomes; o++ {
+		out.Counts[o.String()] = fres.Counts[o]
+		out.Rates[o.String()] = fres.Rate(o)
+	}
+	if len(fres.CrashCounts) > 0 {
+		out.CrashSplit = make(map[string]int)
+		for k, n := range fres.CrashCounts {
+			out.CrashSplit[k.String()] = n
+		}
+	}
+	return out
+}

@@ -1,0 +1,480 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"vsresil/internal/campaign"
+	"vsresil/internal/fault"
+)
+
+// toyApp mirrors the campaign package's miniature workload: a
+// realistic mix of crash-prone indices, SDC-prone pixels and
+// mask-prone saturated floats, cheap enough to run whole clusters of
+// campaigns in-process.
+func toyApp(m *fault.Machine) ([]byte, error) {
+	buf := make([]uint8, 64)
+	for i := range buf {
+		buf[i] = uint8(i * 3)
+	}
+	out := make([]uint8, 64)
+	n := m.Cnt(len(buf))
+	if n < 0 || n > len(buf) {
+		return nil, errors.New("toy: invalid length")
+	}
+	for i := 0; i < n; i++ {
+		idx := m.Idx(i)
+		v := m.Pix(buf[idx])
+		f := m.F64(float64(v) * 1.5)
+		if f > 255 {
+			f = 255
+		}
+		if f < 0 {
+			f = 0
+		}
+		out[m.Idx(i)] = uint8(f)
+	}
+	return out, nil
+}
+
+// toyBuild is the WorkloadBuilder every node in these tests shares;
+// the Algorithm field keys the toy workload exactly the way real specs
+// key VS variants.
+func toyBuild(cs CampaignSpec) (campaign.Workload, error) {
+	if cs.Algorithm != "toy" {
+		return DefaultWorkload(cs)
+	}
+	return campaign.NewWorkload("toy", "toy", toyApp), nil
+}
+
+func toyWireSpec() CampaignSpec {
+	return CampaignSpec{
+		Algorithm: "toy",
+		Class:     "gpr",
+		Trials:    60,
+		Seed:      7,
+		Workers:   2,
+		KeepSDC:   true,
+		MaxSDC:    3,
+	}
+}
+
+// singleNode runs the wire spec unsharded in one process — the ground
+// truth every cluster result must be bit-identical to.
+func singleNode(t *testing.T, cs CampaignSpec) *campaign.Result {
+	t.Helper()
+	w, err := toyBuild(cs)
+	if err != nil {
+		t.Fatalf("build workload: %v", err)
+	}
+	spec, err := cs.campaignSpec(w, campaign.Shard{})
+	if err != nil {
+		t.Fatalf("translate spec: %v", err)
+	}
+	var runner campaign.Runner
+	res, err := runner.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("single-node run: %v", err)
+	}
+	return res
+}
+
+// requireIdentical compares every campaign observable of two results.
+func requireIdentical(t *testing.T, label string, a, b *fault.Result) {
+	t.Helper()
+	if a.Completed != b.Completed {
+		t.Errorf("%s: completed %d vs %d", label, a.Completed, b.Completed)
+	}
+	if a.Counts != b.Counts {
+		t.Errorf("%s: outcome counts differ: %v vs %v", label, a.Counts, b.Counts)
+	}
+	if !reflect.DeepEqual(a.CrashCounts, b.CrashCounts) {
+		t.Errorf("%s: crash splits differ: %v vs %v", label, a.CrashCounts, b.CrashCounts)
+	}
+	if !reflect.DeepEqual(a.RegHist.Counts, b.RegHist.Counts) {
+		t.Errorf("%s: register histograms differ", label)
+	}
+	if !reflect.DeepEqual(a.BitHist.Counts, b.BitHist.Counts) {
+		t.Errorf("%s: bit histograms differ", label)
+	}
+	if !reflect.DeepEqual(a.Curve.Checkpoints, b.Curve.Checkpoints) {
+		t.Errorf("%s: rate-curve checkpoints differ", label)
+	}
+	if !reflect.DeepEqual(a.Curve.Snapshots, b.Curve.Snapshots) {
+		t.Errorf("%s: rate-curve snapshots differ", label)
+	}
+	if !bytes.Equal(a.GoldenOutput, b.GoldenOutput) {
+		t.Errorf("%s: golden outputs differ", label)
+	}
+	if len(a.Trials) != len(b.Trials) {
+		t.Fatalf("%s: trial counts differ: %d vs %d", label, len(a.Trials), len(b.Trials))
+	}
+	for i := range a.Trials {
+		ta, tb := a.Trials[i], b.Trials[i]
+		if ta.Outcome != tb.Outcome || ta.Crash != tb.Crash || ta.Landed != tb.Landed {
+			t.Errorf("%s: trial %d differs: (%v,%v,landed=%v) vs (%v,%v,landed=%v)",
+				label, i, ta.Outcome, ta.Crash, ta.Landed, tb.Outcome, tb.Crash, tb.Landed)
+		}
+		if (ta.Output == nil) != (tb.Output == nil) || !bytes.Equal(ta.Output, tb.Output) {
+			t.Errorf("%s: trial %d SDC output retention differs", label, i)
+		}
+	}
+}
+
+// waitDone polls until the campaign reaches a terminal state.
+func waitDone(t *testing.T, c *Coordinator, id string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := c.Status(id)
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		switch st.State {
+		case campDone:
+			return
+		case campFailed:
+			t.Fatalf("campaign failed: %s", st.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("campaign did not finish in 30s")
+}
+
+// executeLease runs a lease's shard to completion locally and returns
+// the ShardResult a worker would ship — the synchronous core of
+// Worker.runLease, used where tests need deterministic completion
+// order.
+func executeLease(t *testing.T, l Lease, worker string) ShardResult {
+	t.Helper()
+	w, err := toyBuild(l.Spec)
+	if err != nil {
+		t.Fatalf("build workload: %v", err)
+	}
+	spec, err := l.Spec.campaignSpec(w, campaign.Shard{Index: l.ShardIndex, Count: l.ShardCount})
+	if err != nil {
+		t.Fatalf("translate spec: %v", err)
+	}
+	var runner campaign.Runner
+	res, err := runner.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("run shard %d: %v", l.ShardIndex, err)
+	}
+	out := ShardResult{Worker: worker, Lease: l.ID, Campaign: l.Campaign, Shard: l.ShardIndex}
+	for i := range res.Fault.Trials {
+		tr := &res.Fault.Trials[i]
+		out.Recs = append(out.Recs, tr.Record(l.PlanLo+i))
+		if tr.Output != nil {
+			out.SDC = append(out.SDC, SDCOutput{Index: l.PlanLo + i, Data: tr.Output})
+		}
+	}
+	return out
+}
+
+func metricValue(t *testing.T, c *Coordinator, name string) int {
+	t.Helper()
+	var buf bytes.Buffer
+	c.WriteMetrics(&buf)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		var v int
+		if n, _ := fmt.Sscanf(line, name+" %d", &v); n == 1 {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, buf.String())
+	return 0
+}
+
+// TestClusterEquivalence is the headline acceptance property: a
+// campaign executed by a real HTTP cluster — two live workers plus one
+// that takes a lease and dies without ever heartbeating — merges
+// bit-identically to the single-node run, with the dead worker's shard
+// reassigned after its lease expires.
+func TestClusterEquivalence(t *testing.T) {
+	coord, err := NewCoordinator(Config{
+		LeaseTTL: 50 * time.Millisecond,
+		Workload: toyBuild,
+	})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	defer coord.Close()
+
+	mux := http.NewServeMux()
+	coord.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	client := &Client{Base: srv.URL}
+
+	cs := toyWireSpec()
+	id, err := client.Submit(context.Background(), cs, 5)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// The doomed worker grabs one shard and is never heard from again;
+	// its lease must expire and the shard reach a live worker. Waiting
+	// for the expiry before any live worker exists makes the kill path
+	// deterministic (otherwise a thief can duplicate the shard first).
+	if _, ok, err := client.Lease(context.Background(), "doomed"); err != nil || !ok {
+		t.Fatalf("doomed worker lease: ok=%v err=%v", ok, err)
+	}
+	expiryDeadline := time.Now().Add(5 * time.Second)
+	for metricValue(t, coord, "vsd_fabric_leases_expired_total") == 0 {
+		if time.Now().After(expiryDeadline) {
+			t.Fatal("doomed worker's lease never expired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, name := range []string{"live-1", "live-2"} {
+		w := &Worker{
+			ID:       name,
+			Client:   &Client{Base: srv.URL},
+			Workload: toyBuild,
+			Poll:     10 * time.Millisecond,
+		}
+		go w.Run(ctx)
+	}
+
+	waitDone(t, coord, id)
+	cancel()
+
+	merged, err := coord.Merged(id)
+	if err != nil {
+		t.Fatalf("merged result: %v", err)
+	}
+	base := singleNode(t, cs)
+	requireIdentical(t, "cluster", base.Fault, merged.Fault)
+
+	if n := metricValue(t, coord, "vsd_fabric_leases_expired_total"); n < 1 {
+		t.Errorf("leases_expired_total = %d, want >= 1 (the doomed worker's)", n)
+	}
+
+	// The wire result renders the same aggregates.
+	res, err := client.Result(context.Background(), id)
+	if err != nil {
+		t.Fatalf("wire result: %v", err)
+	}
+	if res.Completed != base.Fault.Completed || res.Trials != cs.Trials {
+		t.Errorf("wire result completed=%d trials=%d, want %d/%d",
+			res.Completed, res.Trials, base.Fault.Completed, cs.Trials)
+	}
+	for o := fault.Outcome(0); o < fault.NumOutcomes; o++ {
+		if res.Counts[o.String()] != base.Fault.Counts[o] {
+			t.Errorf("wire count %v = %d, want %d", o, res.Counts[o.String()], base.Fault.Counts[o])
+		}
+	}
+}
+
+// TestCoordinatorRestart closes a coordinator mid-campaign and reopens
+// it on the same journal: completed shards must not be re-leased, and
+// the campaign must finish bit-identical to the single-node run.
+func TestCoordinatorRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fabric.journal")
+	cs := toyWireSpec()
+
+	c1, err := NewCoordinator(Config{JournalPath: path, Workload: toyBuild})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	id, err := c1.Submit(cs, 4)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// Complete two shards, then die.
+	doneShards := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		l, ok, err := c1.Lease("a")
+		if err != nil || !ok {
+			t.Fatalf("lease %d: ok=%v err=%v", i, ok, err)
+		}
+		doneShards[l.ShardIndex] = true
+		if accepted, err := c1.Complete(executeLease(t, l, "a")); err != nil || !accepted {
+			t.Fatalf("complete shard %d: accepted=%v err=%v", l.ShardIndex, accepted, err)
+		}
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	c2, err := NewCoordinator(Config{JournalPath: path, Workload: toyBuild})
+	if err != nil {
+		t.Fatalf("restarted coordinator: %v", err)
+	}
+	defer c2.Close()
+	st, err := c2.Status(id)
+	if err != nil {
+		t.Fatalf("status after restart: %v", err)
+	}
+	if st.ShardsDone != 2 || st.TrialsDone != 30 {
+		t.Fatalf("restart replayed %d shards / %d trials done, want 2 / 30", st.ShardsDone, st.TrialsDone)
+	}
+	// The remaining leases must cover exactly the two unfinished shards.
+	for i := 0; i < 2; i++ {
+		l, ok, err := c2.Lease("b")
+		if err != nil || !ok {
+			t.Fatalf("post-restart lease %d: ok=%v err=%v", i, ok, err)
+		}
+		if doneShards[l.ShardIndex] {
+			t.Fatalf("restarted coordinator re-leased completed shard %d", l.ShardIndex)
+		}
+		if accepted, err := c2.Complete(executeLease(t, l, "b")); err != nil || !accepted {
+			t.Fatalf("complete shard %d: accepted=%v err=%v", l.ShardIndex, accepted, err)
+		}
+	}
+	if _, ok, err := c2.Lease("b"); err != nil || ok {
+		t.Fatalf("lease after all shards done: ok=%v err=%v, want no work", ok, err)
+	}
+
+	waitDone(t, c2, id)
+	merged, err := c2.Merged(id)
+	if err != nil {
+		t.Fatalf("merged result: %v", err)
+	}
+	requireIdentical(t, "restarted", singleNode(t, cs).Fault, merged.Fault)
+}
+
+// TestLeaseExpiry: a worker that takes a shard and goes silent loses
+// it — the next asking worker gets the same shard back.
+func TestLeaseExpiry(t *testing.T) {
+	c, err := NewCoordinator(Config{LeaseTTL: 50 * time.Millisecond, Workload: toyBuild})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	defer c.Close()
+	cs := toyWireSpec()
+	if _, err := c.Submit(cs, 2); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	l1, ok, err := c.Lease("silent")
+	if err != nil || !ok {
+		t.Fatalf("lease: ok=%v err=%v", ok, err)
+	}
+	time.Sleep(120 * time.Millisecond) // two TTLs, no heartbeat
+
+	if c.Heartbeat("silent", l1.ID, 3) {
+		t.Error("heartbeat on an expired lease reported alive")
+	}
+	// Both shards are grantable again; one of the two fresh leases must
+	// re-cover the expired shard.
+	got := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		l, ok, err := c.Lease("fresh")
+		if err != nil || !ok {
+			t.Fatalf("re-lease %d: ok=%v err=%v", i, ok, err)
+		}
+		got[l.ShardIndex] = true
+	}
+	if !got[l1.ShardIndex] {
+		t.Errorf("expired shard %d was never re-leased (got %v)", l1.ShardIndex, got)
+	}
+	if n := metricValue(t, c, "vsd_fabric_leases_expired_total"); n < 1 {
+		t.Errorf("leases_expired_total = %d, want >= 1", n)
+	}
+}
+
+// TestWorkStealing: when every shard is leased, an idle worker
+// duplicates the lease with the most remaining trials; whichever copy
+// completes first wins and the duplicate is discarded.
+func TestWorkStealing(t *testing.T) {
+	c, err := NewCoordinator(Config{LeaseTTL: time.Minute, Workload: toyBuild})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	defer c.Close()
+	cs := toyWireSpec()
+	id, err := c.Submit(cs, 2) // shards [0,30) and [30,60)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	la, ok, _ := c.Lease("a")
+	if !ok {
+		t.Fatal("worker a got no first lease")
+	}
+	lb, ok, _ := c.Lease("a")
+	if !ok {
+		t.Fatal("worker a got no second lease")
+	}
+	// a is far along on its first shard, barely started on the second.
+	c.Heartbeat("a", la.ID, 25)
+	c.Heartbeat("a", lb.ID, 5)
+
+	stolen, ok, err := c.Lease("thief")
+	if err != nil || !ok {
+		t.Fatalf("thief lease: ok=%v err=%v", ok, err)
+	}
+	if stolen.ShardIndex != lb.ShardIndex {
+		t.Fatalf("thief got shard %d, want the laggard %d", stolen.ShardIndex, lb.ShardIndex)
+	}
+	if n := metricValue(t, c, "vsd_fabric_leases_stolen_total"); n != 1 {
+		t.Errorf("leases_stolen_total = %d, want 1", n)
+	}
+	// a's own other shard is never offered back to a.
+	if _, ok, _ := c.Lease("a"); ok {
+		t.Error("worker a was offered a duplicate of its own lease")
+	}
+
+	// The straggler and the thief both finish the contested shard; the
+	// first journaled completion wins, the duplicate is discarded.
+	contested := executeLease(t, lb, "a")
+	if accepted, err := c.Complete(contested); err != nil || !accepted {
+		t.Fatalf("first completion: accepted=%v err=%v", accepted, err)
+	}
+	dup := executeLease(t, stolen, "thief")
+	if accepted, err := c.Complete(dup); err != nil || accepted {
+		t.Fatalf("duplicate completion: accepted=%v err=%v, want discarded", accepted, err)
+	}
+	if n := metricValue(t, c, "vsd_fabric_duplicate_results_total"); n != 1 {
+		t.Errorf("duplicate_results_total = %d, want 1", n)
+	}
+
+	if accepted, err := c.Complete(executeLease(t, la, "a")); err != nil || !accepted {
+		t.Fatalf("final completion: accepted=%v err=%v", accepted, err)
+	}
+	waitDone(t, c, id)
+	merged, err := c.Merged(id)
+	if err != nil {
+		t.Fatalf("merged result: %v", err)
+	}
+	requireIdentical(t, "stolen", singleNode(t, cs).Fault, merged.Fault)
+}
+
+// TestShardResultValidation: results that do not tile their window are
+// rejected before they can poison the merge.
+func TestShardResultValidation(t *testing.T) {
+	c, err := NewCoordinator(Config{Workload: toyBuild})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Submit(toyWireSpec(), 2); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	l, ok, _ := c.Lease("a")
+	if !ok {
+		t.Fatal("no lease")
+	}
+	res := executeLease(t, l, "a")
+	res.Recs = res.Recs[:len(res.Recs)-1] // drop one trial
+	if _, err := c.Complete(res); err == nil {
+		t.Error("short shard result accepted")
+	}
+	res2 := executeLease(t, l, "a")
+	res2.Recs[0].Index += 1 // mis-window: first index duplicated with second
+	if _, err := c.Complete(res2); err == nil {
+		t.Error("mis-indexed shard result accepted")
+	}
+}

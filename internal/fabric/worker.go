@@ -1,0 +1,149 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"vsresil/internal/campaign"
+	"vsresil/internal/fault"
+)
+
+// Worker joins a coordinator and executes leased shards through the
+// campaign engine. One Worker runs one shard at a time; its trial
+// parallelism inside the shard comes from the spec's Workers field.
+type Worker struct {
+	// ID names this worker in leases and metrics.
+	ID string
+	// Client reaches the coordinator.
+	Client *Client
+	// Runner executes shards. nil gets a private runner with a small
+	// golden cache — repeated leases of the same campaign skip the
+	// fault-free capture.
+	Runner *campaign.Runner
+	// Workload maps wire specs to workloads (default DefaultWorkload);
+	// must match the coordinator's builder.
+	Workload WorkloadBuilder
+	// Poll is the idle backoff between lease requests when the cluster
+	// has no work (default 500ms).
+	Poll time.Duration
+	// OnLease, if set, observes every granted lease (test hook).
+	OnLease func(l Lease)
+}
+
+// Run pulls leases until ctx is canceled. Transient coordinator errors
+// (it may be restarting) back off and retry; a canceled context is the
+// only way out.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Client == nil {
+		return fmt.Errorf("fabric: worker %q has no client", w.ID)
+	}
+	build := w.Workload
+	if build == nil {
+		build = DefaultWorkload
+	}
+	runner := w.Runner
+	if runner == nil {
+		runner = &campaign.Runner{Goldens: campaign.NewGoldenCache(4)}
+	}
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		l, ok, err := w.Client.Lease(ctx, w.ID)
+		if err != nil || !ok {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			select {
+			case <-time.After(poll):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
+		}
+		if w.OnLease != nil {
+			w.OnLease(l)
+		}
+		w.runLease(ctx, runner, build, l)
+	}
+}
+
+// runLease executes one leased shard and submits the result. Failures
+// are not reported back — the lease simply expires and the shard is
+// reassigned, which is the same path a worker crash takes.
+func (w *Worker) runLease(ctx context.Context, runner *campaign.Runner, build WorkloadBuilder, l Lease) {
+	workload, err := build(l.Spec)
+	if err != nil {
+		return
+	}
+	spec, err := l.Spec.campaignSpec(workload, campaign.Shard{Index: l.ShardIndex, Count: l.ShardCount})
+	if err != nil {
+		return
+	}
+	var done atomic.Int64
+	spec.OnTrial = func(fault.TrialRecord) { done.Add(1) }
+
+	// Heartbeat at TTL/3 so two beats can be lost before the lease
+	// expires. A "lost" answer means the shard completed elsewhere or
+	// the lease was reassigned: abandon the run.
+	leaseCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		interval := l.TTL / 3
+		if interval <= 0 {
+			interval = DefaultLeaseTTL / 3
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-leaseCtx.Done():
+				return
+			case <-t.C:
+				ok, err := w.Client.Heartbeat(leaseCtx, w.ID, l.ID, int(done.Load()))
+				if err == nil && !ok {
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	res, err := runner.Run(leaseCtx, spec)
+	cancel()
+	<-hbDone
+	if err != nil || res == nil {
+		return
+	}
+
+	// Ship back the shard's checkpoint records (plan-indexed) and
+	// whatever SDC outputs the retention policy kept. Everything else
+	// — histograms, curve, crash split — regenerates bit-identically
+	// on the coordinator from these plus the seed.
+	out := ShardResult{
+		Worker:   w.ID,
+		Lease:    l.ID,
+		Campaign: l.Campaign,
+		Shard:    l.ShardIndex,
+		Recs:     make([]fault.TrialRecord, 0, len(res.Fault.Trials)),
+	}
+	for i := range res.Fault.Trials {
+		t := &res.Fault.Trials[i]
+		out.Recs = append(out.Recs, t.Record(l.PlanLo+i))
+		if t.Output != nil {
+			out.SDC = append(out.SDC, SDCOutput{Index: l.PlanLo + i, Data: t.Output})
+		}
+	}
+	// Completion races the coordinator's expiry and any thief; losing
+	// is harmless because every completion of this shard is
+	// bit-identical.
+	w.Client.Complete(ctx, out)
+}

@@ -46,9 +46,15 @@ type journalJob struct {
 // journal serializes appends; a nil *journal (no JournalPath) is a
 // valid no-op sink so in-memory services skip every durability branch.
 type journal struct {
-	mu sync.Mutex
-	f  *os.File
-	w  *bufio.Writer
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	w    *bufio.Writer
+	// appended counts records written since the last compaction; the
+	// service rewrites the journal from live state once it crosses
+	// Config.CompactEvery, bounding replay work however long the
+	// daemon lives.
+	appended int
 }
 
 func openJournal(path string) (*journal, error) {
@@ -56,7 +62,7 @@ func openJournal(path string) (*journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: open journal: %w", err)
 	}
-	return &journal{f: f, w: bufio.NewWriter(f)}, nil
+	return &journal{path: path, f: f, w: bufio.NewWriter(f)}, nil
 }
 
 func (jl *journal) append(rec journalRecord) {
@@ -75,6 +81,48 @@ func (jl *journal) append(rec journalRecord) {
 	jl.w.Write(data)
 	jl.w.WriteByte('\n')
 	jl.w.Flush()
+	jl.appended++
+}
+
+// appendedSinceCompact reports how many records landed since the last
+// rewrite.
+func (jl *journal) appendedSinceCompact() int {
+	if jl == nil {
+		return 0
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.appended
+}
+
+// rewrite atomically replaces the journal with the folded live state
+// and reopens it for appending. An append racing the snapshot may
+// re-land its record after the rewrite; replay dedups trial records by
+// index, so the worst case is a few redundant lines, never lost or
+// double-applied state.
+func (jl *journal) rewrite(recs []journalRecord) error {
+	if jl == nil {
+		return nil
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return nil
+	}
+	jl.w.Flush()
+	if err := writeJournalFile(jl.path, recs); err != nil {
+		return err
+	}
+	jl.f.Close()
+	f, err := os.OpenFile(jl.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		jl.f = nil
+		return fmt.Errorf("service: reopen compacted journal: %w", err)
+	}
+	jl.f = f
+	jl.w = bufio.NewWriter(f)
+	jl.appended = 0
+	return nil
 }
 
 func (jl *journal) job(j *Job) {
@@ -182,6 +230,10 @@ func replayJournal(path string) (jobs []*Job, maxSeq int, err error) {
 		if !j.State.terminal() {
 			j.State = StateQueued
 		}
+		// Runtime compaction can race a checkpoint append and leave a
+		// trial recorded both in the snapshot and after it; the resume
+		// path rejects duplicate indices, so fold them here.
+		j.resume = dedupTrialRecords(j.resume)
 		if j.Spec.Type == JobCampaign && j.Spec.Campaign != nil {
 			j.Progress = Progress{Done: len(j.resume), Total: j.Spec.Campaign.Trials}
 		} else {
@@ -196,9 +248,49 @@ func replayJournal(path string) (jobs []*Job, maxSeq int, err error) {
 	return jobs, maxSeq, nil
 }
 
-// compactJournal rewrites the folded job state to path atomically,
-// dropping superseded records accumulated before the restart.
-func compactJournal(path string, jobs []*Job) error {
+// dedupTrialRecords sorts checkpoint records by plan index and keeps
+// the first occurrence of each.
+func dedupTrialRecords(recs []fault.TrialRecord) []fault.TrialRecord {
+	if len(recs) == 0 {
+		return nil
+	}
+	sort.SliceStable(recs, func(a, b int) bool { return recs[a].Index < recs[b].Index })
+	n := 1
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Index != recs[n-1].Index {
+			recs[n] = recs[i]
+			n++
+		}
+	}
+	return recs[:n]
+}
+
+// snapshotRecords renders jobs back to the minimal journal record set
+// that replays to the same state: one job record each, the latest
+// checkpoints, the state if it moved past queued, and the result.
+// Both the startup compaction and the runtime rewrite produce exactly
+// this shape.
+func snapshotRecords(jobs []*Job) []journalRecord {
+	var recs []journalRecord
+	for _, j := range jobs {
+		recs = append(recs, journalRecord{Op: "job", Job: &journalJob{
+			ID: j.ID, Seq: j.seq, Spec: j.Spec, EnqueuedAt: j.EnqueuedAt,
+		}})
+		if len(j.resume) > 0 {
+			recs = append(recs, journalRecord{Op: "trials", ID: j.ID, Recs: j.resume})
+		}
+		if j.State != StateQueued {
+			recs = append(recs, journalRecord{Op: "state", ID: j.ID, State: j.State, Err: j.Err})
+		}
+		if j.Result != nil {
+			recs = append(recs, journalRecord{Op: "result", ID: j.ID, Result: j.Result})
+		}
+	}
+	return recs
+}
+
+// writeJournalFile writes records to path atomically via a temp file.
+func writeJournalFile(path string, recs []journalRecord) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -206,19 +298,8 @@ func compactJournal(path string, jobs []*Job) error {
 	}
 	w := bufio.NewWriter(f)
 	enc := json.NewEncoder(w)
-	for _, j := range jobs {
-		enc.Encode(journalRecord{Op: "job", Job: &journalJob{
-			ID: j.ID, Seq: j.seq, Spec: j.Spec, EnqueuedAt: j.EnqueuedAt,
-		}})
-		if len(j.resume) > 0 {
-			enc.Encode(journalRecord{Op: "trials", ID: j.ID, Recs: j.resume})
-		}
-		if j.State != StateQueued {
-			enc.Encode(journalRecord{Op: "state", ID: j.ID, State: j.State, Err: j.Err})
-		}
-		if j.Result != nil {
-			enc.Encode(journalRecord{Op: "result", ID: j.ID, Result: j.Result})
-		}
+	for i := range recs {
+		enc.Encode(recs[i])
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
@@ -228,4 +309,10 @@ func compactJournal(path string, jobs []*Job) error {
 		return fmt.Errorf("service: compact journal: %w", err)
 	}
 	return os.Rename(tmp, path)
+}
+
+// compactJournal rewrites the folded job state to path atomically,
+// dropping superseded records accumulated before the restart.
+func compactJournal(path string, jobs []*Job) error {
+	return writeJournalFile(path, snapshotRecords(jobs))
 }

@@ -139,6 +139,7 @@ func (s *Service) execute(ctx context.Context, j *Job) {
 			s.journal.result(j.ID, raw)
 		}
 		s.journal.state(j.ID, state, errMsg)
+		s.maybeCompact()
 	}
 	s.metrics.jobFinished(j.Spec.Type, state, elapsed)
 }
@@ -267,6 +268,7 @@ func (s *Service) runCampaign(ctx context.Context, j *Job) (any, error) {
 	var pendingRecs []fault.TrialRecord
 	flush := func(recs []fault.TrialRecord) {
 		s.journal.trials(j.ID, recs)
+		s.maybeCompact()
 	}
 	onTrial := func(rec fault.TrialRecord) {
 		s.mu.Lock()

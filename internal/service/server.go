@@ -15,6 +15,11 @@ import (
 //	DELETE /v1/jobs/{id}      cancel a queued or running job
 //	GET    /healthz           liveness probe
 //	GET    /metrics           text counters/gauges/histograms
+//
+// When the daemon runs as a fabric coordinator, the cluster API
+// (POST /v1/fabric/lease, /heartbeat, /results, /campaigns — see
+// fabric.Coordinator.Mount) is served from the same mux and the
+// fabric gauges append to /metrics.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -24,6 +29,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.fabric != nil {
+		s.fabric.Mount(mux)
+	}
 	return mux
 }
 
@@ -87,6 +95,9 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.metrics.write(w, s.gauges())
+	if s.fabric != nil {
+		s.fabric.WriteMetrics(w)
+	}
 }
 
 func statusFor(err error) int {

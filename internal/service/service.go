@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"vsresil/internal/campaign"
+	"vsresil/internal/fabric"
 )
 
 // Config parameterizes a Service.
@@ -27,6 +28,15 @@ type Config struct {
 	// (default 25). Smaller loses less work on a crash; larger writes
 	// less.
 	CheckpointEvery int
+	// CompactEvery rewrites the journal from live job state after that
+	// many appended records (default 4096), so a long-lived daemon's
+	// journal stays proportional to its live state instead of its
+	// history. Startup always compacts after replay.
+	CompactEvery int
+	// Fabric, when non-nil, is the campaign-cluster coordinator this
+	// daemon fronts: its lease/heartbeat/result API is mounted next to
+	// the job API and its gauges append to /metrics.
+	Fabric *fabric.Coordinator
 }
 
 // Service is the job queue: it accepts JobSpecs, schedules them by
@@ -54,6 +64,9 @@ type Service struct {
 	// repeated campaigns over the same workload skip the fault-free
 	// capture run.
 	runner *campaign.Runner
+
+	// fabric is the optional cluster coordinator this daemon fronts.
+	fabric *fabric.Coordinator
 }
 
 // Errors the HTTP layer maps to status codes.
@@ -76,10 +89,14 @@ func New(cfg Config) (*Service, error) {
 	if cfg.CheckpointEvery <= 0 {
 		cfg.CheckpointEvery = 25
 	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = 4096
+	}
 	s := &Service{
 		cfg:     cfg,
 		metrics: newMetrics(),
 		jobs:    make(map[string]*Job),
+		fabric:  cfg.Fabric,
 	}
 	s.runner = &campaign.Runner{
 		Goldens:        campaign.NewGoldenCache(maxGoldenCache),
@@ -278,6 +295,25 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		err = cerr
 	}
 	return err
+}
+
+// maybeCompact rewrites the journal from live job state once enough
+// records accumulated since the last compaction. Called from the
+// append-heavy paths; the check is one mutex and an int compare, the
+// rewrite itself is rare.
+func (s *Service) maybeCompact() {
+	if s.journal == nil || s.journal.appendedSinceCompact() < s.cfg.CompactEvery {
+		return
+	}
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].seq < jobs[b].seq })
+	recs := snapshotRecords(jobs)
+	s.mu.Unlock()
+	s.journal.rewrite(recs)
 }
 
 // worker pulls the highest-priority pending job and runs it.
