@@ -48,10 +48,10 @@ fabric-smoke:
 # against the ledger's "before" section. Only the campaign-throughput
 # benchmark gates (>10% regression fails); the micro-benchmarks stay
 # advisory — they are too noisy to block on.
-BENCH_JSON ?= BENCH_5.json
+BENCH_JSON ?= BENCH_7.json
 BENCH_GATE ?= BenchmarkCampaignThroughput
 bench-json:
-	$(GO) test -run '^$$' -bench 'Pipeline|CampaignThroughput' -benchtime 3x . | tee bench.out
+	$(GO) test -run '^$$' -bench 'Pipeline|CampaignThroughput|CompositeTiled|BucketRestore' -benchtime 3x . | tee bench.out
 	$(GO) run ./cmd/benchdiff parse -label after -in bench.out -out $(BENCH_JSON)
 	$(GO) run ./cmd/benchdiff compare -in $(BENCH_JSON) -gate '$(BENCH_GATE)' -threshold 0.10
 	rm -f bench.out

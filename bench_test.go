@@ -11,8 +11,10 @@ import (
 	"vsresil/internal/campaign"
 	"vsresil/internal/energy"
 	"vsresil/internal/experiments"
+	"vsresil/internal/fastpath"
 	"vsresil/internal/fault"
 	"vsresil/internal/probe"
+	"vsresil/internal/stitch"
 	"vsresil/internal/virat"
 	"vsresil/internal/vs"
 )
@@ -215,6 +217,88 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	b.StopTimer()
 	trials := float64(b.N) * trialsPerCampaign
 	b.ReportMetric(trials/b.Elapsed().Seconds(), "trials/s")
+}
+
+// BenchmarkCompositeTiled measures the compositing stage alone — the
+// pipeline's hottest kernel — with the banded tile kernels on and off,
+// on the fault-free Nop path where tiling applies. The align state is
+// built once outside the timer; each iteration renders the panoramas
+// from scratch. Advisory only (see Makefile): single-core runners
+// collapse both variants to one band.
+func BenchmarkCompositeTiled(b *testing.B) {
+	p := virat.BenchScale()
+	p.Frames = 12
+	frames := virat.Input2(p).Frames()
+	st := stitch.New(stitch.DefaultConfig())
+	feats := make([]stitch.FrameFeatures, len(frames))
+	for i, f := range frames {
+		feats[i] = st.DetectFrame(f, probe.Nop{})
+	}
+	a := st.BeginAlign(frames, probe.Nop{})
+	for a.Next < len(frames) {
+		st.AlignStep(feats, &a, probe.Nop{})
+	}
+	for _, tiled := range []bool{true, false} {
+		name := "tiled"
+		if !tiled {
+			name = "rowwise"
+		}
+		b.Run(name, func(b *testing.B) {
+			defer fastpath.SetTiling(true)
+			fastpath.SetTiling(tiled)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Composite(frames, &a, probe.Nop{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBucketRestore measures what checkpoint-bucket batching buys
+// on the campaign engine itself: the same 20-trial campaign executed
+// with the bucket scheduler (one checkpoint restore per bucket, plus
+// the suffix cutoffs it enables) versus classic per-trial restores.
+// Advisory only — the headline gate stays BenchmarkCampaignThroughput.
+func BenchmarkBucketRestore(b *testing.B) {
+	p := virat.TestScale()
+	p.Frames = 8
+	frames := virat.Input2(p).Frames()
+	app := vs.New(vs.DefaultConfig(vs.AlgVS), len(frames))
+	workload := campaign.NewStagedWorkload("bench", "", app.RunEncoded(frames), app.Staged(frames))
+	const trialsPerCampaign = 20
+	golden, err := fault.CaptureGoldenStaged(workload.Staged)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var runner campaign.Runner
+	for _, batched := range []bool{true, false} {
+		name := "batched"
+		if !batched {
+			name = "classic"
+		}
+		b.Run(name, func(b *testing.B) {
+			defer fastpath.SetBatching(true)
+			fastpath.SetBatching(batched)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := runner.RunSharded(context.Background(), campaign.Spec{
+					Workload: workload, Class: fault.GPR, Region: fault.RAny,
+					Trials: trialsPerCampaign, Seed: uint64(i),
+					Golden: golden,
+				}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Fault.Completed != trialsPerCampaign {
+					b.Fatalf("campaign completed %d/%d trials", res.Fault.Completed, trialsPerCampaign)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblationBlendModes compares the two canvas blend modes'

@@ -149,6 +149,10 @@ func run() error {
 	fmt.Printf("register coverage chi2 vs uniform: %.1f (expect ~%d)\n",
 		res.RegHist.ChiSquareUniform(), fault.NumRegisters-1)
 	fmt.Printf("rate-curve knee: ~%d injections\n", res.Curve.Knee(0.02))
+	if s := res.Sched; s.Batched > 0 {
+		fmt.Printf("bucket scheduler: %d trials in %d checkpoint buckets (%d restores saved, %d early-masked, %d converged)\n",
+			s.Batched, s.Buckets, s.RestoresSaved, s.EarlyMasks, s.Converged)
+	}
 	fmt.Printf("campaign wall time: %s (%.1f trials/s)\n",
 		crun.Elapsed.Round(time.Millisecond), float64(crun.Executed)/crun.Elapsed.Seconds())
 

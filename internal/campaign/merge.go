@@ -138,6 +138,10 @@ func Merge(parts ...*Result) (*Result, error) {
 	trials := make([]fault.Trial, 0, planTrials)
 	for _, p := range sorted {
 		trials = append(trials, p.Fault.Trials...)
+		// Scheduler statistics are additive across disjoint shard
+		// windows (they describe how trials were executed, not what
+		// they computed, so they carry no bit-identity obligation).
+		fres.MergeSched(p.Fault)
 	}
 	fres.Trials = trials
 	for i := range trials {
@@ -223,6 +227,7 @@ func partialMerge(spec Spec, parts []*Result) *Result {
 			fres.BitHist.Counts[i] += n
 		}
 		fres.Trials = append(fres.Trials, p.Fault.Trials...)
+		fres.MergeSched(p.Fault)
 		executed += p.Executed
 	}
 

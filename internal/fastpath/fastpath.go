@@ -41,3 +41,42 @@ func PrefixSkip() bool { return prefixSkip }
 // called concurrently with a running campaign; it exists for the
 // equivalence guard tests and A/B benchmarks.
 func SetPrefixSkip(v bool) { prefixSkip = v }
+
+// batching gates the checkpoint-bucket campaign scheduler: when on,
+// trials that resume from the same golden stage boundary are grouped
+// into buckets that share one restored checkpoint view, and the
+// campaign applies the resolved-plan suffix cutoffs (early-mask and
+// boundary convergence) that the bucket scheduler's soundness argument
+// covers. Results are accumulated in plan-index order either way, so
+// the switch carries the usual obligation: campaign results must be
+// bit-identical with batching on or off.
+var batching = true
+
+// Batching reports whether campaigns schedule trials in checkpoint
+// buckets (with the associated suffix cutoffs).
+func Batching() bool { return batching }
+
+// SetBatching switches between the bucket scheduler and the classic
+// one-trial-at-a-time loop. It must not be called concurrently with a
+// running campaign; it exists for the equivalence matrix tests and A/B
+// benchmarks.
+func SetBatching(v bool) { batching = v }
+
+// tiling gates the devirtualized suffix kernels: warp scanline
+// projection, canvas blending and canvas resolve run their tap-free
+// clean mirrors — row-tiled across goroutines when GOMAXPROCS allows —
+// whenever the machine proves no armed plan can fire inside the kernel
+// (fault.Machine.CanSkipTaps), with the tap counters bulk-advanced by
+// the kernel's exact footprint. Rows are partitioned disjointly, so
+// output bytes are identical for any tile count including one.
+var tiling = true
+
+// Tiling reports whether inert kernel invocations may run the tiled
+// clean mirrors instead of the instrumented loops.
+func Tiling() bool { return tiling }
+
+// SetTiling forces every kernel invocation through the instrumented
+// loop (false) or re-enables the tiled clean mirrors (true). Like the
+// other gates it must not be toggled during a run; it exists for the
+// equivalence matrix tests and A/B benchmarks.
+func SetTiling(v bool) { tiling = v }

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"vsresil/internal/fastpath"
 	"vsresil/internal/stats"
@@ -100,7 +102,16 @@ type Config struct {
 	Window uint64
 	// Seed makes the campaign reproducible.
 	Seed uint64
-	// Workers bounds campaign parallelism (0 = GOMAXPROCS).
+	// Workers bounds the number of concurrent trial workers
+	// (0 = GOMAXPROCS). The effective count is clamped to the number
+	// of pending trials — plans not already satisfied by Resume
+	// records — so a mostly-resumed campaign never spawns idle
+	// goroutines. Workers set inter-trial parallelism only; it
+	// composes with bucket batching (trials resuming from the same
+	// golden checkpoint are fed to workers as bucket chunks, see
+	// fastpath.Batching) and with intra-trial kernel tiling
+	// (fastpath.Tiling), and results are bit-identical for every
+	// worker count either way.
 	Workers int
 	// StepFactor sizes the hang budget as a multiple of golden steps
 	// (0 = DefaultStepFactor).
@@ -265,6 +276,49 @@ func (t *Trial) Record(index int) TrialRecord {
 	return TrialRecord{Index: index, Outcome: t.Outcome, Crash: t.Crash, Landed: t.Landed}
 }
 
+// SchedStats reports how the campaign executor organized its trials.
+// The numbers are purely observational — scheduling never changes a
+// campaign observable — and deterministic in the Config (never in
+// worker timing): the bucket decomposition depends only on the plan
+// space and the golden checkpoint stream, and the cutoff counts only
+// on the per-plan execution.
+type SchedStats struct {
+	// Buckets is the number of distinct checkpoint buckets scheduled;
+	// Batched is the number of trials they covered. Trials whose site
+	// precedes the first boundary (or campaigns without batching) run
+	// unbatched and appear in neither.
+	Buckets int
+	Batched int
+	// RestoresSaved is the checkpoint restores amortized away by
+	// batching: Batched trials shared Buckets restored views instead
+	// of restoring one each.
+	RestoresSaved int
+	// BucketSizes is the trials-per-bucket histogram, in checkpoint
+	// (execution) order.
+	BucketSizes []int
+	// EarlyMasks counts trials abandoned at liveness-window expiry
+	// (the flip conclusively missed, so the suffix is the golden run);
+	// Converged counts trials abandoned at a later stage boundary
+	// whose counters and state had re-joined the golden run bit-exactly.
+	// Both classify as Mask, exactly as running the suffix would.
+	EarlyMasks int
+	Converged  int
+}
+
+// merge folds another run's scheduler stats into s (shard merges).
+func (s *SchedStats) merge(o SchedStats) {
+	s.Buckets += o.Buckets
+	s.Batched += o.Batched
+	s.RestoresSaved += o.RestoresSaved
+	s.BucketSizes = append(s.BucketSizes, o.BucketSizes...)
+	s.EarlyMasks += o.EarlyMasks
+	s.Converged += o.Converged
+}
+
+// MergeSched accumulates another result's scheduler statistics; the
+// campaign engine's shard merge calls this alongside Accumulate.
+func (r *Result) MergeSched(o *Result) { r.Sched.merge(o.Sched) }
+
 // Result aggregates a campaign.
 type Result struct {
 	Config Config
@@ -294,6 +348,9 @@ type Result struct {
 	// from a checkpoint; it equals Config.Trials unless the campaign
 	// was interrupted.
 	Completed int
+	// Sched reports how the executor scheduled this run's trials
+	// (bucket decomposition, restores amortized, suffix cutoffs).
+	Sched SchedStats
 }
 
 // Rate returns the fraction of trials with the given outcome.
@@ -466,14 +523,6 @@ func RunCampaign(ctx context.Context, cfg Config, app App) (*Result, error) {
 	}
 	plans = plans[cfg.PlanOffset : cfg.PlanOffset+cfg.Trials]
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Trials {
-		workers = cfg.Trials
-	}
-
 	trials := make([]Trial, cfg.Trials)
 	done := make([]bool, cfg.Trials)
 	for _, rec := range cfg.Resume {
@@ -499,82 +548,192 @@ func RunCampaign(ctx context.Context, cfg Config, app App) (*Result, error) {
 		done[local] = true
 	}
 
-	// keepOutput makes runTrial hold on to SDC output bytes; the
-	// post-trial hook below decides whether they are streamed, retained
-	// or dropped once the cap is reached.
-	keepOutput := cfg.KeepSDCOutputs || cfg.OnSDCOutput != nil
+	pending := make([]int, 0, cfg.Trials)
+	for i := 0; i < cfg.Trials; i++ {
+		if !done[i] {
+			pending = append(pending, i)
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Never spawn idle goroutines: a mostly-resumed campaign has fewer
+	// pending plans than workers.
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	// Bucket batching groups the pending plans by the checkpoint they
+	// resume from, so each bucket restores/prepares the shared boundary
+	// view once; the suffix cutoffs ride on the same gate. Scheduling
+	// stays an implementation detail: trials write their own result
+	// slots and the final accumulation below runs in plan-index order,
+	// so shard/merge/journal-resume observables are bit-identical with
+	// batching on or off.
+	batch := skip && fastpath.Batching()
+	var bapp BatchStagedApp
+	if cfg.Staged != nil {
+		bapp, _ = cfg.Staged.(BatchStagedApp)
+	}
+	var sched SchedStats
+	var jobs []trialBatch
+	if batch {
+		byCp := make(map[int][]int)
+		for _, i := range pending {
+			ci := golden.CheckpointIndexFor(plans[i])
+			byCp[ci] = append(byCp[ci], i)
+		}
+		cpIdxs := make([]int, 0, len(byCp))
+		for ci := range byCp {
+			cpIdxs = append(cpIdxs, ci)
+		}
+		sort.Ints(cpIdxs)
+		// Large buckets are fed to workers in chunks so one bucket
+		// cannot serialize the pool (and cancellation stays responsive);
+		// chunks of a bucket still share its once-per-bucket prepared
+		// view.
+		chunk := 1
+		if workers > 0 {
+			chunk = (len(pending) + workers*4 - 1) / (workers * 4)
+		}
+		if chunk > maxBucketChunk {
+			chunk = maxBucketChunk
+		}
+		if chunk < 1 {
+			chunk = 1
+		}
+		for _, ci := range cpIdxs {
+			idxs := byCp[ci]
+			var b *schedBucket
+			if ci >= 0 {
+				b = &schedBucket{cp: &golden.Checkpoints[ci], cpIdx: ci}
+				sched.Buckets++
+				sched.Batched += len(idxs)
+				sched.BucketSizes = append(sched.BucketSizes, len(idxs))
+			}
+			for lo := 0; lo < len(idxs); lo += chunk {
+				hi := lo + chunk
+				if hi > len(idxs) {
+					hi = len(idxs)
+				}
+				jobs = append(jobs, trialBatch{bucket: b, idxs: idxs[lo:hi]})
+			}
+		}
+		sched.RestoresSaved = sched.Batched - sched.Buckets
+	} else {
+		for lo := 0; lo < len(pending); lo++ {
+			jobs = append(jobs, trialBatch{idxs: pending[lo : lo+1]})
+		}
+	}
+
+	exec := &trialExec{
+		budget:    budget,
+		goldenOut: goldenOut,
+		// keepSDC makes the trial hold on to SDC output bytes; the
+		// post-trial hook below decides whether they are streamed,
+		// retained or dropped once the cap is reached.
+		keepSDC: cfg.KeepSDCOutputs || cfg.OnSDCOutput != nil,
+		app:     app,
+		staged:  cfg.Staged,
+		golden:  golden,
+		// The suffix cutoffs share the batching gate: both are executor
+		// optimizations whose soundness argument (resolved plan ⇒ golden
+		// suffix) is documented with the bucket scheduler, and turning
+		// the gate off restores classic trial-at-a-time execution.
+		earlyMask: fastpath.Batching(),
+	}
+	if batch {
+		exec.bapp = bapp
+	}
+
 	var hookMu sync.Mutex // serializes OnTrial/OnSDCOutput and cap accounting
 	// keptSDC tracks the local indices of retained SDC outputs while
 	// MaxSDCOutputs caps them; the eviction below converges on the
 	// lowest-index SDC trials whatever order workers complete in.
 	var keptSDC []int
-	idxCh := make(chan int)
+	jobCh := make(chan trialBatch)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idxCh {
+			for job := range jobCh {
 				var cp *Checkpoint
-				if skip {
-					cp = golden.CheckpointFor(plans[i])
+				var prep any
+				cpIdx := -1
+				if b := job.bucket; b != nil {
+					cp, cpIdx = b.cp, b.cpIdx
+					if exec.bapp != nil {
+						// Once per bucket, not per chunk or trial: the
+						// first chunk scheduled prepares the shared view,
+						// later chunks of the same bucket reuse it.
+						b.prepOnce.Do(func() { b.prep = exec.bapp.PrepareResume(cp.State) })
+						prep = b.prep
+					}
 				}
-				t := runTrial(plans[i], budget, goldenOut, keepOutput, app, cfg.Staged, cp)
-				hookMu.Lock()
-				if t.Output != nil {
-					switch {
-					case cfg.OnSDCOutput != nil:
-						cfg.OnSDCOutput(t.Record(cfg.PlanOffset+i), t.Output)
-						t.Output = nil
-					case cfg.MaxSDCOutputs > 0:
-						if len(keptSDC) < cfg.MaxSDCOutputs {
-							keptSDC = append(keptSDC, i)
-						} else {
-							// Cap reached: evict the highest retained
-							// index if this trial precedes it, else drop
-							// this trial's output.
-							hi := 0
-							for j := 1; j < len(keptSDC); j++ {
-								if keptSDC[j] > keptSDC[hi] {
-									hi = j
-								}
-							}
-							if i < keptSDC[hi] {
-								trials[keptSDC[hi]].Output = nil
-								keptSDC[hi] = i
+				for _, i := range job.idxs {
+					tcp := cp
+					if job.bucket == nil && skip {
+						tcp = golden.CheckpointFor(plans[i])
+					}
+					t := exec.run(plans[i], tcp, cpIdx, prep)
+					hookMu.Lock()
+					if t.Output != nil {
+						switch {
+						case cfg.OnSDCOutput != nil:
+							cfg.OnSDCOutput(t.Record(cfg.PlanOffset+i), t.Output)
+							t.Output = nil
+						case cfg.MaxSDCOutputs > 0:
+							if len(keptSDC) < cfg.MaxSDCOutputs {
+								keptSDC = append(keptSDC, i)
 							} else {
-								t.Output = nil
+								// Cap reached: evict the highest retained
+								// index if this trial precedes it, else drop
+								// this trial's output.
+								hi := 0
+								for j := 1; j < len(keptSDC); j++ {
+									if keptSDC[j] > keptSDC[hi] {
+										hi = j
+									}
+								}
+								if i < keptSDC[hi] {
+									trials[keptSDC[hi]].Output = nil
+									keptSDC[hi] = i
+								} else {
+									t.Output = nil
+								}
 							}
 						}
 					}
+					trials[i] = t
+					done[i] = true
+					if cfg.OnTrial != nil {
+						cfg.OnTrial(t.Record(cfg.PlanOffset + i))
+					}
+					hookMu.Unlock()
 				}
-				trials[i] = t
-				done[i] = true
-				if cfg.OnTrial != nil {
-					cfg.OnTrial(t.Record(cfg.PlanOffset + i))
-				}
-				hookMu.Unlock()
 			}
 		}()
 	}
 	var ctxErr error
 feed:
-	for i := 0; i < cfg.Trials; i++ {
-		if done[i] {
-			continue // completed by the run this one resumes
-		}
+	for _, job := range jobs {
 		select {
-		case idxCh <- i:
+		case jobCh <- job:
 		case <-ctx.Done():
 			ctxErr = ctx.Err()
 			break feed
 		}
 	}
-	close(idxCh)
+	close(jobCh)
 	wg.Wait()
+	sched.EarlyMasks = int(exec.earlyMasks.Load())
+	sched.Converged = int(exec.converged.Load())
 
 	res := NewResult(cfg, goldenOut, golden.Steps, totalTaps)
 	res.Trials = trials
+	res.Sched = sched
 	for i := range trials {
 		if done[i] {
 			res.Accumulate(&trials[i])
@@ -586,24 +745,89 @@ feed:
 	return res, nil
 }
 
-// runTrial executes one injection and classifies it, recovering panics
-// the way AFI's Fault Monitor catches signals. keepSDC retains the
+// maxBucketChunk caps how many trials one channel send hands a worker,
+// keeping cancellation responsive even when one bucket dominates the
+// campaign (the composite bucket typically holds over a third of all
+// plans).
+const maxBucketChunk = 16
+
+// schedBucket is one checkpoint bucket of the batched schedule: the
+// shared golden boundary plus the once-per-bucket prepared view.
+type schedBucket struct {
+	cp       *Checkpoint
+	cpIdx    int
+	prepOnce sync.Once
+	prep     any
+}
+
+// trialBatch is one unit of worker work: a chunk of plan indices
+// sharing a resume checkpoint (bucket == nil for unbatched trials,
+// which resolve their checkpoint individually).
+type trialBatch struct {
+	bucket *schedBucket
+	idxs   []int
+}
+
+// trialExec carries the per-campaign invariants of trial execution so
+// workers share one copy; the atomic counters fold into SchedStats
+// after the pool drains.
+type trialExec struct {
+	budget    uint64
+	goldenOut []byte
+	keepSDC   bool
+	app       App
+	staged    StagedApp
+	bapp      BatchStagedApp // non-nil only when bucket batching is live
+	golden    *GoldenRun
+	earlyMask bool
+
+	earlyMasks atomic.Int64
+	converged  atomic.Int64
+}
+
+// run executes one injection and classifies it, recovering panics the
+// way AFI's Fault Monitor catches signals. keepSDC retains the
 // corrupted output bytes of SDC trials for the caller to stream or
 // store.
 //
 // When cp is non-nil the trial does not execute the whole application:
 // the machine's tap counters are fast-forwarded to the checkpoint's
-// and staged.Resume executes only the stages past the boundary. The
+// and the staged app executes only the stages past the boundary. The
 // skipped prefix lies strictly before the plan's site in every
 // counter the plan reads, so it could neither fire, resolve, hang nor
 // crash there — its effects are exactly the golden snapshot the trial
 // restores, and the classification below is unchanged.
-func runTrial(plan Plan, budget uint64, goldenOut []byte, keepSDC bool, app App, staged StagedApp, cp *Checkpoint) (trial Trial) {
+//
+// Two suffix cutoffs ride on the batching gate, both classifying
+// without finishing the run:
+//
+//   - Early mask: when the plan's window expires without an injection,
+//     every tap it observed was an identity pass-through, so the whole
+//     run is the golden run. The machine raises maskResolved and the
+//     trial is classified Mask with Landed=false — exactly what running
+//     to completion would record.
+//   - Boundary convergence: once the plan is resolved (fired or
+//     expired), if a later stage boundary is reached with tap counters
+//     equal to the golden checkpoint's and bit-equal state, the
+//     remaining suffix is deterministically the golden suffix. The
+//     guard fires, the app abandons the run, and the trial is
+//     classified Mask with Landed=m.Injected() — again identical to a
+//     full run (a landed injection whose effects died before the
+//     boundary is a Mask either way).
+func (e *trialExec) run(plan Plan, cp *Checkpoint, cpIdx int, prep any) (trial Trial) {
 	trial.Plan = plan
-	m := NewWithPlan(plan, budget)
+	m := NewWithPlan(plan, e.budget)
+	if e.earlyMask {
+		m.EnableEarlyMask()
+	}
 	defer func() {
 		trial.Landed = m.Injected()
 		if r := recover(); r != nil {
+			if _, ok := r.(maskResolved); ok {
+				trial.Outcome = OutcomeMask
+				e.earlyMasks.Add(1)
+				return
+			}
 			if h, ok := r.(hangError); ok {
 				trial.Outcome = OutcomeHang
 				trial.Err = h
@@ -625,11 +849,39 @@ func runTrial(plan Plan, budget uint64, goldenOut []byte, keepSDC bool, app App,
 	}()
 	var out []byte
 	var err error
-	if cp != nil {
+	switch {
+	case cp != nil && e.bapp != nil:
 		m.SeedCounters(cp.Counters)
-		out, err = staged.Resume(m, cp.State)
-	} else {
-		out, err = app(m)
+		// cursor walks the golden checkpoint stream in lockstep with the
+		// boundaries the resumed suffix crosses; a name mismatch means
+		// the injection perturbed control flow enough to change the
+		// boundary sequence, after which realignment is impossible and
+		// the guard disables itself for the rest of the trial.
+		cursor := cpIdx + 1
+		guard := func(name string, state any) bool {
+			if !m.Resolved() || cursor >= len(e.golden.Checkpoints) {
+				return false
+			}
+			gcp := &e.golden.Checkpoints[cursor]
+			if gcp.Name != name {
+				cursor = len(e.golden.Checkpoints)
+				return false
+			}
+			cursor++
+			return m.Counters() == gcp.Counters && e.bapp.StateEqual(gcp.State, state)
+		}
+		var conv bool
+		out, conv, err = e.bapp.ResumeGuarded(m, cp.State, prep, guard)
+		if conv && err == nil {
+			trial.Outcome = OutcomeMask
+			e.converged.Add(1)
+			return trial
+		}
+	case cp != nil:
+		m.SeedCounters(cp.Counters)
+		out, err = e.staged.Resume(m, cp.State)
+	default:
+		out, err = e.app(m)
 	}
 	if err != nil {
 		trial.Outcome = OutcomeCrash
@@ -637,12 +889,12 @@ func runTrial(plan Plan, budget uint64, goldenOut []byte, keepSDC bool, app App,
 		trial.Err = err
 		return trial
 	}
-	if bytes.Equal(out, goldenOut) {
+	if bytes.Equal(out, e.goldenOut) {
 		trial.Outcome = OutcomeMask
 		return trial
 	}
 	trial.Outcome = OutcomeSDC
-	if keepSDC {
+	if e.keepSDC {
 		trial.Output = out
 	}
 	return trial

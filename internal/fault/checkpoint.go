@@ -111,6 +111,43 @@ type StagedApp interface {
 	Resume(m *Machine, state any) ([]byte, error)
 }
 
+// BoundaryGuard is the convergence probe a batched campaign hands to
+// ResumeGuarded: the app calls it at every stage boundary it crosses
+// after the resume point, before the boundary's first tap, with the
+// boundary's label and current state. A true return means the trial
+// has provably re-joined the golden run — the app abandons the suffix
+// and the campaign classifies the trial from the golden output.
+type BoundaryGuard func(name string, state any) bool
+
+// BatchStagedApp extends StagedApp for checkpoint-bucket campaigns:
+// per-bucket restore amortization and boundary-convergence cutoffs.
+// The equivalence obligation extends correspondingly — for any plan,
+// ResumeGuarded must classify exactly as Resume run to completion
+// would, whatever the guard decides.
+type BatchStagedApp interface {
+	StagedApp
+	// PrepareResume is called once per checkpoint bucket with the
+	// boundary's shared state and returns an immutable view every
+	// ResumeGuarded in the bucket may consume (e.g. precomputed
+	// composite canvas bounds, which carry no taps and are identical
+	// across the bucket's trials). It may return nil when the boundary
+	// offers nothing to amortize.
+	PrepareResume(state any) any
+	// ResumeGuarded is Resume plus the bucket seam: prep is the shared
+	// PrepareResume view (nil when absent) and guard, when non-nil, is
+	// consulted at each later stage boundary; if it fires the app stops
+	// and returns converged=true with a nil output. state and prep are
+	// shared across trials and must not be mutated.
+	ResumeGuarded(m *Machine, state, prep any, guard BoundaryGuard) (out []byte, converged bool, err error)
+	// StateEqual reports whether two resumable states of the same
+	// boundary are bit-equal — floating-point fields compared on their
+	// IEEE-754 bits, so +0/-0 and NaN payload differences count as
+	// divergence. It backs the convergence guard's soundness: equal
+	// counters + bit-equal state + a resolved plan imply the remaining
+	// suffix is the golden suffix.
+	StateEqual(a, b any) bool
+}
+
 // CaptureGoldenStaged executes one fault-free run of the staged app,
 // recording a checkpoint at every stage boundary. The returned golden
 // run carries everything CaptureGolden records plus the checkpoint
@@ -138,13 +175,20 @@ func CaptureGoldenStaged(sa StagedApp) (*GoldenRun, error) {
 // state is bit-identical to the golden snapshot. Returns nil when the
 // site precedes the first boundary (or no checkpoints were recorded).
 func (g *GoldenRun) CheckpointFor(p Plan) *Checkpoint {
+	if n := g.CheckpointIndexFor(p); n >= 0 {
+		return &g.Checkpoints[n]
+	}
+	return nil
+}
+
+// CheckpointIndexFor returns the index of the checkpoint CheckpointFor
+// would resume plan p from, or -1 when the site precedes the first
+// boundary. The bucket scheduler groups plans by this index.
+func (g *GoldenRun) CheckpointIndexFor(p Plan) int {
 	// Boundary counters are monotone in capture order, so the viable
 	// prefix of the checkpoint stream is contiguous.
 	n := sort.Search(len(g.Checkpoints), func(i int) bool {
 		return g.Checkpoints[i].Counters.For(p.Class, p.Region) > p.Site
 	})
-	if n == 0 {
-		return nil
-	}
-	return &g.Checkpoints[n-1]
+	return n - 1
 }

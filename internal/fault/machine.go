@@ -140,6 +140,14 @@ func (h hangError) Error() string {
 	return fmt.Sprintf("fault: step budget exhausted after %d steps", h.steps)
 }
 
+// maskResolved is the sentinel panic value raised by the early-mask
+// cutoff: the plan's liveness window expired without the flip landing
+// on a live value, so every tap so far returned its input unchanged
+// and the rest of the run is provably the golden run. The trial runner
+// maps it to OutcomeMask with Landed=false — exactly what running the
+// suffix to completion would classify.
+type maskResolved struct{}
+
 // Machine carries fault-injection state and operation accounting
 // through one run of the application — end to end for golden captures,
 // or from a restored stage boundary onward for campaign trials that
@@ -178,6 +186,12 @@ type Machine struct {
 	armedGPR bool
 	armedFPR bool
 	injected bool // a bit was actually flipped
+
+	// earlyMask makes a window expiry without injection abandon the
+	// run via the maskResolved sentinel instead of executing the
+	// (provably golden) suffix. Only campaign trial machines enable it;
+	// see EnableEarlyMask.
+	earlyMask bool
 
 	ops [NumRegions][NumOpClasses]uint64
 
@@ -233,6 +247,106 @@ func (m *Machine) Injected() bool {
 		return false
 	}
 	return m.injected
+}
+
+// Resolved reports that no armed plan remains: the flip either landed
+// (Injected) or its liveness window conclusively expired. Golden
+// machines (no plan) are resolved from the start. From a resolved
+// machine's point of view every future tap returns its input
+// unchanged, which is what licenses the inert kernel fast path.
+func (m *Machine) Resolved() bool {
+	if m == nil {
+		return true
+	}
+	return !m.armedGPR && !m.armedFPR
+}
+
+// EnableEarlyMask arms the resolved-plan cutoff: if the plan's window
+// expires without the flip landing, the machine abandons the run (via
+// an internal sentinel panic the campaign runner classifies) instead
+// of executing the suffix. The cutoff is sound exactly because a
+// never-landed plan leaves every tapped value untouched: the run's
+// dataflow is the golden run's, its output would compare equal, and
+// the hang budget (a multiple of golden steps) cannot expire on the
+// golden path. Campaign trial machines enable it behind the
+// fastpath.Batching gate; machines whose ops/taps are read to
+// completion (golden captures, meters) must not.
+func (m *Machine) EnableEarlyMask() {
+	if m != nil {
+		m.earlyMask = true
+	}
+}
+
+// CanSkipTaps reports whether a kernel about to execute at most span
+// taps may run tap-free: no armed plan site is reachable within the
+// span (so no tap could fire, arm-check or disarm) and the hang budget
+// cannot expire inside it. span's class and region counters must be
+// upper bounds on the kernel's tap footprint; Steps must bound the
+// total. Callers that take the skip must afterwards bulk-advance the
+// counters by the kernel's exact footprint with AdvanceTaps, so that
+// every later tap indexes the site space exactly as if the kernel had
+// executed its instrumented loop.
+func (m *Machine) CanSkipTaps(span TapCounters) bool {
+	if m == nil {
+		return true
+	}
+	if m.steps+span.Steps > m.stepLimit {
+		return false
+	}
+	if m.armedGPR {
+		p := m.plan
+		scoped, need := m.gprCount, span.GPR
+		if p.Region != RAny {
+			scoped, need = m.regionGPR[p.Region], span.RegionGPR[p.Region]
+		}
+		// All in-kernel tap indices are scoped..scoped+need-1; they stay
+		// strictly below the site iff scoped+need <= Site. (An already
+		// expired window fails this too — the next in-region tap must
+		// run instrumented so it performs the disarm.)
+		if scoped+need > p.Site {
+			return false
+		}
+	}
+	if m.armedFPR {
+		p := m.plan
+		scoped, need := m.fprCount, span.FPR
+		if p.Region != RAny {
+			scoped, need = m.regionFPR[p.Region], span.RegionFPR[p.Region]
+		}
+		if scoped+need > p.Site {
+			return false
+		}
+	}
+	return true
+}
+
+// AdvanceTaps bulk-advances the machine's tap counters by span — the
+// exact footprint of a kernel that ran tap-free after CanSkipTaps.
+// Register attribution hashes whole-program class counters and plan
+// sites index scoped counters, so advancing all families exactly keeps
+// every subsequent tap bit-identical to the instrumented execution.
+func (m *Machine) AdvanceTaps(span TapCounters) {
+	if m == nil {
+		return
+	}
+	m.steps += span.Steps
+	m.gprCount += span.GPR
+	m.fprCount += span.FPR
+	for r := range m.regionGPR {
+		m.regionGPR[r] += span.RegionGPR[r]
+		m.regionFPR[r] += span.RegionFPR[r]
+	}
+}
+
+// OpsIn records n operations of class c in region r regardless of the
+// current region — the bulk-accounting entry for inert kernels, whose
+// instrumented loops would have attributed per-tap ops to the regions
+// they swap through.
+func (m *Machine) OpsIn(r Region, c OpClass, n uint64) {
+	if m == nil || r >= NumRegions || c >= NumOpClasses {
+		return
+	}
+	m.ops[r][c] += n
 }
 
 // GPRTaps returns the number of GPR-class taps executed.
@@ -372,6 +486,9 @@ func (m *Machine) tapGPR(v uint64) uint64 {
 	}
 	if site >= p.Site+p.Window {
 		m.armedGPR = false // register rewritten or dead: fault masked
+		if m.earlyMask {
+			panic(maskResolved{})
+		}
 		return v
 	}
 	if int(stats.Hash64(idx)%NumRegisters) != p.Reg {
@@ -405,6 +522,9 @@ func (m *Machine) tapFPR(bits uint64) uint64 {
 	}
 	if site >= p.Site+p.Window {
 		m.armedFPR = false
+		if m.earlyMask {
+			panic(maskResolved{})
+		}
 		return bits
 	}
 	if int(stats.Hash64(idx^0xF0F0)%NumRegisters) != p.Reg {

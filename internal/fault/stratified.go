@@ -197,8 +197,9 @@ func RunStratifiedCampaign(ctx context.Context, cfg StratifiedConfig, app App) (
 	}
 
 	outcomes := make([]Outcome, len(jobs))
+	exec := &trialExec{budget: budget, goldenOut: goldenOut, app: app}
 	if err := runJobs(ctx, cfg.Workers, len(jobs), func(i int) {
-		trial := runTrial(jobs[i].plan, budget, goldenOut, false, app, nil, nil)
+		trial := exec.run(jobs[i].plan, nil, -1, nil)
 		outcomes[i] = trial.Outcome
 	}); err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"vsresil/internal/fault"
 	"vsresil/internal/probe"
 )
 
@@ -31,6 +32,17 @@ type metrics struct {
 	trialsTotal   uint64
 	goldenHits    uint64
 	goldenMisses  uint64
+
+	// bucket scheduler accumulators fed by fault.SchedStats after each
+	// campaign run; bucketMax is the largest single bucket seen, the
+	// histogram's interesting tail for a text exposition.
+	bucketCampaigns     uint64
+	bucketsTotal        uint64
+	bucketTrialsTotal   uint64
+	bucketRestoresSaved uint64
+	bucketMax           int
+	bucketEarlyMasks    uint64
+	bucketConverged     uint64
 
 	// trialTimes is a per-second ring of trial completions backing the
 	// trials/sec gauge.
@@ -128,6 +140,24 @@ func (m *metrics) stagesDone(snap []probe.RegionStats) {
 	}
 }
 
+// bucketsDone folds one campaign's scheduler statistics into the
+// service-lifetime bucket gauges.
+func (m *metrics) bucketsDone(s fault.SchedStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bucketCampaigns++
+	m.bucketsTotal += uint64(s.Buckets)
+	m.bucketTrialsTotal += uint64(s.Batched)
+	m.bucketRestoresSaved += uint64(s.RestoresSaved)
+	m.bucketEarlyMasks += uint64(s.EarlyMasks)
+	m.bucketConverged += uint64(s.Converged)
+	for _, n := range s.BucketSizes {
+		if n > m.bucketMax {
+			m.bucketMax = n
+		}
+	}
+}
+
 // jobFinished records a job reaching a terminal (or requeued) state
 // with its run latency.
 func (m *metrics) jobFinished(t JobType, s JobState, d time.Duration) {
@@ -196,6 +226,19 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "vsd_trials_per_sec %.1f\n", m.trialsPerSec(now))
 	fmt.Fprintf(w, "vsd_golden_cache_hits_total %d\n", m.goldenHits)
 	fmt.Fprintf(w, "vsd_golden_cache_misses_total %d\n", m.goldenMisses)
+	if m.bucketCampaigns > 0 {
+		fmt.Fprintf(w, "vsd_campaign_bucket_campaigns_total %d\n", m.bucketCampaigns)
+		fmt.Fprintf(w, "vsd_campaign_bucket_count_total %d\n", m.bucketsTotal)
+		fmt.Fprintf(w, "vsd_campaign_bucket_trials_total %d\n", m.bucketTrialsTotal)
+		fmt.Fprintf(w, "vsd_campaign_bucket_restores_saved_total %d\n", m.bucketRestoresSaved)
+		fmt.Fprintf(w, "vsd_campaign_bucket_max_trials %d\n", m.bucketMax)
+		if m.bucketsTotal > 0 {
+			fmt.Fprintf(w, "vsd_campaign_bucket_mean_trials %.2f\n",
+				float64(m.bucketTrialsTotal)/float64(m.bucketsTotal))
+		}
+		fmt.Fprintf(w, "vsd_campaign_bucket_early_masks_total %d\n", m.bucketEarlyMasks)
+		fmt.Fprintf(w, "vsd_campaign_bucket_converged_total %d\n", m.bucketConverged)
+	}
 	if m.stageRuns > 0 {
 		fmt.Fprintf(w, "vsd_stage_metered_runs_total %d\n", m.stageRuns)
 		for r := probe.Region(0); r < probe.NumRegions; r++ {

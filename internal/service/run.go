@@ -315,6 +315,7 @@ func (s *Service) runCampaign(ctx context.Context, j *Job) (any, error) {
 
 	elapsed := time.Since(started)
 	fres := res.Fault
+	s.metrics.bucketsDone(fres.Sched)
 	cr := &CampaignResult{
 		Algorithm:   alg.String(),
 		Input:       inputName,

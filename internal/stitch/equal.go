@@ -1,0 +1,77 @@
+// Bit-exact state equality for the convergence guard: a batched
+// campaign declares a resumed trial converged only when its pipeline
+// state at a stage boundary is indistinguishable — on IEEE-754 bits,
+// not float comparison — from the golden snapshot of the same
+// boundary, so +0/-0 and NaN-payload differences count as divergence.
+package stitch
+
+import (
+	"math"
+
+	"vsresil/internal/geom"
+)
+
+// homographyEqualBits compares two transforms on their raw float bits.
+func homographyEqualBits(a, b geom.Homography) bool {
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualBits reports bit-exact equality with b. Resumed trials share
+// the golden snapshot's backing arrays for the prefix they did not
+// recompute, so element pointer identity short-circuits most of the
+// scan.
+func (f *FrameFeatures) EqualBits(g *FrameFeatures) bool {
+	if len(f.KPs) != len(g.KPs) || len(f.Descs) != len(g.Descs) {
+		return false
+	}
+	if !(len(f.KPs) > 0 && &f.KPs[0] == &g.KPs[0]) {
+		for i := range f.KPs {
+			ka, kb := &f.KPs[i], &g.KPs[i]
+			if ka.X != kb.X || ka.Y != kb.Y || ka.Score != kb.Score ||
+				math.Float64bits(ka.Angle) != math.Float64bits(kb.Angle) {
+				return false
+			}
+		}
+	}
+	if !(len(f.Descs) > 0 && &f.Descs[0] == &g.Descs[0]) {
+		for i := range f.Descs {
+			if f.Descs[i] != g.Descs[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EqualBits reports bit-exact equality of two registration states,
+// including the unexported loop state and every recorded report.
+func (a *AlignState) EqualBits(b *AlignState) bool {
+	if a.N != b.N || a.Next != b.Next || a.segment != b.segment ||
+		a.refFrame != b.refFrame || a.failStreak != b.failStreak ||
+		a.discarded != b.discarded ||
+		len(a.regs) != len(b.regs) || len(a.reports) != len(b.reports) {
+		return false
+	}
+	if !homographyEqualBits(a.refToSegment, b.refToSegment) {
+		return false
+	}
+	for i := range a.regs {
+		ra, rb := &a.regs[i], &b.regs[i]
+		if ra.frame != rb.frame || ra.segment != rb.segment || !homographyEqualBits(ra.h, rb.h) {
+			return false
+		}
+	}
+	for i := range a.reports {
+		ra, rb := &a.reports[i], &b.reports[i]
+		if ra.Index != rb.Index || ra.Status != rb.Status || ra.Matches != rb.Matches ||
+			ra.Inliers != rb.Inliers || ra.Segment != rb.Segment || !homographyEqualBits(ra.H, rb.H) {
+			return false
+		}
+	}
+	return true
+}

@@ -348,12 +348,55 @@ func (st *Stitcher) AlignStep(feats []FrameFeatures, a *AlignState, m probe.Sink
 // without mutating it, so a shared golden AlignState snapshot can feed
 // many resumed trials.
 func (st *Stitcher) Composite(frames []*imgproc.Gray, a *AlignState, m probe.Sink) (*Result, error) {
+	return st.CompositePlanned(frames, a, nil, m)
+}
+
+// CompositePlanned is Composite with a precomputed canvas plan. A nil
+// plan is computed on the spot (Composite's behavior); a checkpoint
+// bucket passes the plan it computed once so every trial resumed from
+// the composite boundary skips the redundant bounds pass.
+func (st *Stitcher) CompositePlanned(frames []*imgproc.Gray, a *AlignState, plan *CompositePlan, m probe.Sink) (*Result, error) {
 	m = probe.OrNop(m)
+	if plan == nil {
+		plan = st.PlanComposite(frames, a)
+	}
 	res := &Result{Reports: a.reports, Discarded: a.discarded}
-	if err := st.composite(frames, a.regs, a.segment+1, res, m); err != nil {
+	if err := st.composite(frames, a.regs, plan, res, m); err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// CompositePlan is the tap-free geometry of a composite pass: each
+// segment's canvas bounds and frame count. It is a pure function of
+// the registration state and the frame dimensions — values no
+// composite tap can perturb (warps write only canvas buffers) — so a
+// plan computed once per checkpoint bucket is valid verbatim for every
+// trial resumed from that boundary, and using it changes neither the
+// tap stream nor any observable of the pass.
+type CompositePlan struct {
+	segs []segmentPlan
+}
+
+type segmentPlan struct {
+	b     warp.Bounds
+	count int
+}
+
+// PlanComposite computes the canvas plan Composite would derive from
+// the registration state. It issues no taps.
+func (st *Stitcher) PlanComposite(frames []*imgproc.Gray, a *AlignState) *CompositePlan {
+	plan := &CompositePlan{segs: make([]segmentPlan, a.segment+1)}
+	for _, r := range a.regs {
+		if r.segment < 0 || r.segment > a.segment {
+			continue
+		}
+		sp := &plan.segs[r.segment]
+		fb := warp.ProjectBounds(r.h, frames[r.frame].W, frames[r.frame].H)
+		sp.b = sp.b.Union(fb)
+		sp.count++
+	}
+	return plan
 }
 
 // Run stitches the frames into mini-panoramas. m is any probe.Sink;
@@ -481,19 +524,13 @@ func gate(floor int, fraction float64, queryKps int) int {
 	return g
 }
 
-// composite renders each segment's mini-panorama.
-func (st *Stitcher) composite(frames []*imgproc.Gray, regs []registration, segments int, res *Result, m probe.Sink) error {
-	for seg := 0; seg < segments; seg++ {
-		var b warp.Bounds
-		count := 0
-		for _, r := range regs {
-			if r.segment != seg {
-				continue
-			}
-			fb := warp.ProjectBounds(r.h, frames[r.frame].W, frames[r.frame].H)
-			b = b.Union(fb)
-			count++
-		}
+// composite renders each segment's mini-panorama from the precomputed
+// canvas plan. The pixel-budget check stays inside the loop so a
+// too-large segment aborts at the same point of the pass (after the
+// preceding segments' warps) as it always has.
+func (st *Stitcher) composite(frames []*imgproc.Gray, regs []registration, plan *CompositePlan, res *Result, m probe.Sink) error {
+	for seg := 0; seg < len(plan.segs); seg++ {
+		b, count := plan.segs[seg].b, plan.segs[seg].count
 		if count == 0 || b.Empty() {
 			continue
 		}

@@ -237,39 +237,57 @@ func (st pipeState) snapshot() pipeState {
 // must be false whenever snapshots (or a shared checkpoint the state
 // came from) still reference the frames.
 func (a *App) runFrom(st pipeState, m probe.Sink, snap func(name string, st pipeState), recycle bool) (*stitch.Result, error) {
+	res, _, err := a.runFromGuarded(st, m, snap, nil, nil, recycle)
+	return res, err
+}
+
+// runFromGuarded is runFrom with the batched-campaign seams threaded
+// through: guard, when non-nil, is consulted at every stage boundary
+// (the exact positions snap is called at, before the boundary's first
+// tap) and a true return abandons the run with converged=true; plan,
+// when non-nil, is a precomputed composite canvas plan shared by a
+// checkpoint bucket. Neither seam changes a single tap of the stages
+// that do execute.
+func (a *App) runFromGuarded(st pipeState, m probe.Sink, snap func(name string, st pipeState), guard fault.BoundaryGuard, plan *stitch.CompositePlan, recycle bool) (*stitch.Result, bool, error) {
+	boundary := func(name string) bool {
+		if snap != nil {
+			snap(name, st.snapshot())
+		}
+		return guard != nil && guard(name, st)
+	}
 	if st.phase == phaseFeatures {
 		if len(st.frames) == 0 {
-			return nil, stitch.ErrNoFrames
+			return nil, false, stitch.ErrNoFrames
 		}
 		if st.feats == nil {
 			st.feats = make([]stitch.FrameFeatures, 0, len(st.frames))
 		}
 		for st.featDone < len(st.frames) {
-			if snap != nil {
-				snap(fmt.Sprintf("features[%d]", st.featDone), st.snapshot())
+			if boundary(fmt.Sprintf("features[%d]", st.featDone)) {
+				return nil, true, nil
 			}
 			st.feats = append(st.feats, a.stitcher.DetectFrame(st.frames[st.featDone], m))
 			st.featDone++
 		}
-		if snap != nil {
-			snap("align", st.snapshot())
+		if boundary("align") {
+			return nil, true, nil
 		}
 		st.align = a.stitcher.BeginAlign(st.frames, m)
 		st.phase = phasePairs
 	}
 	if st.phase == phasePairs {
 		for st.align.Next < st.align.N {
-			if snap != nil {
-				snap(fmt.Sprintf("pair[%d]", st.align.Next), st.snapshot())
+			if boundary(fmt.Sprintf("pair[%d]", st.align.Next)) {
+				return nil, true, nil
 			}
 			a.stitcher.AlignStep(st.feats, &st.align, m)
 		}
-		if snap != nil {
-			snap("composite", st.snapshot())
+		if boundary("composite") {
+			return nil, true, nil
 		}
 		st.phase = phaseComposite
 	}
-	res, err := a.stitcher.Composite(st.frames, &st.align, m)
+	res, err := a.stitcher.CompositePlanned(st.frames, &st.align, plan, m)
 	// The stitch result references only freshly rendered panoramas,
 	// never the decoded frames, so their buffers can feed the next
 	// trial's decode. (A crashed trial unwinds past this and simply
@@ -279,7 +297,7 @@ func (a *App) runFrom(st pipeState, m probe.Sink, snap func(name string, st pipe
 			putFrame(f)
 		}
 	}
-	return res, err
+	return res, false, err
 }
 
 // framePool recycles decoded frame buffers across Run calls — the

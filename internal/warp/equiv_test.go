@@ -111,3 +111,50 @@ func TestScanlineWarpEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestInertTiledWarpEquivalence guards the tiled inert kernels: with
+// tiling on, a machine that cannot be hit inside the warp (here: a
+// golden machine) runs the tap-free banded kernels and accounts its
+// taps and op counts post hoc from the closed-form spans. That
+// accounting must be exact — same pixels, same step count, same
+// per-region tap spaces, same op matrix — as the instrumented loop it
+// replaces, for every blend mode and for the resolve pass, otherwise a
+// later trial resumed from such a golden capture would bucket against
+// drifted checkpoint counters.
+func TestInertTiledWarpEquivalence(t *testing.T) {
+	defer fastpath.SetTiling(true)
+	rng := stats.NewRNG(0x71_1ED)
+
+	for trial := 0; trial < 30; trial++ {
+		src := randomGray(rng, 24+rng.Intn(40), 24+rng.Intn(40))
+		h := randomHomography(rng)
+		if _, err := h.Inverse(); err != nil {
+			continue
+		}
+		mode := warp.BlendOverwrite
+		if trial%2 == 1 {
+			mode = warp.BlendFeather
+		}
+
+		run := func(tiled bool) ([]uint8, machineCounters) {
+			fastpath.SetTiling(tiled)
+			m := fault.New()
+			bounds := warp.ProjectBounds(h, src.W, src.H)
+			c := warp.NewCanvasMode(bounds, mode)
+			if _, err := warp.WarpOntoCanvas(src, h, c, m); err != nil {
+				t.Fatalf("trial %d: WarpOntoCanvas: %v", trial, err)
+			}
+			img := c.Resolve(m)
+			return append([]uint8(nil), img.Pix...), snapshot(m)
+		}
+
+		tiledPix, tiledCtr := run(true)
+		refPix, refCtr := run(false)
+		if !bytes.Equal(tiledPix, refPix) {
+			t.Errorf("trial %d (h=%v): resolved pixels differ between tiled inert and instrumented", trial, h)
+		}
+		if tiledCtr != refCtr {
+			t.Errorf("trial %d (h=%v): inert tap accounting drifted:\n tiled %+v\n   ref %+v", trial, h, tiledCtr, refCtr)
+		}
+	}
+}

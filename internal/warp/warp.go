@@ -240,10 +240,15 @@ func (c *Canvas) writeIdx(i int, v, w float64) {
 // pass probe.Nop{} for an uninstrumented render (nil is normalized).
 func (c *Canvas) Resolve(s probe.Sink) *imgproc.Gray {
 	if s = probe.OrNop(s); probe.IsNop(s) {
+		if fastpath.Enabled() {
+			out := imgproc.NewGray(c.B.W(), c.B.H())
+			forEachBand(c.B.H(), func(_, lo, hi int) { resolveBand(c, out, lo, hi) })
+			return out
+		}
 		return resolveCanvas(c, probe.Nop{})
 	}
 	if m, ok := s.(*fault.Machine); ok {
-		return resolveCanvas(c, m)
+		return resolveCanvasMachine(c, m)
 	}
 	return resolveCanvas(c, s)
 }
@@ -267,6 +272,24 @@ func resolveCanvas[S probe.Sink](c *Canvas, m S) *imgproc.Gray {
 		}
 	}
 	return out
+}
+
+// resolveBand is the tap-free canvas render over output rows [y0, y1)
+// — the same divide-and-saturate expression as resolveCanvas with the
+// taps compiled out. Bands write disjoint rows of out.
+func resolveBand(c *Canvas, out *imgproc.Gray, y0, y1 int) {
+	w := c.B.W()
+	for y := y0; y < y1; y++ {
+		rowBase := y * out.W
+		for x := 0; x < w; x++ {
+			i := rowBase + x
+			if !c.touched[i] {
+				continue
+			}
+			v := c.values[i] / c.weights[i]
+			out.Pix[i] = imgproc.SaturateUint8(v)
+		}
+	}
 }
 
 // Coverage returns the fraction of canvas pixels that received at
@@ -302,7 +325,7 @@ func WarpOntoCanvas(src *imgproc.Gray, h geom.Homography, c *Canvas, s probe.Sin
 		return warpOntoCanvas(src, h, c, probe.Nop{})
 	}
 	if m, ok := s.(*fault.Machine); ok {
-		return warpOntoCanvas(src, h, c, m)
+		return warpOntoCanvasMachine(src, h, c, m)
 	}
 	return warpOntoCanvas(src, h, c, s)
 }
@@ -412,6 +435,21 @@ func warpOntoCanvas[S probe.Sink](src *imgproc.Gray, h geom.Homography, c *Canva
 	// Stage 2: composite the warped frame onto the panorama canvas —
 	// the stitching copy of the original pipeline (blend region,
 	// bounds-checked like the library's ROI copy).
+	if _, clean := any(m).(probe.Nop); clean && fast && !c.GainCompensation {
+		forEachBand(th, func(_, lo, hi int) {
+			warpStage2Band(c, region, vals, wts, 1.0, lo, hi)
+		})
+	} else {
+		warpStage2Instr(c, region, vals, wts, m)
+	}
+	return written, nil
+}
+
+// warpStage2Instr is the instrumented stage-2 composite loop shared by
+// the generic warp and the inert machine path (which uses it whenever
+// the blend taps cannot be proven inert, e.g. under gain compensation).
+func warpStage2Instr[S probe.Sink](c *Canvas, region Bounds, vals, wts []float64, m S) {
+	tw, th := region.W(), region.H()
 	restore := m.Enter(probe.RBlend)
 	gain := 1.0
 	if c.GainCompensation {
@@ -430,7 +468,24 @@ func warpOntoCanvas[S probe.Sink](src *imgproc.Gray, h geom.Homography, c *Canva
 		}
 	}
 	restore()
-	return written, nil
+}
+
+// warpStage2Band is the tap-free stage-2 composite over destination
+// rows [y0, y1): the same accumulate expression as the instrumented
+// loop with the taps compiled out. A warped row lands on exactly one
+// canvas row, so concurrent bands write disjoint canvas rows.
+func warpStage2Band(c *Canvas, region Bounds, vals, wts []float64, gain float64, y0, y1 int) {
+	tw := region.W()
+	for ty := y0; ty < y1; ty++ {
+		rowIdx := ty * tw
+		for tx := 0; tx < tw; tx++ {
+			i := rowIdx + tx
+			if wts[i] == 0 {
+				continue
+			}
+			c.Accumulate(region.MinX+tx, region.MinY+ty, vals[i]*gain, wts[i])
+		}
+	}
 }
 
 // warpStage1Clean is the uninstrumented stage-1 warp: one scanline at
@@ -439,13 +494,39 @@ func warpOntoCanvas[S probe.Sink](src *imgproc.Gray, h geom.Homography, c *Canva
 // its per-pixel call would otherwise dominate the clean path). Every
 // expression mirrors the instrumented loop exactly — same projection,
 // same NaN/bounds rejects, same interpolation association order — so a
-// clean run is byte-identical to a plan-free instrumented one.
+// clean run is byte-identical to a plan-free instrumented one. Rows
+// are tiled across goroutines when the tiling gate and GOMAXPROCS
+// allow; each band writes a disjoint row range of vals/wts and per-
+// band written counts are summed in band order, so the result is the
+// same for any band count.
 func warpStage1Clean(src *imgproc.Gray, proj *scanProjector, region Bounds, vals, wts []float64, mode BlendMode, halfW, halfH float64) int {
-	tw, th := region.W(), region.H()
+	th := region.H()
+	n := bandCount(th)
+	if n <= 1 {
+		return warpStage1Band(src, *proj, region, 0, th, vals, wts, mode, halfW, halfH)
+	}
+	perBand := make([]int, n)
+	forEachBand(th, func(b, lo, hi int) {
+		// Each band carries its own projector copy: the column caches
+		// are shared read-only, the row products are per-band state.
+		perBand[b] = warpStage1Band(src, *proj, region, lo, hi, vals, wts, mode, halfW, halfH)
+	})
+	written := 0
+	for _, w := range perBand {
+		written += w
+	}
+	return written
+}
+
+// warpStage1Band runs the clean stage-1 kernel over destination rows
+// [y0, y1) of region. proj is taken by value so concurrent bands do
+// not share row state.
+func warpStage1Band(src *imgproc.Gray, proj scanProjector, region Bounds, y0, y1 int, vals, wts []float64, mode BlendMode, halfW, halfH float64) int {
+	tw := region.W()
 	fw := float64(src.W - 1)
 	fh := float64(src.H - 1)
 	written := 0
-	for ty := 0; ty < th; ty++ {
+	for ty := y0; ty < y1; ty++ {
 		rowIdx := ty * tw
 		proj.setRow(float64(region.MinY + ty))
 		for tx := 0; tx < tw; tx++ {
@@ -645,9 +726,17 @@ func warpPerspective[S probe.Sink](src *imgproc.Gray, h geom.Homography, dstW, d
 // same hand-inlined bilinear kernel as warpStage1Clean but writing
 // straight into the destination image.
 func warpDstClean(src *imgproc.Gray, proj *scanProjector, dst *imgproc.Gray, rows int) {
+	forEachBand(rows, func(_, lo, hi int) {
+		warpDstBand(src, *proj, dst, lo, hi)
+	})
+}
+
+// warpDstBand renders destination rows [y0, y1); proj is copied per
+// band because setRow mutates the row products.
+func warpDstBand(src *imgproc.Gray, proj scanProjector, dst *imgproc.Gray, y0, y1 int) {
 	fw := float64(src.W - 1)
 	fh := float64(src.H - 1)
-	for y := 0; y < rows; y++ {
+	for y := y0; y < y1; y++ {
 		rowBase := y * dst.W
 		proj.setRow(float64(y))
 		for x := 0; x < dst.W; x++ {

@@ -145,6 +145,96 @@ func TestCampaignPrefixSkipShardEquivalence(t *testing.T) {
 	}
 }
 
+// TestCampaignBatchingEquivalenceMatrix is the bucket-scheduler bit-
+// identity guard: for both fault classes it compares every combination
+// of batching on/off × tiling on/off × workers {1,4} × shards {1,5}
+// against the classic one-trial-at-a-time execution (batching and
+// tiling both off, one worker, unsharded). Identical here means every
+// campaign observable requireIdenticalWithOutputs checks, including
+// the retained SDC output bytes — neither the checkpoint buckets, nor
+// the early-mask/convergence cutoffs, nor the tiled inert kernels may
+// shift a single trial's verdict.
+func TestCampaignBatchingEquivalenceMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign equivalence matrix is not -short")
+	}
+	defer func() {
+		fastpath.SetBatching(true)
+		fastpath.SetTiling(true)
+	}()
+	var runner campaign.Runner
+	for _, class := range []fault.Class{fault.GPR, fault.FPR} {
+		fastpath.SetBatching(false)
+		fastpath.SetTiling(false)
+		base, err := runner.Run(context.Background(), skipGuardSpec(class, fault.RAny, 1))
+		if err != nil {
+			t.Fatalf("class=%v baseline: %v", class, err)
+		}
+		for _, batching := range []bool{false, true} {
+			for _, tiling := range []bool{false, true} {
+				for _, workers := range []int{1, 4} {
+					for _, shards := range []int{1, 5} {
+						if !batching && !tiling && workers == 1 && shards == 1 {
+							continue // that is the baseline itself
+						}
+						fastpath.SetBatching(batching)
+						fastpath.SetTiling(tiling)
+						label := fmt.Sprintf("class=%v batching=%v tiling=%v workers=%d shards=%d",
+							class, batching, tiling, workers, shards)
+						got, err := runner.RunSharded(context.Background(),
+							skipGuardSpec(class, fault.RAny, workers), shards)
+						if err != nil {
+							t.Fatalf("%s: %v", label, err)
+						}
+						requireIdenticalWithOutputs(t, label, base.Fault, got.Fault)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCampaignBatchingSchedStats sanity-checks the exported scheduler
+// statistics: a batched run of the guard workload must actually bucket
+// trials (the whole point of the scheduler) and report the restore
+// arithmetic consistently, while a batching-off run must report none.
+func TestCampaignBatchingSchedStats(t *testing.T) {
+	defer fastpath.SetBatching(true)
+	var runner campaign.Runner
+
+	fastpath.SetBatching(true)
+	batched, err := runner.Run(context.Background(), skipGuardSpec(fault.GPR, fault.RAny, 2))
+	if err != nil {
+		t.Fatalf("batched: %v", err)
+	}
+	s := batched.Fault.Sched
+	if s.Buckets == 0 || s.Batched == 0 {
+		t.Fatalf("batched run reported no buckets: %+v", s)
+	}
+	if s.RestoresSaved != s.Batched-s.Buckets {
+		t.Errorf("RestoresSaved = %d, want Batched-Buckets = %d", s.RestoresSaved, s.Batched-s.Buckets)
+	}
+	if len(s.BucketSizes) != s.Buckets {
+		t.Errorf("len(BucketSizes) = %d, want %d", len(s.BucketSizes), s.Buckets)
+	}
+	total := 0
+	for _, n := range s.BucketSizes {
+		total += n
+	}
+	if total != s.Batched {
+		t.Errorf("sum(BucketSizes) = %d, want Batched = %d", total, s.Batched)
+	}
+
+	fastpath.SetBatching(false)
+	classic, err := runner.Run(context.Background(), skipGuardSpec(fault.GPR, fault.RAny, 2))
+	if err != nil {
+		t.Fatalf("classic: %v", err)
+	}
+	if s := classic.Fault.Sched; s.Buckets != 0 || s.Batched != 0 || s.EarlyMasks != 0 || s.Converged != 0 {
+		t.Errorf("batching-off run reported scheduler activity: %+v", s)
+	}
+}
+
 // checkpointDigests pins, per checkpoint schema version, an FNV-1a
 // digest of the guard workload's golden checkpoint stream (boundary
 // names and per-class tap counters). If a pipeline change moves a
