@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench bench-json fabric-smoke clean
+.PHONY: all check fmt vet build test race identity bench bench-json fabric-smoke clean
 
 all: check
 
-check: fmt vet build race
+check: fmt vet build race identity
 
 # fmt fails if any file is not gofmt-clean (prints the offenders).
 fmt:
@@ -31,6 +31,14 @@ test:
 # default 10m package timeout.
 race:
 	$(GO) test -race -timeout 45m ./...
+
+# identity pins the (identity scenario, vs summarizer) workload cell to
+# the committed golden digest across every execution strategy — prefix
+# skip, bucket batching, shard counts 1/2/5 and an in-process fabric
+# cluster — plus the byte-identity tests at the generator, adapter and
+# registry seams. Run it after touching any layer of the workload path.
+identity:
+	$(GO) test -count=1 -run 'TestIdentityCell|TestIdentityScenarioByteIdentical|TestVSAdapterByteIdentical|TestCellIdentityMatchesVSConstructor|TestVSConstructorKeyUnchanged' . ./internal/virat/ ./internal/summarize/ ./internal/campaign/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

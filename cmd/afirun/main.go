@@ -1,10 +1,12 @@
-// Command afirun runs an AFI-style fault-injection campaign against a
-// VS variant and reports the Mask/Crash/SDC/Hang breakdown, coverage
-// statistics and (optionally) the SDC quality distribution.
+// Command afirun runs an AFI-style fault-injection campaign against
+// one (scenario, summarizer, algorithm) workload cell and reports the
+// Mask/Crash/SDC/Hang breakdown, coverage statistics and (optionally)
+// the SDC quality distribution.
 //
 // Usage:
 //
 //	afirun -input 1 -alg VS -class gpr -trials 1000
+//	afirun -scenario lowlight+fog -summarizer storyboard -trials 1000
 //
 // With -fabric the campaign runs on a vsd cluster instead of in
 // process: the spec is submitted to a coordinator (vsd -coordinator),
@@ -31,6 +33,7 @@ import (
 	"vsresil/internal/imgproc"
 	"vsresil/internal/quality"
 	"vsresil/internal/stitch"
+	"vsresil/internal/summarize"
 	"vsresil/internal/virat"
 	"vsresil/internal/vs"
 )
@@ -45,7 +48,9 @@ func main() {
 func run() error {
 	var (
 		input      = flag.Int("input", 1, "input video: 1 or 2")
-		algName    = flag.String("alg", "VS", "algorithm: VS, VS_RFD, VS_KDS or VS_SM")
+		scenario   = flag.String("scenario", "", "capture scenario: identity (default) or a +-chain of noise, lowlight, fog, blocking, jitter")
+		sumName    = flag.String("summarizer", "vs", "summarizer backend: vs (panorama stitching) or storyboard (keyframe filmstrip)")
+		algName    = flag.String("alg", "VS", "vs-backend algorithm: VS, VS_RFD, VS_KDS or VS_SM")
 		className  = flag.String("class", "gpr", "register class: gpr or fpr")
 		scale      = flag.String("scale", "test", "input scale: test, bench or paper")
 		frames     = flag.Int("frames", 24, "override the preset's frame count (0 = preset default)")
@@ -67,16 +72,18 @@ func run() error {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		return runFabric(ctx, *fabricAddr, fabric.CampaignSpec{
-			Algorithm: *algName,
-			Class:     *className,
-			Region:    *regionStr,
-			Input:     *input,
-			Scale:     *scale,
-			Frames:    *frames,
-			Trials:    *trials,
-			Seed:      *seed,
-			Workers:   *workers,
-			KeepSDC:   *sdcEDs,
+			Algorithm:  *algName,
+			Scenario:   *scenario,
+			Summarizer: *sumName,
+			Class:      *className,
+			Region:     *regionStr,
+			Input:      *input,
+			Scale:      *scale,
+			Frames:     *frames,
+			Trials:     *trials,
+			Seed:       *seed,
+			Workers:    *workers,
+			KeepSDC:    *sdcEDs,
 		}, *shards)
 	}
 
@@ -96,7 +103,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	seq, err := virat.ParseInput(*input, preset)
+	sc, err := virat.ParseScenario(*scenario)
+	if err != nil {
+		return err
+	}
+	seq, err := virat.GenerateInput(*input, preset, sc)
+	if err != nil {
+		return err
+	}
+	cfg := vs.DefaultConfig(alg)
+	cfg.Seed = *seed
+	sum, err := summarize.Parse(*sumName, cfg)
 	if err != nil {
 		return err
 	}
@@ -108,18 +125,19 @@ func run() error {
 	defer stop()
 
 	if *stratified {
+		if _, ok := sum.(summarize.VS); !ok {
+			return fmt.Errorf("-stratified supports only the vs summarizer, not %s", sum.Name())
+		}
 		vframes := seq.Frames()
-		cfg := vs.DefaultConfig(alg)
-		cfg.Seed = *seed
 		app := vs.New(cfg, len(vframes))
 		return runStratified(ctx, app, vframes, class, *trials, *seed, *workers, alg, seq)
 	}
 
-	fmt.Printf("campaign: %s on %s, %v faults, %d trials, region=%s, shards=%d\n",
-		alg, seq.Name, class, *trials, region, *shards)
+	fmt.Printf("campaign: %s [%s] on %s, %v faults, %d trials, region=%s, shards=%d\n",
+		sum.Name(), alg, seq.Name, class, *trials, region, *shards)
 	var runner campaign.Runner
 	crun, err := runner.RunSharded(ctx, campaign.Spec{
-		Workload: campaign.VS(alg, seq, *seed),
+		Workload: campaign.Summarize(sum, seq),
 		Class:    class,
 		Region:   region,
 		Trials:   *trials,

@@ -21,6 +21,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -79,6 +80,9 @@ func runParse(args []string) error {
 	if *in != "" {
 		var err error
 		if f, err = os.Open(*in); err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return fmt.Errorf("benchmark input %s does not exist; save 'go test -bench' output there or pipe it on stdin", *in)
+			}
 			return err
 		}
 		defer f.Close()
@@ -131,6 +135,9 @@ func runCompare(args []string) error {
 	}
 
 	raw, err := os.ReadFile(*in)
+	if errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("benchmark ledger %s does not exist; create it with 'benchdiff parse -out %s' first", *in, *in)
+	}
 	if err != nil {
 		return err
 	}

@@ -80,3 +80,18 @@ func TestCompareOneSided(t *testing.T) {
 		t.Fatalf("disjoint sections should be advisory-clean, got: %v", err)
 	}
 }
+
+// TestMissingLedgerFiles checks that a nonexistent -in path produces
+// an error naming the missing file and suggesting the fix, for both
+// subcommands.
+func TestMissingLedgerFiles(t *testing.T) {
+	gone := filepath.Join(t.TempDir(), "nope.json")
+	err := runCompare([]string{"-in", gone})
+	if err == nil || !strings.Contains(err.Error(), gone) || !strings.Contains(err.Error(), "does not exist") {
+		t.Fatalf("compare on missing ledger = %v, want error naming %s", err, gone)
+	}
+	err = runParse([]string{"-in", gone})
+	if err == nil || !strings.Contains(err.Error(), gone) || !strings.Contains(err.Error(), "does not exist") {
+		t.Fatalf("parse on missing input = %v, want error naming %s", err, gone)
+	}
+}

@@ -33,7 +33,7 @@ func main() {
 
 func run() error {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 5, 6, 8, 9, 10, 11a, 11b, 12, 13 or all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 5, 6, 8, 9, 10, 11a, 11b, 12, 13, all, or the opt-in matrix/ablation-* extras")
 		scaleName = flag.String("scale", "small", "experiment scale: small, bench or paper")
 		frames    = flag.Int("frames", 0, "override frames per input")
 		trials    = flag.Int("trials", 0, "override injections per campaign")

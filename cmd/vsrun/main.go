@@ -16,6 +16,7 @@ import (
 	"vsresil/internal/imgproc"
 	"vsresil/internal/probe"
 	"vsresil/internal/stitch"
+	"vsresil/internal/summarize"
 	"vsresil/internal/virat"
 	"vsresil/internal/vs"
 )
@@ -29,14 +30,16 @@ func main() {
 
 func run() error {
 	var (
-		input   = flag.Int("input", 1, "input video: 1 (fast pan, scene cuts) or 2 (slow sweep)")
-		algName = flag.String("alg", "VS", "algorithm: VS, VS_RFD, VS_KDS or VS_SM")
-		scale   = flag.String("scale", "bench", "input scale: test, bench or paper")
-		frames  = flag.Int("frames", 0, "override the preset's frame count")
-		out     = flag.String("out", "panorama.pgm", "output path for the primary panorama (.pgm or .png)")
-		allOut  = flag.String("all-out", "", "optional directory to write every mini-panorama into")
-		seed    = flag.Uint64("seed", 0x5EED, "pipeline seed")
-		quiet   = flag.Bool("q", false, "suppress the per-frame report")
+		input    = flag.Int("input", 1, "input video: 1 (fast pan, scene cuts) or 2 (slow sweep)")
+		scenario = flag.String("scenario", "", "capture scenario: identity (default) or a +-chain of noise, lowlight, fog, blocking, jitter")
+		sumName  = flag.String("summarizer", "vs", "summarizer backend: vs (panorama stitching) or storyboard (keyframe filmstrip)")
+		algName  = flag.String("alg", "VS", "vs-backend algorithm: VS, VS_RFD, VS_KDS or VS_SM")
+		scale    = flag.String("scale", "bench", "input scale: test, bench or paper")
+		frames   = flag.Int("frames", 0, "override the preset's frame count")
+		out      = flag.String("out", "panorama.pgm", "output path for the primary panorama (.pgm or .png)")
+		allOut   = flag.String("all-out", "", "optional directory to write every mini-panorama into")
+		seed     = flag.Uint64("seed", 0x5EED, "pipeline seed")
+		quiet    = flag.Bool("q", false, "suppress the per-frame report")
 	)
 	flag.Parse()
 
@@ -48,7 +51,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	seq, err := virat.ParseInput(*input, preset)
+	sc, err := virat.ParseScenario(*scenario)
+	if err != nil {
+		return err
+	}
+	seq, err := virat.GenerateInput(*input, preset, sc)
+	if err != nil {
+		return err
+	}
+	cfg := vs.DefaultConfig(alg)
+	cfg.Seed = *seed
+	sum, err := summarize.Parse(*sumName, cfg)
 	if err != nil {
 		return err
 	}
@@ -56,14 +69,11 @@ func run() error {
 	fmt.Printf("rendering %s: %d frames %dx%d\n", seq.Name, seq.Len(), seq.FrameW, seq.FrameH)
 	vframes := seq.Frames()
 
-	cfg := vs.DefaultConfig(alg)
-	cfg.Seed = *seed
-	app := vs.New(cfg, len(vframes))
 	// A Meter (rather than a fault machine) gathers the energy-model
 	// inputs: same op accounting, no injection machinery, plus per-stage
 	// wall time.
 	m := probe.NewMeter()
-	res, err := app.Run(vframes, m)
+	res, err := summarize.Run(sum, vframes, m)
 	if err != nil {
 		return fmt.Errorf("pipeline: %w", err)
 	}

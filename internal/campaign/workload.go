@@ -4,23 +4,23 @@ import (
 	"fmt"
 
 	"vsresil/internal/imgproc"
+	"vsresil/internal/summarize"
 	"vsresil/internal/virat"
 	"vsresil/internal/vs"
 	"vsresil/internal/wp"
 )
 
 // VS returns the workload for one VS variant on a synthetic input
-// sequence — the combination every paper campaign injects into. The
-// cache key covers the variant, the app seed and the input identity,
-// so campaigns sweeping classes, regions or trial counts over the
-// same workload share one golden capture.
+// sequence — the cell of the workload matrix every paper campaign
+// injects into. It is the registry path specialized to the vs backend:
+// the cache key covers the variant, the app seed and the input
+// identity (scenario included, via the sequence name), so campaigns
+// sweeping classes, regions or trial counts over the same workload
+// share one golden capture.
 func VS(alg vs.Algorithm, seq *virat.Sequence, appSeed uint64) Workload {
 	cfg := vs.DefaultConfig(alg)
 	cfg.Seed = appSeed
-	frames := seq.Frames()
-	key := fmt.Sprintf("vs:%s|seed=%d|%s:%dx%dx%d", alg, appSeed,
-		seq.Name, len(frames), seq.FrameW, seq.FrameH)
-	return VSApp(cfg, frames, seq.Name, key)
+	return Summarize(summarize.VS{Cfg: cfg}, seq)
 }
 
 // VSApp returns the workload for a fully specified VS configuration
@@ -37,6 +37,15 @@ func VSApp(cfg vs.Config, frames []*imgproc.Gray, name, cacheKey string) Workloa
 		App:    app.RunEncoded(frames),
 		Staged: app.Staged(frames),
 	}
+}
+
+// SummarizeApp binds any summarizer backend to explicit frames —
+// uploaded inputs and other cases where no virat.Sequence exists.
+// cacheKey must capture everything that determines the fault-free run;
+// pass "" to disable golden caching.
+func SummarizeApp(sum summarize.Summarizer, frames []*imgproc.Gray, name, cacheKey string) Workload {
+	app, staged := sum.Bind(frames)
+	return Workload{Name: name, Key: cacheKey, App: app, Staged: staged}
 }
 
 // WP returns the standalone WarpPerspective toy-benchmark workload of

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"vsresil/internal/virat"
+)
+
+// TestMatrixShape runs a reduced scenario × summarizer matrix end to
+// end through the campaign engine: every cell completes its trials,
+// rates are well-formed, and the report names each cell.
+func TestMatrixShape(t *testing.T) {
+	o := tinyOptions()
+	o.Preset = virat.TestScale()
+	o.Preset.Frames = 8
+	o.Trials = 60
+	res, err := Matrix(context.Background(), o)
+	if err != nil {
+		t.Fatalf("Matrix: %v", err)
+	}
+	if want := len(MatrixCells()); len(res.Cells) != want {
+		t.Fatalf("%d cells, want %d", len(res.Cells), want)
+	}
+	if len(res.Cells) < 3*2 {
+		t.Fatalf("matrix smaller than 3 scenarios x 2 summarizers: %d cells", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Completed != o.Trials {
+			t.Errorf("cell %s completed %d/%d", c.Cell, c.Completed, o.Trials)
+		}
+		var sum float64
+		for _, r := range c.Rates {
+			sum += r
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("cell %s rates sum to %v", c.Cell, sum)
+		}
+	}
+	var buf bytes.Buffer
+	res.Write(&buf, o)
+	out := buf.String()
+	for _, label := range []string{"identity/vs/VS", "fog/storyboard/VS", "blocking+jitter/vs/VS"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("report missing cell %s", label)
+		}
+	}
+}
+
+// TestMatrixRegistered ensures the matrix is reachable by name from
+// cmd/experiments and vsd experiment jobs, and stays out of "run all".
+func TestMatrixRegistered(t *testing.T) {
+	e, err := Lookup("matrix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Ablation {
+		t.Error("matrix should be opt-in (Ablation), not part of run-all")
+	}
+	if e.Run == nil {
+		t.Error("matrix has no runner")
+	}
+}

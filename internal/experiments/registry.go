@@ -11,8 +11,9 @@ import (
 // the figure's data at the given scale and prints the result to w.
 type Experiment struct {
 	Name string
-	// Ablation marks this reproduction's modeling-knob studies, which
-	// "run all" skips because they are not the paper's figures.
+	// Ablation marks this reproduction's opt-in extras — modeling-knob
+	// studies and the scenario × summarizer matrix — which "run all"
+	// skips because they are not the paper's figures.
 	Ablation bool
 	Run      func(ctx context.Context, o Options, w io.Writer) error
 }
@@ -88,6 +89,14 @@ func Registry() []Experiment {
 		}},
 		{Name: "13", Run: func(_ context.Context, o Options, w io.Writer) error {
 			r, err := Fig13(o)
+			if err != nil {
+				return err
+			}
+			r.Write(w, o)
+			return nil
+		}},
+		{Name: "matrix", Ablation: true, Run: func(ctx context.Context, o Options, w io.Writer) error {
+			r, err := Matrix(ctx, o)
 			if err != nil {
 				return err
 			}

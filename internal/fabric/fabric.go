@@ -26,6 +26,7 @@ import (
 
 	"vsresil/internal/campaign"
 	"vsresil/internal/fault"
+	"vsresil/internal/summarize"
 	"vsresil/internal/vs"
 
 	"vsresil/internal/virat"
@@ -40,6 +41,13 @@ type CampaignSpec struct {
 	// WorkloadBuilder may interpret this freely (the test harness keys
 	// toy workloads off it).
 	Algorithm string `json:"algorithm,omitempty"`
+	// Scenario is the capture scenario applied to the synthetic input:
+	// "" or "identity" for the clean baseline, or a "+"-chain of
+	// degradations (e.g. "lowlight+fog").
+	Scenario string `json:"scenario,omitempty"`
+	// Summarizer selects the backend: "" or "vs" for panorama
+	// stitching, "storyboard" for the keyframe filmstrip.
+	Summarizer string `json:"summarizer,omitempty"`
 	// Class is the register class: "gpr" or "fpr" (default gpr).
 	Class string `json:"class,omitempty"`
 	// Region restricts injections to one function ("" = whole app).
@@ -75,6 +83,12 @@ func (cs *CampaignSpec) Validate() error {
 	if _, err := fault.ParseRegion(cs.Region); err != nil {
 		return err
 	}
+	if _, err := virat.ParseScenario(cs.Scenario); err != nil {
+		return err
+	}
+	if _, err := summarize.Parse(cs.Summarizer, vs.DefaultConfig(vs.AlgVS)); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -85,13 +99,11 @@ func (cs *CampaignSpec) Validate() error {
 // the spec.
 type WorkloadBuilder func(cs CampaignSpec) (campaign.Workload, error)
 
-// DefaultWorkload builds the standard VS-variant-on-synthetic-input
-// workload from the spec.
+// DefaultWorkload resolves the spec's (scenario, summarizer, algorithm)
+// cell against the synthetic input through the campaign registry. A
+// spec with empty scenario/summarizer fields builds the identity/vs
+// workload — byte-identical to the pre-matrix VS constructor.
 func DefaultWorkload(cs CampaignSpec) (campaign.Workload, error) {
-	alg, err := vs.ParseAlgorithm(cs.Algorithm)
-	if err != nil {
-		return campaign.Workload{}, err
-	}
 	preset, err := virat.ParsePreset(cs.Scale, cs.Frames)
 	if err != nil {
 		return campaign.Workload{}, err
@@ -100,11 +112,8 @@ func DefaultWorkload(cs CampaignSpec) (campaign.Workload, error) {
 	if input == 0 {
 		input = 1
 	}
-	seq, err := virat.ParseInput(input, preset)
-	if err != nil {
-		return campaign.Workload{}, err
-	}
-	return campaign.VS(alg, seq, cs.Seed), nil
+	cell := campaign.Cell{Scenario: cs.Scenario, Summarizer: cs.Summarizer, Algorithm: cs.Algorithm}
+	return cell.Workload(input, preset, cs.Seed)
 }
 
 // campaignSpec translates the wire spec (plus one shard window) into

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"hash/fnv"
 
+	"vsresil/internal/summarize"
+	"vsresil/internal/virat"
 	"vsresil/internal/vs"
 )
 
@@ -14,12 +16,21 @@ import (
 const maxGoldenCache = 16
 
 // goldenKey canonicalizes the campaign spec fields that determine the
-// golden run: the app (algorithm + seed) and the input. Class, region,
-// trials, campaign seed and worker count are irrelevant — the golden
-// run is fault-free and shared across them. The key is the workload's
-// identity in the campaign engine's golden cache.
+// golden run: the workload cell (scenario, summarizer, algorithm), the
+// app seed and the input. Class, region, trials, campaign seed and
+// worker count are irrelevant — the golden run is fault-free and
+// shared across them. The key is the workload's identity in the
+// campaign engine's golden cache. Scenario and summarizer tokens are
+// canonicalized (spec validation guarantees they parse), so
+// "Identity+fog" and "fog" key the same workload.
 func (spec *CampaignSpec) goldenKey() string {
 	alg, _ := vs.ParseAlgorithm(spec.Algorithm)
+	sc, _ := virat.ParseScenario(spec.Scenario)
+	sumName := "vs"
+	if sum, err := summarize.Parse(spec.Summarizer, vs.DefaultConfig(alg)); err == nil {
+		sumName = sum.Name()
+	}
+	cell := fmt.Sprintf("%s/%s/%s", sc.Name, sumName, alg)
 	in := spec.InputSpec
 	if len(in.FramesPGM) > 0 {
 		h := fnv.New64a()
@@ -27,11 +38,11 @@ func (spec *CampaignSpec) goldenKey() string {
 			h.Write([]byte(enc))
 			h.Write([]byte{0})
 		}
-		return fmt.Sprintf("%s|%d|pgm:%d:%x", alg, spec.Seed, len(in.FramesPGM), h.Sum64())
+		return fmt.Sprintf("%s|%d|pgm:%d:%x", cell, spec.Seed, len(in.FramesPGM), h.Sum64())
 	}
 	input := in.Input
 	if input == 0 {
 		input = 1
 	}
-	return fmt.Sprintf("%s|%d|gen:%d:%s:%d", alg, spec.Seed, input, in.Scale, in.Frames)
+	return fmt.Sprintf("%s|%d|gen:%d:%s:%d", cell, spec.Seed, input, in.Scale, in.Frames)
 }

@@ -24,6 +24,7 @@ import (
 	"vsresil/internal/experiments"
 	"vsresil/internal/fault"
 	"vsresil/internal/imgproc"
+	"vsresil/internal/summarize"
 	"vsresil/internal/virat"
 	"vsresil/internal/vs"
 )
@@ -69,6 +70,10 @@ type InputSpec struct {
 	Scale string `json:"scale,omitempty"`
 	// Frames overrides the preset's frame count (0 = preset default).
 	Frames int `json:"frames,omitempty"`
+	// Scenario degrades the generated sequence: "" or "identity" for
+	// the clean baseline, or a "+"-chain of noise, lowlight, fog,
+	// blocking, jitter. Rejected for uploaded frames.
+	Scenario string `json:"scenario,omitempty"`
 	// FramesPGM uploads the input directly: base64-encoded binary PGM
 	// (P5) frames, all the same size. When set, Input/Scale/Frames are
 	// ignored.
@@ -76,11 +81,14 @@ type InputSpec struct {
 }
 
 // SummarizeSpec parameterizes a summarize job: one end-to-end run of a
-// VS variant producing a panorama set.
+// summarizer backend producing a panorama (or filmstrip) set.
 type SummarizeSpec struct {
 	InputSpec
+	// Summarizer selects the backend: "" or "vs" for panorama
+	// stitching, "storyboard" for the keyframe filmstrip.
+	Summarizer string `json:"summarizer,omitempty"`
 	// Algorithm is the VS variant name: VS, VS_RFD, VS_KDS or VS_SM
-	// (default VS).
+	// (default VS). Applies to the vs backend.
 	Algorithm string `json:"algorithm,omitempty"`
 	// Seed fixes the variant's stochastic choices.
 	Seed uint64 `json:"seed,omitempty"`
@@ -92,7 +100,11 @@ type SummarizeSpec struct {
 // CampaignSpec parameterizes a fault-injection campaign job.
 type CampaignSpec struct {
 	InputSpec
-	// Algorithm is the VS variant under test (default VS).
+	// Summarizer selects the backend under test: "" or "vs" for
+	// panorama stitching, "storyboard" for the keyframe filmstrip.
+	Summarizer string `json:"summarizer,omitempty"`
+	// Algorithm is the VS variant under test (default VS). Applies to
+	// the vs backend.
 	Algorithm string `json:"algorithm,omitempty"`
 	// Class is the register class: "gpr" or "fpr" (default gpr).
 	Class string `json:"class,omitempty"`
@@ -149,6 +161,9 @@ func (s *JobSpec) Validate() error {
 		if _, err := vs.ParseAlgorithm(s.Summarize.Algorithm); err != nil {
 			return err
 		}
+		if _, err := summarize.Parse(s.Summarize.Summarizer, vs.DefaultConfig(vs.AlgVS)); err != nil {
+			return err
+		}
 		return s.Summarize.InputSpec.validate()
 	case JobCampaign:
 		c := s.Campaign
@@ -162,6 +177,9 @@ func (s *JobSpec) Validate() error {
 			return fmt.Errorf("service: campaign shards must be >= 0, got %d", c.Shards)
 		}
 		if _, err := vs.ParseAlgorithm(c.Algorithm); err != nil {
+			return err
+		}
+		if _, err := summarize.Parse(c.Summarizer, vs.DefaultConfig(vs.AlgVS)); err != nil {
 			return err
 		}
 		if _, err := fault.ParseClass(c.Class); err != nil {
@@ -188,8 +206,15 @@ func (s *JobSpec) Validate() error {
 }
 
 func (in *InputSpec) validate() error {
+	sc, err := virat.ParseScenario(in.Scenario)
+	if err != nil {
+		return err
+	}
 	if len(in.FramesPGM) > 0 {
-		return nil // decoded (and errors reported) at run time
+		if !sc.IsIdentity() {
+			return fmt.Errorf("service: scenario %q applies to generated inputs, not uploaded frames", in.Scenario)
+		}
+		return nil // frames decoded (and errors reported) at run time
 	}
 	if in.Input != 0 && in.Input != 1 && in.Input != 2 {
 		return fmt.Errorf("service: input must be 1 or 2, got %d", in.Input)
@@ -221,11 +246,15 @@ func (in *InputSpec) frames() ([]*imgproc.Gray, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
+	sc, err := virat.ParseScenario(in.Scenario)
+	if err != nil {
+		return nil, "", err
+	}
 	input := in.Input
 	if input == 0 {
 		input = 1
 	}
-	seq, err := virat.ParseInput(input, preset)
+	seq, err := virat.GenerateInput(input, preset, sc)
 	if err != nil {
 		return nil, "", err
 	}

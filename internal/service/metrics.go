@@ -33,6 +33,10 @@ type metrics struct {
 	goldenHits    uint64
 	goldenMisses  uint64
 
+	// workloadTrials splits the trial counter by campaign workload
+	// cell, backing the per-workload /metrics series.
+	workloadTrials map[workloadCell]uint64
+
 	// bucket scheduler accumulators fed by fault.SchedStats after each
 	// campaign run; bucketMax is the largest single bucket seen, the
 	// histogram's interesting tail for a text exposition.
@@ -68,12 +72,29 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		start:         time.Now(),
-		jobsCompleted: make(map[JobType]map[JobState]uint64),
-		latCounts:     make(map[JobType][]uint64),
-		latSum:        make(map[JobType]float64),
-		latN:          make(map[JobType]uint64),
+		start:          time.Now(),
+		jobsCompleted:  make(map[JobType]map[JobState]uint64),
+		workloadTrials: make(map[workloadCell]uint64),
+		latCounts:      make(map[JobType][]uint64),
+		latSum:         make(map[JobType]float64),
+		latN:           make(map[JobType]uint64),
 	}
+}
+
+// workloadCell identifies one campaign workload in canonical label
+// form: the (scenario, summarizer, algorithm) tuple of the matrix.
+type workloadCell struct {
+	Scenario   string
+	Summarizer string
+	Algorithm  string
+}
+
+// workloadTrialsDone records n completed trials against a workload
+// cell's /metrics series.
+func (m *metrics) workloadTrialsDone(c workloadCell, n int) {
+	m.mu.Lock()
+	m.workloadTrials[c] += uint64(n)
+	m.mu.Unlock()
 }
 
 func (m *metrics) jobAccepted() {
@@ -224,6 +245,25 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	}
 	fmt.Fprintf(w, "vsd_trials_total %d\n", m.trialsTotal)
 	fmt.Fprintf(w, "vsd_trials_per_sec %.1f\n", m.trialsPerSec(now))
+	if len(m.workloadTrials) > 0 {
+		cells := make([]workloadCell, 0, len(m.workloadTrials))
+		for c := range m.workloadTrials {
+			cells = append(cells, c)
+		}
+		sort.Slice(cells, func(a, b int) bool {
+			if cells[a].Scenario != cells[b].Scenario {
+				return cells[a].Scenario < cells[b].Scenario
+			}
+			if cells[a].Summarizer != cells[b].Summarizer {
+				return cells[a].Summarizer < cells[b].Summarizer
+			}
+			return cells[a].Algorithm < cells[b].Algorithm
+		})
+		for _, c := range cells {
+			fmt.Fprintf(w, "vsd_campaign_workload_trials_total{scenario=%q,summarizer=%q,algorithm=%q} %d\n",
+				c.Scenario, c.Summarizer, c.Algorithm, m.workloadTrials[c])
+		}
+	}
 	fmt.Fprintf(w, "vsd_golden_cache_hits_total %d\n", m.goldenHits)
 	fmt.Fprintf(w, "vsd_golden_cache_misses_total %d\n", m.goldenMisses)
 	if m.bucketCampaigns > 0 {

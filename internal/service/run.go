@@ -15,14 +15,17 @@ import (
 	"vsresil/internal/imgproc"
 	"vsresil/internal/probe"
 	"vsresil/internal/stitch"
+	"vsresil/internal/summarize"
+	"vsresil/internal/virat"
 	"vsresil/internal/vs"
 )
 
 // SummarizeResult is the wire form of a summarize job's output.
 type SummarizeResult struct {
-	Algorithm string `json:"algorithm"`
-	Input     string `json:"input"`
-	Frames    int    `json:"frames"`
+	Summarizer string `json:"summarizer"`
+	Algorithm  string `json:"algorithm"`
+	Input      string `json:"input"`
+	Frames     int    `json:"frames"`
 	// Dropped is how many input frames VS_RFD removed.
 	Dropped int `json:"dropped"`
 	// Discarded counts frames rejected for insufficient matches.
@@ -59,6 +62,8 @@ type PanoramaInfo struct {
 
 // CampaignResult is the wire form of a campaign job's output.
 type CampaignResult struct {
+	Scenario    string             `json:"scenario"`
+	Summarizer  string             `json:"summarizer"`
 	Algorithm   string             `json:"algorithm"`
 	Input       string             `json:"input"`
 	Class       string             `json:"class"`
@@ -160,20 +165,34 @@ func (s *Service) runSummarize(ctx context.Context, j *Job) (any, error) {
 	}
 	cfg := vs.DefaultConfig(alg)
 	cfg.Seed = spec.Seed
-	app := vs.New(cfg, len(frames))
+	sum, err := summarize.Parse(spec.Summarizer, cfg)
+	if err != nil {
+		return nil, err
+	}
 
 	type runOut struct {
-		res   *stitch.Result
-		stats []probe.RegionStats
-		err   error
+		res     *stitch.Result
+		dropped int
+		stats   []probe.RegionStats
+		err     error
 	}
 	ch := make(chan runOut, 1)
 	go func() {
 		// Thread a Meter through the pipeline: summarize traffic is the
 		// service's live source of per-stage latency and op profiles.
 		meter := probe.NewMeter()
-		res, err := app.Run(frames, meter)
-		ch <- runOut{res, meter.Snapshot(), err}
+		var out runOut
+		if v, ok := sum.(summarize.VS); ok {
+			// The vs backend runs through its App so the frame-drop count
+			// (a VS_RFD-only statistic) survives into the result.
+			app := vs.New(v.Cfg, len(frames))
+			out.res, out.err = app.Run(frames, meter)
+			out.dropped = app.Dropped()
+		} else {
+			out.res, out.err = summarize.Run(sum, frames, meter)
+		}
+		out.stats = meter.Snapshot()
+		ch <- out
 	}()
 	var out runOut
 	select {
@@ -187,10 +206,11 @@ func (s *Service) runSummarize(ctx context.Context, j *Job) (any, error) {
 	s.metrics.stagesDone(out.stats)
 
 	sr := &SummarizeResult{
+		Summarizer: sum.Name(),
 		Algorithm:  alg.String(),
 		Input:      inputName,
 		Frames:     len(frames),
-		Dropped:    app.Dropped(),
+		Dropped:    out.dropped,
 		Discarded:  out.res.Discarded,
 		ElapsedSec: time.Since(started).Seconds(),
 	}
@@ -257,6 +277,18 @@ func (s *Service) runCampaign(ctx context.Context, j *Job) (any, error) {
 	}
 	vcfg := vs.DefaultConfig(alg)
 	vcfg.Seed = spec.Seed
+	sum, err := summarize.Parse(spec.Summarizer, vcfg)
+	if err != nil {
+		return nil, err
+	}
+	// Canonical workload-cell labels for the result and /metrics: the
+	// uploaded-frames path is always identity (validation rejects the
+	// combination), so the scenario label comes straight from the spec.
+	sc, err := virat.ParseScenario(spec.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	cell := workloadCell{Scenario: sc.Name, Summarizer: sum.Name(), Algorithm: alg.String()}
 
 	s.mu.Lock()
 	resume := append([]fault.TrialRecord(nil), j.resume...)
@@ -282,6 +314,7 @@ func (s *Service) runCampaign(ctx context.Context, j *Job) (any, error) {
 		}
 		s.mu.Unlock()
 		s.metrics.trialsDone(1)
+		s.metrics.workloadTrialsDone(cell, 1)
 		if batch != nil {
 			flush(batch)
 		}
@@ -291,7 +324,7 @@ func (s *Service) runCampaign(ctx context.Context, j *Job) (any, error) {
 	// cache: repeated campaigns over the same app+input (sweeping
 	// classes, regions or trial counts) skip the capture entirely.
 	res, err := s.runner.RunSharded(ctx, campaign.Spec{
-		Workload: campaign.VSApp(vcfg, frames, inputName, spec.goldenKey()),
+		Workload: campaign.SummarizeApp(sum, frames, inputName, spec.goldenKey()),
 		Class:    class,
 		Region:   region,
 		Trials:   spec.Trials,
@@ -317,7 +350,9 @@ func (s *Service) runCampaign(ctx context.Context, j *Job) (any, error) {
 	fres := res.Fault
 	s.metrics.bucketsDone(fres.Sched)
 	cr := &CampaignResult{
-		Algorithm:   alg.String(),
+		Scenario:    cell.Scenario,
+		Summarizer:  cell.Summarizer,
+		Algorithm:   cell.Algorithm,
 		Input:       inputName,
 		Class:       class.String(),
 		Region:      region.String(),

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWorkloadCellCampaignJob runs a campaign job on a non-default
+// (scenario, summarizer) cell: the job completes through the same
+// engine path as the paper workload, the result names the cell, and
+// /metrics exposes the per-workload trial series.
+func TestWorkloadCellCampaignJob(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	st := postJob(t, ts, JobSpec{
+		Type: JobCampaign,
+		Campaign: &CampaignSpec{
+			InputSpec:  InputSpec{Input: 2, Scale: "test", Frames: 6, Scenario: "fog"},
+			Summarizer: "storyboard",
+			Class:      "gpr",
+			Trials:     30,
+			Seed:       7,
+		},
+	})
+	waitFor(t, 60*time.Second, "cell campaign done", func() bool {
+		s := getStatus(t, ts, st.ID)
+		if s.State == StateFailed {
+			t.Fatalf("cell campaign failed: %s", s.Error)
+		}
+		return s.State == StateDone
+	})
+
+	var cr CampaignResult
+	getResult(t, ts, st.ID, &cr)
+	if cr.Scenario != "fog" || cr.Summarizer != "storyboard" || cr.Algorithm != "VS" {
+		t.Errorf("result cell = %s/%s/%s, want fog/storyboard/VS",
+			cr.Scenario, cr.Summarizer, cr.Algorithm)
+	}
+	if cr.Input != "Input2/fog" {
+		t.Errorf("result input = %q, want Input2/fog", cr.Input)
+	}
+	if cr.Completed != 30 {
+		t.Errorf("completed %d/30 trials", cr.Completed)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	want := `vsd_campaign_workload_trials_total{scenario="fog",summarizer="storyboard",algorithm="VS"} 30`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("metrics missing %q in:\n%s", want, buf.String())
+	}
+}
+
+// TestMatrixExperimentJob submits the scenario × summarizer matrix as
+// a vsd experiment job and checks the per-cell table comes back.
+func TestMatrixExperimentJob(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	st := postJob(t, ts, JobSpec{
+		Type:       JobExperiment,
+		Experiment: &ExperimentSpec{Fig: "matrix", Frames: 8, Trials: 20},
+	})
+	waitFor(t, 120*time.Second, "matrix experiment done", func() bool {
+		s := getStatus(t, ts, st.ID)
+		if s.State == StateFailed {
+			t.Fatalf("matrix experiment failed: %s", s.Error)
+		}
+		return s.State == StateDone
+	})
+	var er ExperimentResult
+	getResult(t, ts, st.ID, &er)
+	for _, cell := range []string{"identity/vs/VS", "fog/storyboard/VS", "lowlight/vs/VS"} {
+		if !strings.Contains(er.Text, cell) {
+			t.Errorf("matrix report missing cell %s in:\n%s", cell, er.Text)
+		}
+	}
+}
+
+// TestWorkloadSpecValidation rejects malformed workload-axis fields at
+// submission time, before any frames are generated.
+func TestWorkloadSpecValidation(t *testing.T) {
+	bad := []JobSpec{
+		{Type: JobCampaign, Campaign: &CampaignSpec{
+			InputSpec: InputSpec{Scenario: "blur"}, Trials: 5}},
+		{Type: JobCampaign, Campaign: &CampaignSpec{
+			Summarizer: "mosaic", Trials: 5}},
+		{Type: JobSummarize, Summarize: &SummarizeSpec{
+			Summarizer: "mosaic"}},
+		{Type: JobCampaign, Campaign: &CampaignSpec{
+			InputSpec: InputSpec{Scenario: "fog", FramesPGM: []string{"UDU="}}, Trials: 5}},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("spec %d validated, want error", i)
+		}
+	}
+	ok := JobSpec{Type: JobCampaign, Campaign: &CampaignSpec{
+		InputSpec:  InputSpec{Input: 2, Scale: "test", Frames: 6, Scenario: "Identity+fog"},
+		Summarizer: "storyboard", Trials: 5}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("canonicalizable spec rejected: %v", err)
+	}
+}

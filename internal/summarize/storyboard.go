@@ -1,0 +1,355 @@
+package summarize
+
+import (
+	"fmt"
+	"math"
+
+	"vsresil/internal/fault"
+	"vsresil/internal/imgproc"
+	"vsresil/internal/probe"
+	"vsresil/internal/stitch"
+	"vsresil/internal/warp"
+)
+
+// StoryboardConfig parameterizes the storyboard summarizer.
+type StoryboardConfig struct {
+	// Panels is the number of keyframes in the storyboard (K).
+	Panels int
+	// ScoreStride is the pixel sampling stride of the content-change
+	// scoring pass.
+	ScoreStride int
+	// Gap is the separator width between panels, in pixels.
+	Gap int
+}
+
+// DefaultStoryboard returns the standard storyboard configuration.
+func DefaultStoryboard() Storyboard {
+	return Storyboard{Cfg: StoryboardConfig{Panels: 4, ScoreStride: 7, Gap: 2}}
+}
+
+// Storyboard is a keyframe summarizer in VideoSum's segment-scoring
+// shape: score every frame by content change against its predecessor,
+// partition the timeline into Panels segments of equal cumulative
+// score mass, pick the highest-scoring frame of each segment, and
+// composite the picks into one filmstrip image. It is fully
+// deterministic (no RNG) and, unlike the stitching pipeline, carries
+// no geometric registration — a structurally different summarizer
+// family for the resiliency matrix.
+//
+// The output is a single-panorama stitch.Result, so the encoded
+// artifact, DecodePrimary and the quality metrics all work unchanged.
+type Storyboard struct {
+	Cfg StoryboardConfig
+}
+
+// Name implements Summarizer.
+func (Storyboard) Name() string { return "storyboard" }
+
+// Key implements Summarizer.
+func (sb Storyboard) Key() string {
+	c := sb.norm()
+	return fmt.Sprintf("storyboard:k=%d|ss=%d|gap=%d", c.Panels, c.ScoreStride, c.Gap)
+}
+
+// norm returns the config with zero fields defaulted.
+func (sb Storyboard) norm() StoryboardConfig {
+	c := sb.Cfg
+	if c.Panels < 1 {
+		c.Panels = 4
+	}
+	if c.ScoreStride < 1 {
+		c.ScoreStride = 7
+	}
+	if c.Gap < 0 {
+		c.Gap = 0
+	}
+	return c
+}
+
+// Bind implements Summarizer.
+func (sb Storyboard) Bind(frames []*imgproc.Gray) (fault.App, fault.StagedApp) {
+	a := &storyboardApp{cfg: sb.norm(), frames: frames}
+	return func(m *fault.Machine) ([]byte, error) {
+		return a.RunFull(m, nil)
+	}, a
+}
+
+// Run executes the summarizer on frames under any sink (a Meter for
+// serving runs, Nop for the clean path; nil is normalized to Nop) and
+// returns the storyboard as a stitching result.
+func (sb Storyboard) Run(frames []*imgproc.Gray, s probe.Sink) (*stitch.Result, error) {
+	a := &storyboardApp{cfg: sb.norm(), frames: frames}
+	return a.runFrom(sbState{}, probe.OrNop(s), nil)
+}
+
+// Storyboard pipeline phases, in execution order.
+const (
+	sbScore  int8 = iota // per-frame content-change scoring
+	sbSelect             // segment partition + keyframe argmax
+	sbRender             // filmstrip compositing
+)
+
+// sbState is the resumable state between storyboard stages. Like
+// vs.pipeState it is copyable by design: snapshots cap their slices so
+// appends by resumed trials allocate instead of sharing a tail.
+type sbState struct {
+	phase  int8
+	next   int       // frames scored so far
+	scores []float64 // per-frame content-change scores
+	keys   []int     // selected keyframe indices (set by sbSelect)
+}
+
+// snapshot returns a copy safe to retain across further progress.
+func (st sbState) snapshot() sbState {
+	st.scores = st.scores[:len(st.scores):len(st.scores)]
+	st.keys = st.keys[:len(st.keys):len(st.keys)]
+	return st
+}
+
+// storyboardApp is the campaign view of a Storyboard over a fixed
+// input: a fault.StagedApp whose RunFull with a nil snap hook executes
+// exactly what the one-shot fault.App does.
+type storyboardApp struct {
+	cfg    StoryboardConfig
+	frames []*imgproc.Gray
+}
+
+var _ fault.StagedApp = (*storyboardApp)(nil)
+
+// RunFull implements fault.StagedApp. Boundaries are placed before
+// each frame's scoring pass ("score[i]"), before the selection stage
+// ("select") and before compositing ("render").
+func (a *storyboardApp) RunFull(m *fault.Machine, snap func(name string, state any)) ([]byte, error) {
+	var snapState func(string, sbState)
+	if snap != nil {
+		snapState = func(name string, st sbState) { snap(name, st) }
+	}
+	res, err := a.runFrom(sbState{}, m, snapState)
+	if err != nil {
+		return nil, err
+	}
+	return res.Encode(), nil
+}
+
+// Resume implements fault.StagedApp on a value copy of the shared
+// golden state; the snapshot's capped slices keep it immutable.
+func (a *storyboardApp) Resume(m *fault.Machine, state any) ([]byte, error) {
+	st, ok := state.(sbState)
+	if !ok {
+		return nil, fmt.Errorf("summarize: resume state is %T, want sbState", state)
+	}
+	res, err := a.runFrom(st, m, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res.Encode(), nil
+}
+
+// runFrom executes the pipeline from st onward. snap, when non-nil,
+// receives a labeled snapshot at every stage boundary before the
+// boundary's first tap — the golden checkpoint capture.
+func (a *storyboardApp) runFrom(st sbState, s probe.Sink, snap func(name string, st sbState)) (*stitch.Result, error) {
+	boundary := func(name string) {
+		if snap != nil {
+			snap(name, st.snapshot())
+		}
+	}
+	if st.phase == sbScore {
+		if len(a.frames) == 0 {
+			return nil, stitch.ErrNoFrames
+		}
+		if st.scores == nil {
+			st.scores = make([]float64, 0, len(a.frames))
+		}
+		for st.next < len(a.frames) {
+			boundary(fmt.Sprintf("score[%d]", st.next))
+			v, err := a.scoreFrame(st.next, s)
+			if err != nil {
+				return nil, err
+			}
+			st.scores = append(st.scores, v)
+			st.next++
+		}
+		boundary("select")
+		st.phase = sbSelect
+	}
+	if st.phase == sbSelect {
+		keys, err := a.selectKeyframes(st.scores, s)
+		if err != nil {
+			return nil, err
+		}
+		st.keys = keys
+		st.phase = sbRender
+		boundary("render")
+	}
+	return a.render(st.keys, s)
+}
+
+// scoreFrame computes frame i's content-change score: the sum of
+// absolute intensity differences against the previous frame over a
+// strided pixel sample (frame 0 scores against black, so a sequence
+// always carries mass). The pixel traffic runs through sink taps in
+// the decode region — the storyboard's analogue of the VS pipeline's
+// instrumented decode stage.
+func (a *storyboardApp) scoreFrame(i int, s probe.Sink) (float64, error) {
+	defer s.Enter(probe.RDecode)()
+	cur := a.frames[i]
+	var prev *imgproc.Gray
+	if i > 0 {
+		prev = a.frames[i-1]
+	}
+	n := s.Cnt(len(cur.Pix))
+	if n < 0 || n > len(cur.Pix) {
+		return 0, fmt.Errorf("summarize: corrupted pixel count %d", n)
+	}
+	var sum float64
+	var samples uint64
+	for j := 0; j < n; j += a.cfg.ScoreStride {
+		idx := s.Idx(j)
+		if idx < 0 || idx >= len(cur.Pix) {
+			return 0, fmt.Errorf("summarize: corrupted sample index %d", idx)
+		}
+		v := float64(s.Pix(cur.Pix[idx]))
+		var p float64
+		if prev != nil && idx < len(prev.Pix) {
+			p = float64(prev.Pix[idx])
+		}
+		sum = s.F64(sum + math.Abs(v-p))
+		samples++
+	}
+	s.Ops(probe.OpLoad, samples*2)
+	s.Ops(probe.OpInt, samples*2)
+	s.Ops(probe.OpFloat, samples*3)
+	s.Ops(probe.OpBranch, samples)
+	return sum, nil
+}
+
+// selectKeyframes partitions the timeline into Panels segments of
+// equal cumulative score mass (equal-length segments when the video is
+// static) and returns the highest-scoring frame of each segment, ties
+// to the earliest.
+func (a *storyboardApp) selectKeyframes(scores []float64, s probe.Sink) ([]int, error) {
+	defer s.Enter(probe.RApp)()
+	k := s.Cnt(a.cfg.Panels)
+	if k < 1 || k > 1<<20 {
+		return nil, fmt.Errorf("summarize: corrupted panel count %d", k)
+	}
+	if k > len(scores) {
+		k = len(scores)
+	}
+	var total float64
+	for _, v := range scores {
+		total += v
+	}
+	total = s.F64(total)
+	// bounds[j] is the first frame of segment j; segment j covers
+	// [bounds[j], bounds[j+1]).
+	bounds := make([]int, k+1)
+	if total <= 0 || math.IsNaN(total) {
+		for j := 0; j <= k; j++ {
+			bounds[j] = j * len(scores) / k
+		}
+	} else {
+		j := 1
+		var cum float64
+		for i, v := range scores {
+			cum = s.F64(cum + v)
+			for j < k && cum >= total*float64(j)/float64(k) {
+				bounds[j] = i + 1
+				j++
+			}
+		}
+		for ; j <= k; j++ {
+			bounds[j] = len(scores)
+		}
+	}
+	keys := make([]int, 0, k)
+	for j := 0; j < k; j++ {
+		lo, hi := bounds[j], bounds[j+1]
+		if lo >= hi {
+			// Mass so concentrated the segment is empty: reuse the
+			// boundary frame so the storyboard always has k panels.
+			idx := lo
+			if idx >= len(scores) {
+				idx = len(scores) - 1
+			}
+			keys = append(keys, idx)
+			continue
+		}
+		best, bi := math.Inf(-1), lo
+		for i := lo; i < hi; i++ {
+			if scores[i] > best {
+				best, bi = scores[i], i
+			}
+		}
+		keys = append(keys, s.Idx(bi))
+	}
+	s.Ops(probe.OpFloat, uint64(len(scores))*2)
+	s.Ops(probe.OpBranch, uint64(len(scores)))
+	return keys, nil
+}
+
+// render composites the keyframes into one horizontal filmstrip with
+// Gap-pixel black separators, passing a strided sample of the pixel
+// traffic through blend-region taps (the same 97-stride idiom as the
+// VS decode stage — tapping every byte would dominate the tap space).
+func (a *storyboardApp) render(keys []int, s probe.Sink) (*stitch.Result, error) {
+	defer s.Enter(probe.RBlend)()
+	if len(keys) == 0 {
+		return nil, stitch.ErrNoFrames
+	}
+	fw, fh := a.frames[0].W, a.frames[0].H
+	w := s.Idx(len(keys)*fw + (len(keys)-1)*a.cfg.Gap)
+	// A corrupted width must fail like the warp canvas guard does —
+	// returning an error the fault monitor classifies as a crash — not
+	// hand the runtime an unbounded allocation (a high-bit flip here
+	// asks for terabytes, which is a fatal OOM, not a recoverable
+	// panic). Divide instead of multiplying so a near-MaxInt width
+	// cannot overflow past the check.
+	if w < 1 || fh < 1 || w > warp.MaxCanvasPixels/fh {
+		return nil, fmt.Errorf("summarize: corrupted filmstrip width %d", w)
+	}
+	canvas := imgproc.NewGray(w, fh)
+	for j, ki := range keys {
+		if ki < 0 || ki >= len(a.frames) {
+			return nil, fmt.Errorf("summarize: corrupted keyframe index %d", ki)
+		}
+		src := a.frames[ki]
+		x0 := j * (fw + a.cfg.Gap)
+		for y := 0; y < fh && y < src.H; y++ {
+			lo := y*canvas.W + x0
+			if lo >= len(canvas.Pix) {
+				break
+			}
+			hi := lo + fw
+			if hi > (y+1)*canvas.W {
+				hi = (y + 1) * canvas.W
+			}
+			if hi > len(canvas.Pix) {
+				hi = len(canvas.Pix)
+			}
+			copy(canvas.Pix[lo:hi], src.Pix[y*src.W:])
+		}
+		for t := 0; t < fw*fh; t += 97 {
+			idx := s.Idx(t)
+			if idx < 0 || idx >= fw*fh {
+				return nil, fmt.Errorf("summarize: corrupted panel offset %d", idx)
+			}
+			cx, cy := x0+idx%fw, idx/fw
+			if canvas.InBounds(cx, cy) {
+				canvas.Set(cx, cy, s.Pix(canvas.At(cx, cy)))
+			}
+		}
+		px := uint64(fw * fh)
+		s.Ops(probe.OpLoad, px*2)
+		s.Ops(probe.OpStore, px)
+		s.Ops(probe.OpInt, px*2)
+		s.Ops(probe.OpBranch, px/8)
+	}
+	pano := &stitch.Panorama{
+		Image:  canvas,
+		Bounds: warp.Bounds{MinX: 0, MinY: 0, MaxX: canvas.W, MaxY: canvas.H},
+		Frames: len(keys),
+	}
+	return &stitch.Result{Panoramas: []*stitch.Panorama{pano}}, nil
+}

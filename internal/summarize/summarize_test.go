@@ -1,0 +1,242 @@
+package summarize
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vsresil/internal/fault"
+	"vsresil/internal/imgproc"
+	"vsresil/internal/probe"
+	"vsresil/internal/stitch"
+	"vsresil/internal/virat"
+	"vsresil/internal/vs"
+)
+
+func testFrames(t *testing.T, n int) []*imgproc.Gray {
+	t.Helper()
+	p := virat.TestScale()
+	p.Frames = n
+	seq, err := virat.ParseInput(2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq.Frames()
+}
+
+func TestParse(t *testing.T) {
+	cfg := vs.DefaultConfig(vs.AlgKDS)
+	for name, want := range map[string]string{"": "vs", "vs": "vs", "VS": "vs",
+		"storyboard": "storyboard", "StoryBoard": "storyboard"} {
+		s, err := Parse(name, cfg)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if s.Name() != want {
+			t.Errorf("Parse(%q).Name() = %q, want %q", name, s.Name(), want)
+		}
+	}
+	if _, err := Parse("collage", cfg); err == nil {
+		t.Error("Parse(collage) succeeded, want error")
+	} else if !strings.Contains(err.Error(), "collage") {
+		t.Errorf("error %q does not name the bad summarizer", err)
+	}
+}
+
+// TestVSAdapterByteIdentical proves the seam adds nothing: the VS
+// adapter's fault.App produces byte-for-byte what the direct vs.App
+// construction always produced.
+func TestVSAdapterByteIdentical(t *testing.T) {
+	frames := testFrames(t, 8)
+	cfg := vs.DefaultConfig(vs.AlgVS)
+
+	direct := vs.New(cfg, len(frames))
+	res, err := direct.Run(frames, probe.Nop{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Encode()
+
+	app, staged := VS{Cfg: cfg}.Bind(frames)
+	got, err := app(fault.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("VS adapter app output differs from direct vs.App run")
+	}
+	golden, err := fault.CaptureGoldenStaged(staged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(golden.Output, want) {
+		t.Error("VS adapter staged golden output differs from direct run")
+	}
+}
+
+func TestStoryboardDeterministicAndDecodable(t *testing.T) {
+	frames := testFrames(t, 10)
+	sb := DefaultStoryboard()
+	app, _ := sb.Bind(frames)
+	a, err := app(fault.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := app(fault.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("storyboard output not deterministic")
+	}
+	img, _, _, err := stitch.DecodePrimary(a)
+	if err != nil {
+		t.Fatalf("storyboard output not decodable: %v", err)
+	}
+	k := sb.norm().Panels
+	fw, fh := frames[0].W, frames[0].H
+	wantW := k*fw + (k-1)*sb.norm().Gap
+	if img.W != wantW || img.H != fh {
+		t.Errorf("storyboard %dx%d, want %dx%d", img.W, img.H, wantW, fh)
+	}
+}
+
+// TestStoryboardStagedEquivalence checks the StagedApp contract: the
+// golden capture's output matches the one-shot app, and resuming from
+// every checkpoint with seeded counters reproduces the golden bytes.
+func TestStoryboardStagedEquivalence(t *testing.T) {
+	frames := testFrames(t, 10)
+	app, staged := DefaultStoryboard().Bind(frames)
+	want, err := app(fault.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := fault.CaptureGoldenStaged(staged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(golden.Output, want) {
+		t.Fatal("staged golden output differs from one-shot app")
+	}
+	if len(golden.Checkpoints) != len(frames)+2 {
+		t.Fatalf("%d checkpoints, want %d (score[i] each frame + select + render)",
+			len(golden.Checkpoints), len(frames)+2)
+	}
+	for _, cp := range golden.Checkpoints {
+		m := fault.New()
+		m.SeedCounters(cp.Counters)
+		got, err := staged.Resume(m, cp.State)
+		if err != nil {
+			t.Fatalf("resume from %s: %v", cp.Name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("resume from %s diverges from golden output", cp.Name)
+		}
+		end := fault.TapCounters{Steps: golden.Steps, GPR: golden.GPRTaps, FPR: golden.FPRTaps,
+			RegionGPR: golden.RegionGPR, RegionFPR: golden.RegionFPR}
+		if m.Counters() != end {
+			t.Errorf("resume from %s ends at different tap counters", cp.Name)
+		}
+	}
+}
+
+// TestStoryboardSensitiveToInput guards against a degenerate
+// summarizer: different scenarios must produce different storyboards.
+func TestStoryboardSensitiveToInput(t *testing.T) {
+	p := virat.TestScale()
+	p.Frames = 10
+	clean, err := virat.GenerateInput(2, p, virat.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fog, err := virat.ParseScenario("fog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	foggy, err := virat.GenerateInput(2, p, fog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := DefaultStoryboard()
+	appA, _ := sb.Bind(clean.Frames())
+	appB, _ := sb.Bind(foggy.Frames())
+	a, err := appA(fault.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := appB(fault.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Error("storyboard identical across clean and fog scenarios")
+	}
+}
+
+func TestStoryboardEmptyInput(t *testing.T) {
+	app, staged := DefaultStoryboard().Bind(nil)
+	if _, err := app(fault.New()); err == nil {
+		t.Error("storyboard on empty input succeeded, want error")
+	}
+	if _, err := staged.RunFull(fault.New(), nil); err == nil {
+		t.Error("staged storyboard on empty input succeeded, want error")
+	}
+}
+
+// widthFaultSink passes all traffic through untouched except the
+// first Idx tap inside the blend region — the filmstrip width in
+// render — which it replaces with an enormous positive value, the
+// shape a high-bit register flip produces.
+type widthFaultSink struct {
+	probe.Sink
+	region probe.Region
+	width  int
+	hit    bool
+}
+
+func (s *widthFaultSink) Enter(r probe.Region) func() {
+	prev := s.region
+	s.region = r
+	return func() { s.region = prev }
+}
+
+func (s *widthFaultSink) Idx(v int) int {
+	if s.region == probe.RBlend && !s.hit {
+		s.hit = true
+		return s.width
+	}
+	return v
+}
+
+// TestStoryboardCorruptedWidth pins the allocation guard in render: a
+// fault-corrupted filmstrip width must come back as an error (a crash
+// outcome), never reach the allocator. Without the guard this test
+// dies with a fatal runtime OOM trying to allocate terabytes.
+func TestStoryboardCorruptedWidth(t *testing.T) {
+	frames := virat.Input2(virat.TestScale()).Frames()
+	a := &storyboardApp{cfg: DefaultStoryboard().norm(), frames: frames}
+	for _, w := range []int{1 << 40, 1 << 62, 0, -5} {
+		s := &widthFaultSink{Sink: probe.Nop{}, width: w}
+		_, err := a.runFrom(sbState{}, s, nil)
+		if err == nil {
+			t.Errorf("width %d: render succeeded, want corrupted-width error", w)
+			continue
+		}
+		if !s.hit {
+			t.Fatalf("width %d: sink never saw the blend-region width tap", w)
+		}
+		if !strings.Contains(err.Error(), "corrupted filmstrip width") {
+			t.Errorf("width %d: error %q, want corrupted filmstrip width", w, err)
+		}
+	}
+}
+
+func TestStoryboardKeyStable(t *testing.T) {
+	if DefaultStoryboard().Key() != DefaultStoryboard().Key() {
+		t.Error("storyboard key unstable")
+	}
+	a := Storyboard{Cfg: StoryboardConfig{Panels: 6, ScoreStride: 7, Gap: 2}}
+	if a.Key() == DefaultStoryboard().Key() {
+		t.Error("different configs share a key")
+	}
+}

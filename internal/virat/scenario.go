@@ -1,0 +1,283 @@
+package virat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"vsresil/internal/imgproc"
+	"vsresil/internal/stats"
+)
+
+// Scenario is a deterministic, composable degradation chain applied to
+// every rendered frame of a Sequence. The empty chain is the identity
+// scenario: it leaves frames byte-for-byte what the base presets
+// produce, so every golden output and equivalence guarantee built on
+// Input1/Input2 carries over unchanged. Non-identity scenarios model
+// the capture conditions the paper's single VIRAT setting holds fixed
+// (sensor grain, illumination, atmosphere, codec, shutter), making
+// (Scenario, Summarizer) a workload axis instead of a constant.
+type Scenario struct {
+	// Name is the canonical "+"-joined stage list ("identity" when
+	// empty); it keys golden caches and labels reports, so two
+	// scenarios with equal names must degrade frames identically.
+	Name string
+	// Stages are applied in order to each frame after base rendering
+	// (world sampling, sensor noise, moving objects).
+	Stages []Degradation
+}
+
+// Degradation is one in-place frame transform of a scenario chain.
+// Implementations must be deterministic in (frame contents, frameIdx):
+// any randomness is derived from a fixed per-stage seed and the frame
+// index, never from shared state, so sequences stay replayable and
+// safe to render from concurrent goroutines holding distinct frames.
+type Degradation interface {
+	// Name is the stage's parser token ("noise", "fog", ...).
+	Name() string
+	// Apply transforms the frame in place.
+	Apply(g *imgproc.Gray, frameIdx int)
+}
+
+// Identity returns the do-nothing scenario.
+func Identity() Scenario { return Scenario{Name: "identity"} }
+
+// IsIdentity reports whether the scenario has no stages. The zero
+// Scenario is identity too, so an unset field degrades nothing.
+func (sc Scenario) IsIdentity() bool { return len(sc.Stages) == 0 }
+
+// apply runs the stage chain over one frame.
+func (sc Scenario) apply(g *imgproc.Gray, frameIdx int) {
+	for _, d := range sc.Stages {
+		d.Apply(g, frameIdx)
+	}
+}
+
+// ScenarioNames lists the stage tokens ParseScenario accepts, in
+// canonical order — the vocabulary CLIs and the vsd wire format
+// advertise.
+func ScenarioNames() []string {
+	return []string{"identity", "noise", "lowlight", "fog", "blocking", "jitter"}
+}
+
+// ParseScenario parses a "+"-separated stage expression into a
+// Scenario: "" and "identity" yield the identity scenario;
+// "fog+blocking" composes fog then compression blocking. Tokens are
+// case-insensitive and surrounding space is ignored. The returned
+// Name is the canonical lower-case joined form.
+func ParseScenario(expr string) (Scenario, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return Identity(), nil
+	}
+	var sc Scenario
+	var names []string
+	for _, tok := range strings.Split(expr, "+") {
+		tok = strings.ToLower(strings.TrimSpace(tok))
+		switch tok {
+		case "", "identity":
+			// Identity composes as a no-op: "identity+fog" == "fog".
+			continue
+		case "noise":
+			sc.Stages = append(sc.Stages, SensorNoise{Sigma: 6})
+		case "lowlight":
+			sc.Stages = append(sc.Stages, LowLight{Gain: 0.35, ReadSigma: 2.5})
+		case "fog":
+			sc.Stages = append(sc.Stages, Fog{Density: 0.45, Airlight: 235})
+		case "blocking":
+			sc.Stages = append(sc.Stages, Blocking{Block: 8, Step: 12})
+		case "jitter":
+			sc.Stages = append(sc.Stages, Jitter{Amplitude: 2.5, Period: 24})
+		default:
+			return Scenario{}, fmt.Errorf("virat: unknown scenario stage %q (want one of %s)",
+				tok, strings.Join(ScenarioNames(), ", "))
+		}
+		names = append(names, tok)
+	}
+	if len(sc.Stages) == 0 {
+		return Identity(), nil
+	}
+	sc.Name = strings.Join(names, "+")
+	return sc, nil
+}
+
+// GenerateInput builds the numbered paper input at the given preset
+// with the scenario's degradations applied to every frame. The
+// identity scenario returns exactly ParseInput's sequence; otherwise
+// the sequence name gains a "/<scenario>" suffix so reports and golden
+// keys distinguish the cell.
+func GenerateInput(input int, p Preset, sc Scenario) (*Sequence, error) {
+	s, err := ParseInput(input, p)
+	if err != nil {
+		return nil, err
+	}
+	if !sc.IsIdentity() {
+		s.Scenario = sc
+		s.Name += "/" + sc.Name
+	}
+	return s, nil
+}
+
+// stageSeed derives the per-frame RNG seed for one stage from its
+// fixed salt, keeping stages independent of each other and of the base
+// sensor noise stream.
+func stageSeed(salt, frameIdx uint64) uint64 {
+	return salt ^ stats.Hash64(frameIdx)
+}
+
+// SensorNoise adds zero-mean Gaussian grain on top of whatever sensor
+// noise the base input already has — the heavier-grain variant of the
+// paper's VIRAT footage.
+type SensorNoise struct {
+	// Sigma is the noise standard deviation in intensity levels.
+	Sigma float64
+}
+
+// Name implements Degradation.
+func (d SensorNoise) Name() string { return "noise" }
+
+// Apply implements Degradation.
+func (d SensorNoise) Apply(g *imgproc.Gray, frameIdx int) {
+	rng := stats.NewRNG(stageSeed(0x5E4501, uint64(frameIdx)))
+	for i, v := range g.Pix {
+		g.Pix[i] = imgproc.SaturateUint8(float64(v) + rng.NormFloat64()*d.Sigma)
+	}
+}
+
+// LowLight models underexposure: a multiplicative gain collapse plus
+// read noise that dominates once the signal is crushed.
+type LowLight struct {
+	// Gain scales intensities toward black (0 < Gain <= 1).
+	Gain float64
+	// ReadSigma is the post-gain Gaussian read noise.
+	ReadSigma float64
+}
+
+// Name implements Degradation.
+func (d LowLight) Name() string { return "lowlight" }
+
+// Apply implements Degradation.
+func (d LowLight) Apply(g *imgproc.Gray, frameIdx int) {
+	rng := stats.NewRNG(stageSeed(0x10110, uint64(frameIdx)))
+	for i, v := range g.Pix {
+		g.Pix[i] = imgproc.SaturateUint8(float64(v)*d.Gain + rng.NormFloat64()*d.ReadSigma)
+	}
+}
+
+// Fog blends every pixel toward a bright airlight with density growing
+// down the frame (scene depth increases toward the bottom for an
+// oblique aerial camera), flattening the contrast key-point detectors
+// feed on.
+type Fog struct {
+	// Density in [0,1] is the haze strength at the most distant row.
+	Density float64
+	// Airlight is the atmospheric intensity fogged pixels approach.
+	Airlight float64
+}
+
+// Name implements Degradation.
+func (d Fog) Name() string { return "fog" }
+
+// Apply implements Degradation.
+func (d Fog) Apply(g *imgproc.Gray, frameIdx int) {
+	if g.H == 0 {
+		return
+	}
+	for y := 0; y < g.H; y++ {
+		// Near rows keep half the density, far rows the full amount.
+		t := d.Density * (0.5 + 0.5*float64(y)/float64(g.H))
+		row := g.Pix[y*g.W : (y+1)*g.W]
+		for x, v := range row {
+			row[x] = imgproc.SaturateUint8(float64(v)*(1-t) + d.Airlight*t)
+		}
+	}
+}
+
+// Blocking imitates aggressive block-transform compression: within
+// each Block×Block tile, deviations from the tile mean are quantized
+// to Step levels, producing the blocking artifacts of a starved
+// encoder.
+type Blocking struct {
+	// Block is the tile edge length in pixels.
+	Block int
+	// Step is the quantization step applied to deviations from the
+	// tile mean.
+	Step int
+}
+
+// Name implements Degradation.
+func (d Blocking) Name() string { return "blocking" }
+
+// Apply implements Degradation.
+func (d Blocking) Apply(g *imgproc.Gray, frameIdx int) {
+	b, q := d.Block, float64(d.Step)
+	if b <= 0 || q <= 0 {
+		return
+	}
+	for by := 0; by < g.H; by += b {
+		for bx := 0; bx < g.W; bx += b {
+			x1, y1 := bx+b, by+b
+			if x1 > g.W {
+				x1 = g.W
+			}
+			if y1 > g.H {
+				y1 = g.H
+			}
+			var sum, n float64
+			for y := by; y < y1; y++ {
+				for x := bx; x < x1; x++ {
+					sum += float64(g.Pix[y*g.W+x])
+					n++
+				}
+			}
+			mean := sum / n
+			for y := by; y < y1; y++ {
+				for x := bx; x < x1; x++ {
+					dev := float64(g.Pix[y*g.W+x]) - mean
+					g.Pix[y*g.W+x] = imgproc.SaturateUint8(mean + math.Floor(dev/q)*q)
+				}
+			}
+		}
+	}
+}
+
+// Jitter models rolling-shutter wobble: each row shifts horizontally
+// by a sinusoid of the row index whose phase advances per frame, the
+// characteristic jello of an unstabilized airborne sensor.
+type Jitter struct {
+	// Amplitude is the peak row shift in pixels.
+	Amplitude float64
+	// Period is the sinusoid wavelength in rows.
+	Period float64
+}
+
+// Name implements Degradation.
+func (d Jitter) Name() string { return "jitter" }
+
+// Apply implements Degradation.
+func (d Jitter) Apply(g *imgproc.Gray, frameIdx int) {
+	if d.Period == 0 || g.W == 0 {
+		return
+	}
+	// The per-frame phase comes from the hashed frame index so
+	// consecutive frames wobble out of phase, as a real shutter does.
+	phase := float64(stats.Hash64(uint64(frameIdx))%4096) / 4096 * 2 * math.Pi
+	row := make([]uint8, g.W)
+	for y := 0; y < g.H; y++ {
+		dx := int(math.Round(d.Amplitude * math.Sin(2*math.Pi*float64(y)/d.Period+phase)))
+		if dx == 0 {
+			continue
+		}
+		src := g.Pix[y*g.W : (y+1)*g.W]
+		for x := 0; x < g.W; x++ {
+			sx := x - dx
+			if sx < 0 {
+				sx = 0
+			} else if sx >= g.W {
+				sx = g.W - 1
+			}
+			row[x] = src[sx]
+		}
+		copy(src, row)
+	}
+}

@@ -1,0 +1,196 @@
+package virat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePresetErrors(t *testing.T) {
+	for _, scale := range []string{"huge", "TESTY", "bench2", "paper "} {
+		if _, err := ParsePreset(scale, 0); err == nil {
+			t.Errorf("ParsePreset(%q) succeeded, want error", scale)
+		} else if !strings.Contains(err.Error(), scale) {
+			t.Errorf("ParsePreset(%q) error %q does not name the bad scale", scale, err)
+		}
+	}
+	// Valid names stay case-insensitive and "" defaults to test scale.
+	for _, scale := range []string{"", "test", "TEST", "Bench", "paper"} {
+		if _, err := ParsePreset(scale, 0); err != nil {
+			t.Errorf("ParsePreset(%q): %v", scale, err)
+		}
+	}
+	p, err := ParsePreset("test", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Frames != 5 {
+		t.Errorf("frames override: got %d, want 5", p.Frames)
+	}
+}
+
+func TestParseInputErrors(t *testing.T) {
+	p := TestScale()
+	for _, input := range []int{-1, 0, 3, 42} {
+		if _, err := ParseInput(input, p); err == nil {
+			t.Errorf("ParseInput(%d) succeeded, want error", input)
+		}
+	}
+	for _, input := range []int{1, 2} {
+		s, err := ParseInput(input, p)
+		if err != nil {
+			t.Fatalf("ParseInput(%d): %v", input, err)
+		}
+		if s.Len() != p.Frames {
+			t.Errorf("input %d: %d frames, want %d", input, s.Len(), p.Frames)
+		}
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	for _, expr := range []string{"", "identity", " IDENTITY ", "identity+identity"} {
+		sc, err := ParseScenario(expr)
+		if err != nil {
+			t.Fatalf("ParseScenario(%q): %v", expr, err)
+		}
+		if !sc.IsIdentity() || sc.Name != "identity" {
+			t.Errorf("ParseScenario(%q) = %+v, want identity", expr, sc)
+		}
+	}
+	sc, err := ParseScenario(" Fog + BLOCKING ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "fog+blocking" || len(sc.Stages) != 2 {
+		t.Errorf("got %q with %d stages, want fog+blocking with 2", sc.Name, len(sc.Stages))
+	}
+	if sc.Stages[0].Name() != "fog" || sc.Stages[1].Name() != "blocking" {
+		t.Errorf("stage order %s,%s, want fog,blocking", sc.Stages[0].Name(), sc.Stages[1].Name())
+	}
+	// Identity tokens vanish from compositions.
+	sc, err = ParseScenario("identity+noise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "noise" || len(sc.Stages) != 1 {
+		t.Errorf("identity+noise = %q with %d stages, want noise with 1", sc.Name, len(sc.Stages))
+	}
+	for _, expr := range []string{"fogg", "noise+", "+", "noise+blur", "rain"} {
+		want := expr
+		switch expr {
+		case "noise+", "+":
+			// Trailing separators leave an empty token which composes
+			// as identity, so these parse; only unknown names fail.
+			if _, err := ParseScenario(expr); err != nil {
+				t.Errorf("ParseScenario(%q): %v, want success", expr, err)
+			}
+			continue
+		case "noise+blur":
+			want = "blur"
+		}
+		_, err := ParseScenario(expr)
+		if err == nil {
+			t.Errorf("ParseScenario(%q) succeeded, want error", expr)
+			continue
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("ParseScenario(%q) error %q does not name token %q", expr, err, want)
+		}
+	}
+}
+
+// TestIdentityScenarioByteIdentical is the generator-layer half of the
+// PR's core guarantee: rendering through GenerateInput with the
+// identity scenario must be byte-for-byte the historical ParseInput
+// output.
+func TestIdentityScenarioByteIdentical(t *testing.T) {
+	p := TestScale()
+	p.Frames = 6
+	for _, input := range []int{1, 2} {
+		base, err := ParseInput(input, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := GenerateInput(input, p, Identity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen.Name != base.Name {
+			t.Errorf("identity scenario renamed input: %q vs %q", gen.Name, base.Name)
+		}
+		for i := 0; i < p.Frames; i++ {
+			if !gen.Frame(i).Equal(base.Frame(i)) {
+				t.Fatalf("input %d frame %d differs under identity scenario", input, i)
+			}
+		}
+	}
+}
+
+func TestScenarioDeterministicAndDistinct(t *testing.T) {
+	p := TestScale()
+	p.Frames = 4
+	for _, name := range []string{"noise", "lowlight", "fog", "blocking", "jitter"} {
+		sc, err := ParseScenario(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := GenerateInput(2, p, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GenerateInput(2, p, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := ParseInput(2, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantName := "Input2/" + name; a.Name != wantName {
+			t.Errorf("%s: sequence name %q, want %q", name, a.Name, wantName)
+		}
+		for i := 0; i < p.Frames; i++ {
+			if !a.Frame(i).Equal(b.Frame(i)) {
+				t.Fatalf("%s: frame %d not deterministic", name, i)
+			}
+			if a.Frame(i).Equal(base.Frame(i)) {
+				t.Errorf("%s: frame %d identical to the clean input", name, i)
+			}
+		}
+	}
+}
+
+func TestScenarioCompositionOrder(t *testing.T) {
+	p := TestScale()
+	p.Frames = 2
+	ab, err := ParseScenario("lowlight+fog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := ParseScenario("fog+lowlight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := GenerateInput(1, p, ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := GenerateInput(1, p, ba)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gain-then-fog brightens toward airlight after crushing; the
+	// reverse crushes the airlight too. The chains must not commute.
+	same := true
+	for i := 0; i < p.Frames && same; i++ {
+		same = sa.Frame(i).Equal(sb.Frame(i))
+	}
+	if same {
+		t.Error("lowlight+fog and fog+lowlight produced identical frames")
+	}
+}
+
+func TestGenerateInputBadInput(t *testing.T) {
+	if _, err := GenerateInput(7, TestScale(), Identity()); err == nil {
+		t.Error("GenerateInput(7) succeeded, want error")
+	}
+}

@@ -60,6 +60,11 @@ type Sequence struct {
 	// rendered into the frames — the raw material of the event
 	// summarization stage (Fig 2 of the paper).
 	Objects []MovingObject
+	// Scenario is the degradation chain applied to every frame after
+	// base rendering. The zero value is the identity scenario, which
+	// leaves frames byte-identical to the historical presets. It must
+	// be set before any frame is rendered (GenerateInput does this).
+	Scenario Scenario
 
 	frames []*imgproc.Gray // lazily rendered cache
 }
@@ -158,6 +163,9 @@ func (s *Sequence) render(p Pose, frameIdx uint64) *imgproc.Gray {
 		}
 	}
 	s.renderObjects(out, h, int(frameIdx))
+	if !s.Scenario.IsIdentity() {
+		s.Scenario.apply(out, int(frameIdx))
+	}
 	return out
 }
 

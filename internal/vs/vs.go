@@ -27,12 +27,15 @@ import (
 	"vsresil/internal/probe"
 	"vsresil/internal/stats"
 	"vsresil/internal/stitch"
+	"vsresil/internal/warp"
 )
 
 // Algorithm identifies a VS variant.
 type Algorithm uint8
 
-// The four algorithms of the paper, in its presentation order.
+// The paper's approximation variants, in its presentation order.
+// These are the vs backend's algorithm axis; other summarizer
+// backends (internal/summarize) have no variant axis.
 const (
 	AlgVS Algorithm = iota
 	AlgRFD
@@ -57,9 +60,15 @@ func (a Algorithm) String() string {
 	}
 }
 
-// Algorithms returns all four variants in paper order.
+// Algorithms returns every variant of the vs backend in paper order.
+// Iterate NumAlgorithms-agnostically; the count is not part of the
+// contract now that summarizer backends are pluggable.
 func Algorithms() []Algorithm {
-	return []Algorithm{AlgVS, AlgRFD, AlgKDS, AlgSM}
+	out := make([]Algorithm, 0, NumAlgorithms)
+	for a := Algorithm(0); a < NumAlgorithms; a++ {
+		out = append(out, a)
+	}
+	return out
 }
 
 // ParseAlgorithm maps a paper name (case-insensitively) to a variant;
@@ -364,6 +373,14 @@ func decode[S probe.Sink](a *App, frames []*imgproc.Gray, m S) ([]*imgproc.Gray,
 		src := frames[m.Idx(i)]
 		w := m.Idx(src.W)
 		h := src.H
+		// A negative corrupted width falls through to imgproc.NewGray's
+		// panic (a recoverable crash), but a high-bit flip makes a huge
+		// positive width whose allocation is a fatal runtime OOM — bound
+		// it like the warp canvas guard. Divide instead of multiplying
+		// so a near-MaxInt width cannot overflow past the check.
+		if h > 0 && w > warp.MaxCanvasPixels/h {
+			return nil, fmt.Errorf("vs: corrupted frame width %d", w)
+		}
 		dst := getFrame(w, h)
 		n := copy(dst.Pix, src.Pix)
 		// A recycled buffer holds the previous trial's pixels; zero

@@ -287,6 +287,33 @@ func TestDecodeRejectsInflatedFrameCount(t *testing.T) {
 	}
 }
 
+func TestDecodeRejectsHugeFrameWidth(t *testing.T) {
+	frames := inputFrames(t, 4)
+	app := New(DefaultConfig(AlgVS), len(frames))
+	// Site 2 is the first frame's width tap (after the count and the
+	// frame index). Bit 39 turns 96 into ~5.5e11 — positive, so it
+	// must be stopped by the allocation bound before getFrame, not by
+	// NewGray's negative-dimension panic.
+	m := fault.NewWithPlan(fault.Plan{
+		Class:  fault.GPR,
+		Reg:    int(stats.Hash64(2) % fault.NumRegisters),
+		Bit:    39,
+		Site:   2,
+		Window: 1,
+		Region: fault.RAny,
+	}, 0)
+	_, err := app.Run(frames, m)
+	if err == nil {
+		t.Fatal("huge corrupted frame width was accepted")
+	}
+	if !strings.Contains(err.Error(), "corrupted frame width") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if !m.Injected() {
+		t.Error("plan did not land on the width tap")
+	}
+}
+
 func TestDecodeLowBitFlipIsNotAnError(t *testing.T) {
 	// Bit 2 turns the count 4 into 0: still within [0, len], so the
 	// decode itself succeeds but retains nothing.

@@ -48,7 +48,7 @@ func RunStudy(ctx context.Context, cfg StudyConfig) (*StudyResult, error) {
 // Algorithm variants of the VS application (§IV).
 type Algorithm = vs.Algorithm
 
-// The four algorithms in the paper's order.
+// The paper's approximation variants, in its order.
 const (
 	AlgVS  = vs.AlgVS
 	AlgRFD = vs.AlgRFD
@@ -56,7 +56,7 @@ const (
 	AlgSM  = vs.AlgSM
 )
 
-// Algorithms returns all four variants in paper order.
+// Algorithms returns every VS variant in paper order.
 func Algorithms() []Algorithm { return vs.Algorithms() }
 
 // Register classes for fault injection (§V-B).
