@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: all check fmt vet build test race identity bench bench-json fabric-smoke clean
+.PHONY: all check fmt vet build test race identity determinism bench bench-json fabric-smoke clean
 
 all: check
 
-check: fmt vet build race identity
+check: fmt vet build race identity determinism
 
 # fmt fails if any file is not gofmt-clean (prints the offenders).
 fmt:
@@ -40,6 +40,13 @@ race:
 identity:
 	$(GO) test -count=1 -run 'TestIdentityCell|TestIdentityScenarioByteIdentical|TestVSAdapterByteIdentical|TestCellIdentityMatchesVSConstructor|TestVSConstructorKeyUnchanged' . ./internal/virat/ ./internal/summarize/ ./internal/campaign/
 
+# determinism pins the adaptive planner's reproducibility promise: the
+# confidence-driven trial set must be bit-identical across seeds,
+# worker counts, round-shard counts, resume and a live cluster. Run it
+# after touching internal/plan or the adaptive execution paths.
+determinism:
+	$(GO) test -count=1 -run 'TestAdaptiveDeterministic|TestAdaptiveStratumStreamsIndependent|TestAdaptiveCampaignDeterministicAcrossExecution|TestClusterAdaptive|TestCoordinatorRestartAdaptive' ./internal/plan/ ./internal/campaign/ ./internal/fabric/
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
@@ -56,10 +63,10 @@ fabric-smoke:
 # against the ledger's "before" section. Only the campaign-throughput
 # benchmark gates (>10% regression fails); the micro-benchmarks stay
 # advisory — they are too noisy to block on.
-BENCH_JSON ?= BENCH_7.json
+BENCH_JSON ?= BENCH_9.json
 BENCH_GATE ?= BenchmarkCampaignThroughput
 bench-json:
-	$(GO) test -run '^$$' -bench 'Pipeline|CampaignThroughput|CompositeTiled|BucketRestore' -benchtime 3x . | tee bench.out
+	$(GO) test -run '^$$' -bench 'Pipeline|CampaignThroughput|AdaptiveCampaign|CompositeTiled|BucketRestore' -benchtime 3x . | tee bench.out
 	$(GO) run ./cmd/benchdiff parse -label after -in bench.out -out $(BENCH_JSON)
 	$(GO) run ./cmd/benchdiff compare -in $(BENCH_JSON) -gate '$(BENCH_GATE)' -threshold 0.10
 	rm -f bench.out

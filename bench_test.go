@@ -219,6 +219,42 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	b.ReportMetric(trials/b.Elapsed().Seconds(), "trials/s")
 }
 
+// BenchmarkAdaptiveCampaign measures the confidence-driven planner
+// end to end: golden capture amortized outside the timer, each
+// iteration runs a full adaptive campaign at a loose target. Advisory
+// only — the interesting number is trials/s alongside the savings the
+// planner reports elsewhere.
+func BenchmarkAdaptiveCampaign(b *testing.B) {
+	p := virat.TestScale()
+	p.Frames = 8
+	frames := virat.Input2(p).Frames()
+	app := vs.New(vs.DefaultConfig(vs.AlgVS), len(frames))
+	workload := campaign.NewStagedWorkload("bench-adaptive", "", app.RunEncoded(frames), app.Staged(frames))
+	golden, err := fault.CaptureGoldenStaged(workload.Staged)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var runner campaign.Runner
+	var trials int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := runner.RunAdaptive(context.Background(), campaign.Spec{
+			Workload: workload, Class: fault.GPR, Region: fault.RAny,
+			Seed: uint64(i), Golden: golden,
+			Adaptive: &campaign.AdaptiveSpec{Precision: 0.2, Confidence: 0.8},
+		}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		trials += res.Executed
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(trials)/b.Elapsed().Seconds(), "trials/s")
+	}
+}
+
 // BenchmarkCompositeTiled measures the compositing stage alone — the
 // pipeline's hottest kernel — with the banded tile kernels on and off,
 // on the fault-free Nop path where tiling applies. The align state is

@@ -30,7 +30,6 @@ import (
 	"vsresil/internal/campaign"
 	"vsresil/internal/fabric"
 	"vsresil/internal/fault"
-	"vsresil/internal/imgproc"
 	"vsresil/internal/quality"
 	"vsresil/internal/stitch"
 	"vsresil/internal/summarize"
@@ -61,14 +60,33 @@ func run() error {
 		sdcEDs     = flag.Bool("sdc-quality", false, "classify every SDC's Egregiousness Degree")
 		regionStr  = flag.String("region", "", "restrict injections to one function (e.g. remapBilinear)")
 		stratified = flag.Bool("stratified", false, "use the Relyzer-style equivalence-class campaign (per-stratum sampling, population-weighted estimate)")
+		adaptive   = flag.Bool("adaptive", false, "use the confidence-driven planner: allocate rounds to the widest-interval strata and stop at the precision target (replaces -trials)")
+		precision  = flag.Float64("precision", 0, "adaptive target half-width for every per-stratum outcome rate (0 = 0.05)")
+		confidence = flag.Float64("confidence", 0, "adaptive confidence level for the intervals (0 = 0.95)")
 		fabricAddr = flag.String("fabric", "", "run on a vsd cluster: coordinator base URL, e.g. http://host:8080 (-shards becomes the cluster shard count)")
 	)
 	flag.Parse()
+	trialsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "trials" {
+			trialsSet = true
+		}
+	})
+
+	mode := campaignMode{
+		Stratified: *stratified,
+		Adaptive:   *adaptive,
+		Fabric:     *fabricAddr,
+		Summarizer: *sumName,
+		Precision:  *precision,
+		Confidence: *confidence,
+		TrialsSet:  trialsSet,
+	}
+	if err := mode.validate(); err != nil {
+		return err
+	}
 
 	if *fabricAddr != "" {
-		if *stratified {
-			return errors.New("-stratified campaigns run in process; drop -fabric")
-		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		return runFabric(ctx, *fabricAddr, fabric.CampaignSpec{
@@ -84,6 +102,9 @@ func run() error {
 			Seed:       *seed,
 			Workers:    *workers,
 			KeepSDC:    *sdcEDs,
+			Adaptive:   *adaptive,
+			Precision:  *precision,
+			Confidence: *confidence,
 		}, *shards)
 	}
 
@@ -125,12 +146,11 @@ func run() error {
 	defer stop()
 
 	if *stratified {
-		if _, ok := sum.(summarize.VS); !ok {
-			return fmt.Errorf("-stratified supports only the vs summarizer, not %s", sum.Name())
-		}
-		vframes := seq.Frames()
-		app := vs.New(cfg, len(vframes))
-		return runStratified(ctx, app, vframes, class, *trials, *seed, *workers, alg, seq)
+		return runStratified(ctx, campaign.Summarize(sum, seq), class, *trials, *seed, *workers, alg, seq)
+	}
+	if *adaptive {
+		return runAdaptive(ctx, campaign.Summarize(sum, seq), class, region,
+			*seed, *workers, *shards, *precision, *confidence, alg, seq)
 	}
 
 	fmt.Printf("campaign: %s [%s] on %s, %v faults, %d trials, region=%s, shards=%d\n",
@@ -207,8 +227,13 @@ func runFabric(ctx context.Context, base string, spec fabric.CampaignSpec, shard
 	if err != nil {
 		return err
 	}
-	fmt.Printf("fabric campaign %s: %s on input %d (%s), %s faults, %d trials, %d shards via %s\n",
-		id, spec.Algorithm, max(spec.Input, 1), spec.Scale, spec.Class, spec.Trials, shards, base)
+	if spec.Adaptive {
+		fmt.Printf("fabric adaptive campaign %s: %s on input %d (%s), %s faults, %d round-shards via %s\n",
+			id, spec.Algorithm, max(spec.Input, 1), spec.Scale, spec.Class, shards, base)
+	} else {
+		fmt.Printf("fabric campaign %s: %s on input %d (%s), %s faults, %d trials, %d shards via %s\n",
+			id, spec.Algorithm, max(spec.Input, 1), spec.Scale, spec.Class, spec.Trials, shards, base)
+	}
 
 	tick := time.NewTicker(500 * time.Millisecond)
 	defer tick.Stop()
@@ -225,6 +250,9 @@ func runFabric(ctx context.Context, base string, spec fabric.CampaignSpec, shard
 		}
 		switch st.State {
 		case "done":
+			if spec.Adaptive {
+				return printFabricAdaptiveResult(ctx, cl, id)
+			}
 			return printFabricResult(ctx, cl, id)
 		case "failed":
 			return fmt.Errorf("cluster campaign failed: %s", st.Error)
@@ -263,8 +291,9 @@ func printFabricResult(ctx context.Context, cl *fabric.Client, id string) error 
 }
 
 // runStratified executes the Relyzer-style equivalence-class campaign
-// and prints the per-stratum table plus the weighted estimate.
-func runStratified(ctx context.Context, app *vs.App, frames []*imgproc.Gray,
+// through the planner seam and prints the per-stratum table plus the
+// weighted estimate.
+func runStratified(ctx context.Context, wl campaign.Workload,
 	class fault.Class, trials int, seed uint64, workers int,
 	alg vs.Algorithm, seq *virat.Sequence) error {
 	perStratum := trials / 24 // comparable total effort to -trials
@@ -274,12 +303,13 @@ func runStratified(ctx context.Context, app *vs.App, frames []*imgproc.Gray,
 	fmt.Printf("stratified campaign: %s on %s, %v faults, %d trials/stratum\n",
 		alg, seq.Name, class, perStratum)
 	start := time.Now()
-	res, err := fault.RunStratifiedCampaign(ctx, fault.StratifiedConfig{
+	var runner campaign.Runner
+	res, err := runner.RunStratified(ctx, wl, fault.StratifiedConfig{
 		TrialsPerStratum: perStratum,
 		Class:            class,
 		Seed:             seed,
 		Workers:          workers,
-	}, app.RunEncoded(frames))
+	})
 	if err != nil {
 		return err
 	}
@@ -297,5 +327,77 @@ func runStratified(ctx context.Context, app *vs.App, frames []*imgproc.Gray,
 		res.Trials,
 		w[fault.OutcomeMask], w[fault.OutcomeCrash], w[fault.OutcomeSDC], w[fault.OutcomeHang])
 	fmt.Printf("campaign wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runAdaptive executes the confidence-driven campaign: rounds flow to
+// the strata with the widest outcome-rate intervals until every rate
+// is within the precision target, and the savings against the
+// fixed-budget design are reported alongside the weighted estimate.
+func runAdaptive(ctx context.Context, w campaign.Workload,
+	class fault.Class, region fault.Region, seed uint64,
+	workers, shards int, precision, confidence float64,
+	alg vs.Algorithm, seq *virat.Sequence) error {
+	spec := campaign.Spec{
+		Workload: w,
+		Class:    class,
+		Region:   region,
+		Seed:     seed,
+		Workers:  workers,
+		Adaptive: &campaign.AdaptiveSpec{Precision: precision, Confidence: confidence},
+	}
+	fmt.Printf("adaptive campaign: %s on %s, %v faults, region=%s\n",
+		alg, seq.Name, class, region)
+	var runner campaign.Runner
+	res, err := runner.RunAdaptive(ctx, spec, shards)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-24s %-10s %10s %8s %11s %5s\n",
+		"region", "bits", "population", "trials", "half-width", "done")
+	for _, s := range res.Strata {
+		fmt.Printf("%-24s %-10s %10d %8d %11.4f %5v\n",
+			s.Region, s.Bits, s.Population, s.Trials, s.HalfWidth, s.Done)
+	}
+	wr := res.Stratified.WeightedRates()
+	fmt.Printf("weighted estimate (%d trials, %d rounds): Mask %.3f Crash %.3f SDC %.3f Hang %.3f\n",
+		res.Trials, res.Rounds,
+		wr[fault.OutcomeMask], wr[fault.OutcomeCrash], wr[fault.OutcomeSDC], wr[fault.OutcomeHang])
+	if res.Converged {
+		fmt.Printf("converged in %d trials; fixed-budget equivalent %d (%.1fx savings)\n",
+			res.Trials, res.FixedBudget, float64(res.FixedBudget)/float64(res.Trials))
+	} else {
+		fmt.Printf("budget exhausted at %d trials (fixed-budget equivalent %d)\n",
+			res.Trials, res.FixedBudget)
+	}
+	fmt.Printf("campaign wall time: %s\n", res.Elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// printFabricAdaptiveResult renders a finished adaptive cluster
+// campaign the same way the local runAdaptive does.
+func printFabricAdaptiveResult(ctx context.Context, cl *fabric.Client, id string) error {
+	res, err := cl.AdaptiveResult(ctx, id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-24s %-10s %10s %8s %11s %5s\n",
+		"region", "bits", "population", "trials", "half-width", "done")
+	for _, s := range res.Strata {
+		fmt.Printf("%-24s %-10s %10d %8d %11.4f %5v\n",
+			s.Region, s.Bits, s.Population, s.Trials, s.HalfWidth, s.Done)
+	}
+	fmt.Printf("weighted estimate (%d trials, %d rounds): Mask %.3f Crash %.3f SDC %.3f Hang %.3f\n",
+		res.Trials, res.Rounds,
+		res.Rates[fault.OutcomeMask.String()], res.Rates[fault.OutcomeCrash.String()],
+		res.Rates[fault.OutcomeSDC.String()], res.Rates[fault.OutcomeHang.String()])
+	if res.Converged {
+		fmt.Printf("converged in %d trials; fixed-budget equivalent %d (%.1fx savings)\n",
+			res.Trials, res.FixedBudget, float64(res.FixedBudget)/float64(res.Trials))
+	} else {
+		fmt.Printf("budget exhausted at %d trials (fixed-budget equivalent %d)\n",
+			res.Trials, res.FixedBudget)
+	}
+	fmt.Printf("cluster wall time: %s\n", time.Duration(res.ElapsedSec*float64(time.Second)).Round(time.Millisecond))
 	return nil
 }

@@ -33,7 +33,7 @@ func main() {
 
 func run() error {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 5, 6, 8, 9, 10, 11a, 11b, 12, 13, all, or the opt-in matrix/ablation-* extras")
+		fig       = flag.String("fig", "all", "figure to regenerate: 5, 6, 8, 9, 10, 11a, 11b, 12, 13, all, or the opt-in matrix/adaptive/ablation-* extras")
 		scaleName = flag.String("scale", "small", "experiment scale: small, bench or paper")
 		frames    = flag.Int("frames", 0, "override frames per input")
 		trials    = flag.Int("trials", 0, "override injections per campaign")
@@ -41,6 +41,8 @@ func run() error {
 		seed      = flag.Uint64("seed", 1, "experiment seed")
 		workers   = flag.Int("workers", 0, "campaign worker bound (0 = GOMAXPROCS)")
 		images    = flag.String("images", "", "directory for the Fig 6/13 output images")
+		precision = flag.Float64("precision", 0, "adaptive experiment target half-width (0 = 0.05)")
+		conf      = flag.Float64("confidence", 0, "adaptive experiment interval level (0 = 0.95)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -88,6 +90,8 @@ func run() error {
 	o.Seed = *seed
 	o.Workers = *workers
 	o.ImageDir = *images
+	o.Precision = *precision
+	o.Confidence = *conf
 
 	// SIGINT/SIGTERM cancel the experiment context so long campaign
 	// runs stop at a trial boundary instead of dying mid-trial.

@@ -21,6 +21,7 @@ import (
 	"vsresil/internal/fabric"
 	"vsresil/internal/fastpath"
 	"vsresil/internal/fault"
+	"vsresil/internal/plan"
 	"vsresil/internal/virat"
 	"vsresil/internal/vs"
 )
@@ -138,6 +139,49 @@ func TestIdentityCellExecutionModeEquivalence(t *testing.T) {
 		sharded := runIdentityCampaign(t, k)
 		requireIdentical(t, "shards=1 vs sharded", base.Fault, sharded.Fault)
 	}
+}
+
+// TestIdentityCellStaticPlannerEquivalence pins the planner seam: an
+// explicit static-planner round executed through RunPlans must land on
+// the identical trial set the ordinary Run path produces (which now
+// routes through the same seam internally), golden bytes still on the
+// pinned digest.
+func TestIdentityCellStaticPlannerEquivalence(t *testing.T) {
+	base := runIdentityCampaign(t, 1)
+
+	w := identityWorkload(t)
+	var runner campaign.Runner
+	golden, err := runner.GoldenFor(w)
+	if err != nil {
+		t.Fatalf("GoldenFor: %v", err)
+	}
+	if d := digestOf(golden.Output); d != identityGoldenDigest {
+		t.Errorf("planner golden digest = %#016x, want %#016x", d, uint64(identityGoldenDigest))
+	}
+	planner, err := plan.NewStatic(golden, plan.StaticConfig{
+		Class:  fault.GPR,
+		Region: fault.RAny,
+		Seed:   identityAppSeed,
+		Trials: identityTrials,
+	})
+	if err != nil {
+		t.Fatalf("NewStatic: %v", err)
+	}
+	round, ok := planner.Next()
+	if !ok {
+		t.Fatal("static planner emitted no round")
+	}
+	res, err := runner.RunPlans(context.Background(), campaign.Spec{
+		Workload: w,
+		Class:    fault.GPR,
+		Region:   fault.RAny,
+		Seed:     identityAppSeed,
+		Workers:  2,
+	}, round.Plans, round.Lo)
+	if err != nil {
+		t.Fatalf("RunPlans: %v", err)
+	}
+	requireIdentical(t, "static planner round vs baseline", res.Fault, base.Fault)
 }
 
 // TestIdentityCellFabricEquivalence closes the loop over the wire: the

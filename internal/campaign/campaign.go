@@ -136,6 +136,13 @@ type Spec struct {
 	// so a journal replayed from a whole campaign can be handed to
 	// every shard unchanged.
 	Resume []fault.TrialRecord
+	// Adaptive, when non-nil, switches the campaign from the fixed
+	// Trials budget to confidence-driven allocation (Runner.RunAdaptive):
+	// rounds of trials flow to the strata with the widest outcome-rate
+	// intervals until every rate is within Adaptive.Precision at
+	// Adaptive.Confidence. Trials is ignored; the planner's budget cap
+	// is Adaptive.MaxTrials. Run/RunSharded ignore this field.
+	Adaptive *AdaptiveSpec
 }
 
 // Shards splits the campaign into k disjoint sub-campaigns whose

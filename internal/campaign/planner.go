@@ -1,0 +1,370 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"vsresil/internal/fault"
+	"vsresil/internal/plan"
+)
+
+// This file is the engine side of the planner seam (internal/plan):
+// planners decide which trials run, and the Runner executes each
+// emitted round through the same trial executor — golden cache, prefix
+// skip, bucket batching and checkpoint streaming included — that
+// fixed-budget campaigns use.
+
+// AdaptiveSpec configures confidence-driven trial allocation.
+type AdaptiveSpec struct {
+	// Precision is the target Wilson half-width for every per-stratum
+	// outcome rate (0 = 0.05).
+	Precision float64
+	// Confidence is the interval confidence level (0 = 0.95).
+	Confidence float64
+	// RoundSize is the trial budget per post-bootstrap round
+	// (0 = 8 per stratum).
+	RoundSize int
+	// MinPerStratum is the bootstrap allocation per stratum (0 = 8).
+	MinPerStratum int
+	// MaxTrials caps the total allocation (0 = the fixed-budget
+	// equivalent — the adaptive campaign never spends more than the
+	// non-adaptive design would).
+	MaxTrials int
+	// OnRound, if set, observes every completed round (for metrics and
+	// progress display). Called after the round's outcomes are folded
+	// into the planner, in round order.
+	OnRound func(RoundStatus)
+}
+
+// RoundStatus is the per-round progress snapshot OnRound receives.
+type RoundStatus struct {
+	// Round is the 0-based index of the round that just completed.
+	Round int
+	// RoundTrials is the number of trials the round allocated.
+	RoundTrials int
+	// Trials is the cumulative allocation so far.
+	Trials int
+	// MaxHalfWidth is the widest per-stratum half-width after the
+	// round.
+	MaxHalfWidth float64
+	// StrataDone / Strata count converged and total strata.
+	StrataDone, Strata int
+}
+
+// AdaptiveResult aggregates a confidence-driven campaign.
+type AdaptiveResult struct {
+	// Spec is the campaign as executed.
+	Spec Spec
+	// Strata are the final per-stratum estimates.
+	Strata []plan.StratumStatus
+	// Stratified is the population-weighted whole-program estimate,
+	// comparable to a fixed stratified campaign's.
+	Stratified *fault.StratifiedResult
+	// Counts are the raw (unweighted) outcome totals.
+	Counts [fault.NumOutcomes]int
+	// Rounds is the number of rounds the planner emitted.
+	Rounds int
+	// Trials is the total trials observed (executed + resumed).
+	Trials int
+	// Executed counts trials actually executed this run (Trials minus
+	// journal-resumed ones).
+	Executed int
+	// Converged reports whether every stratum reached the target
+	// half-width (false = the MaxTrials budget ran out first).
+	Converged bool
+	// FixedBudget is the fixed-budget equivalent trial count for the
+	// same precision/confidence/strata — the savings baseline.
+	FixedBudget int
+	// Records are the checkpoint records of every observed trial, in
+	// plan-index order. Identical across worker counts, shard counts
+	// and resume for equal seeds.
+	Records []fault.TrialRecord
+	// Elapsed is the wall time, golden capture included.
+	Elapsed time.Duration
+}
+
+// GoldenFor resolves the workload's golden run through the Runner's
+// cache, exactly as a campaign over it would. The fabric coordinator
+// uses this to size planner strata without running a campaign.
+func (r *Runner) GoldenFor(w Workload) (*fault.GoldenRun, error) {
+	spec := Spec{Workload: w}
+	return r.golden(&spec)
+}
+
+// planConfig translates spec + an explicit plan window into the
+// fault-layer config. lo is the plan index of plans[0]; planTrials
+// must cover lo+len(plans) (it names the plan space so TrialRecord
+// indices stay unambiguous).
+func (s *Spec) planConfig(golden *fault.GoldenRun, plans []fault.Plan, lo, planTrials int) fault.Config {
+	cfg := fault.Config{
+		Trials:          len(plans),
+		Class:           s.Class,
+		Region:          s.Region,
+		Window:          s.Window,
+		Seed:            s.Seed,
+		Workers:         s.Workers,
+		StepFactor:      s.StepFactor,
+		CheckpointEvery: s.CheckpointEvery,
+		KeepSDCOutputs:  s.SDC.Keep,
+		MaxSDCOutputs:   s.SDC.Max,
+		OnSDCOutput:     s.SDC.OnOutput,
+		OnTrial:         s.OnTrial,
+		Golden:          golden,
+		Staged:          s.Workload.Staged,
+		Plans:           plans,
+		PlanOffset:      lo,
+		PlanTrials:      planTrials,
+	}
+	for _, rec := range s.Resume {
+		if rec.Index >= lo && rec.Index < lo+len(plans) {
+			cfg.Resume = append(cfg.Resume, rec)
+		}
+	}
+	return cfg
+}
+
+// RunPlans executes an explicit window of planner-emitted plans
+// through the trial executor. lo is the plan index of plans[0];
+// records stream through spec.OnTrial with plan indices, and
+// spec.Resume records inside the window are honored without
+// re-execution. spec.Trials and spec.Shard are ignored.
+func (r *Runner) RunPlans(ctx context.Context, spec Spec, plans []fault.Plan, lo int) (*Result, error) {
+	if spec.Workload.App == nil {
+		return nil, fmt.Errorf("campaign: spec has no workload app")
+	}
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("campaign: empty plan window")
+	}
+	start := time.Now()
+	golden, err := r.golden(&spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg := spec.planConfig(golden, plans, lo, lo+len(plans))
+	resumed := len(cfg.Resume)
+	fres, err := fault.RunCampaign(ctx, cfg, spec.Workload.App)
+	if fres == nil {
+		return nil, err
+	}
+	return &Result{
+		Spec:     spec,
+		Fault:    fres,
+		Executed: fres.Completed - resumed,
+		Elapsed:  time.Since(start),
+	}, err
+}
+
+// RunStratified executes the fixed Relyzer-style stratified campaign
+// through the planner seam: plan.Stratified emits the classic
+// per-stratum draw and the round runs on the ordinary trial executor.
+func (r *Runner) RunStratified(ctx context.Context, w Workload, cfg fault.StratifiedConfig) (*fault.StratifiedResult, error) {
+	spec := Spec{
+		Workload:   w,
+		Class:      cfg.Class,
+		Region:     fault.RAny,
+		Window:     cfg.Window,
+		Seed:       cfg.Seed,
+		Workers:    cfg.Workers,
+		StepFactor: cfg.StepFactor,
+	}
+	golden, err := r.golden(&spec)
+	if err != nil {
+		return nil, err
+	}
+	spec.Golden = golden
+	planner, err := plan.NewStratified(golden, cfg)
+	if err != nil {
+		return nil, err
+	}
+	round, ok := planner.Next()
+	if !ok {
+		return nil, fmt.Errorf("campaign: stratified planner emitted no round")
+	}
+	res, err := r.RunPlans(ctx, spec, round.Plans, round.Lo)
+	if err != nil {
+		return nil, err
+	}
+	outcomes := make([]fault.Outcome, len(res.Fault.Trials))
+	for i := range res.Fault.Trials {
+		outcomes[i] = res.Fault.Trials[i].Outcome
+	}
+	planner.Observe(round, outcomes)
+	return planner.Result(), nil
+}
+
+// RunAdaptive executes a confidence-driven campaign: plan.Adaptive
+// allocates rounds to the widest-interval strata and the Runner
+// executes each round as k concurrent sub-shards (k <= 1 runs rounds
+// unsharded). The observed trial set is bit-identical for every k and
+// every worker count at equal seeds, because allocation depends only
+// on outcomes and outcomes only on plans; spec.Resume records replay
+// the same way, so an interrupted adaptive campaign resumes onto the
+// identical trial sequence.
+//
+// On cancellation RunAdaptive returns the partial result with the
+// rounds completed so far together with a non-nil error.
+func (r *Runner) RunAdaptive(ctx context.Context, spec Spec, k int) (*AdaptiveResult, error) {
+	if spec.Adaptive == nil {
+		return nil, fmt.Errorf("campaign: RunAdaptive needs spec.Adaptive")
+	}
+	if spec.Workload.App == nil {
+		return nil, fmt.Errorf("campaign: spec has no workload app")
+	}
+	a := *spec.Adaptive
+	start := time.Now()
+	golden, err := r.golden(&spec)
+	if err != nil {
+		return nil, err
+	}
+	spec.Golden = golden
+	planner, err := plan.NewAdaptive(golden, plan.AdaptiveConfig{
+		Class:         spec.Class,
+		Region:        spec.Region,
+		Seed:          spec.Seed,
+		Window:        spec.Window,
+		Precision:     a.Precision,
+		Confidence:    a.Confidence,
+		RoundSize:     a.RoundSize,
+		MinPerStratum: a.MinPerStratum,
+		MaxTrials:     a.MaxTrials,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resume := make(map[int]fault.TrialRecord, len(spec.Resume))
+	for _, rec := range spec.Resume {
+		resume[rec.Index] = rec
+	}
+
+	res := &AdaptiveResult{Spec: spec}
+	finish := func(err error) (*AdaptiveResult, error) {
+		res.Strata = planner.Strata()
+		res.Stratified = planner.Result()
+		for _, st := range res.Stratified.Strata {
+			for o, c := range st.Counts {
+				res.Counts[o] += c
+			}
+		}
+		res.Rounds = planner.Rounds()
+		res.Trials = planner.Total()
+		res.Converged = planner.Converged()
+		cfg := planner.Config()
+		res.FixedBudget = plan.FixedBudget(cfg.Precision, cfg.Confidence, len(res.Strata))
+		res.Elapsed = time.Since(start)
+		return res, err
+	}
+
+	for {
+		round, ok := planner.Next()
+		if !ok {
+			return finish(nil)
+		}
+		outcomes, recs, executed, err := r.runRound(ctx, spec, round, k, resume)
+		if err != nil {
+			return finish(err)
+		}
+		planner.Observe(round, outcomes)
+		res.Records = append(res.Records, recs...)
+		res.Executed += executed
+		if a.OnRound != nil {
+			strata := planner.Strata()
+			st := RoundStatus{
+				Round:       round.Index,
+				RoundTrials: len(round.Plans),
+				Trials:      planner.Total(),
+				Strata:      len(strata),
+			}
+			for _, s := range strata {
+				if s.Done {
+					st.StrataDone++
+				}
+				if s.HalfWidth > st.MaxHalfWidth {
+					st.MaxHalfWidth = s.HalfWidth
+				}
+			}
+			a.OnRound(st)
+		}
+	}
+}
+
+// runRound executes one planner round as k concurrent sub-shards and
+// returns the outcomes and checkpoint records in plan-index order.
+// Rounds fully covered by resume records are observed without any
+// execution (and without re-firing spec hooks).
+func (r *Runner) runRound(ctx context.Context, spec Spec, round plan.Round, k int, resume map[int]fault.TrialRecord) ([]fault.Outcome, []fault.TrialRecord, int, error) {
+	n := len(round.Plans)
+	covered := 0
+	for i := 0; i < n; i++ {
+		if _, ok := resume[round.Lo+i]; ok {
+			covered++
+		}
+	}
+	if covered == n {
+		outcomes := make([]fault.Outcome, n)
+		recs := make([]fault.TrialRecord, n)
+		for i := 0; i < n; i++ {
+			rec := resume[round.Lo+i]
+			outcomes[i] = rec.Outcome
+			recs[i] = rec
+		}
+		return outcomes, recs, 0, nil
+	}
+
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	// Serialize spec hooks across the round's concurrent sub-shards,
+	// mirroring RunSharded.
+	var hookMu sync.Mutex
+	sub := spec
+	if onTrial := spec.OnTrial; onTrial != nil {
+		sub.OnTrial = func(rec fault.TrialRecord) {
+			hookMu.Lock()
+			defer hookMu.Unlock()
+			onTrial(rec)
+		}
+	}
+	if onOutput := spec.SDC.OnOutput; onOutput != nil {
+		sub.SDC.OnOutput = func(rec fault.TrialRecord, output []byte) {
+			hookMu.Lock()
+			defer hookMu.Unlock()
+			onOutput(rec, output)
+		}
+	}
+
+	results := make([]*Result, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for j := 0; j < k; j++ {
+		lo, hi := j*n/k, (j+1)*n/k
+		wg.Add(1)
+		go func(j, lo, hi int) {
+			defer wg.Done()
+			results[j], errs[j] = r.RunPlans(ctx, sub, round.Plans[lo:hi], round.Lo+lo)
+		}(j, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	outcomes := make([]fault.Outcome, n)
+	recs := make([]fault.TrialRecord, n)
+	executed := 0
+	for j := 0; j < k; j++ {
+		lo := j * n / k
+		executed += results[j].Executed
+		for i := range results[j].Fault.Trials {
+			tr := &results[j].Fault.Trials[i]
+			outcomes[lo+i] = tr.Outcome
+			recs[lo+i] = tr.Record(round.Lo + lo + i)
+		}
+	}
+	return outcomes, recs, executed, nil
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"vsresil/internal/fault"
+	"vsresil/internal/plan"
 )
 
 // Runner executes campaign Specs. The zero value is usable (no golden
@@ -68,6 +69,12 @@ func (r *Runner) golden(spec *Spec) (*fault.GoldenRun, error) {
 // Result together with a non-nil error wrapping ctx's error, exactly
 // like fault.RunCampaign — callers wanting partial data on
 // interruption must check the Result even when err != nil.
+//
+// Run routes plan generation through the planner seam: a plan.Static
+// planner emits the spec's window, which is bit-identical to the
+// stream the executor would pre-generate itself (the identity suite
+// pins this). Spec.Adaptive is ignored here — adaptive campaigns go
+// through RunAdaptive.
 func (r *Runner) Run(ctx context.Context, spec Spec) (*Result, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
@@ -78,6 +85,25 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*Result, error) {
 		return nil, err
 	}
 	cfg := spec.faultConfig(golden)
+	if cfg.Trials > 0 {
+		static, serr := plan.NewStatic(golden, plan.StaticConfig{
+			Class:      spec.Class,
+			Region:     spec.Region,
+			Seed:       spec.Seed,
+			Window:     spec.Window,
+			Trials:     cfg.Trials,
+			PlanTrials: cfg.PlanTrials,
+			PlanOffset: cfg.PlanOffset,
+		})
+		if serr != nil {
+			return nil, serr
+		}
+		round, _ := static.Next()
+		cfg.Plans = round.Plans
+		if cfg.PlanTrials == 0 {
+			cfg.PlanTrials = cfg.PlanOffset + cfg.Trials
+		}
+	}
 	resumed := len(cfg.Resume)
 	fres, err := fault.RunCampaign(ctx, cfg, spec.Workload.App)
 	if fres == nil {

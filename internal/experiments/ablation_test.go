@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"context"
+	"strings"
 	"testing"
 
 	"vsresil/internal/fault"
@@ -52,5 +53,45 @@ func TestAblationBlendFeatherLeaksSDCs(t *testing.T) {
 	res.Write(&buf, ablationOptions())
 	if buf.Len() == 0 {
 		t.Error("empty report")
+	}
+}
+
+func TestAdaptiveConvergenceShape(t *testing.T) {
+	o := tinyOptions()
+	o.Workers = 4
+	// Loose targets keep the trace short; the shape is what matters.
+	o.Precision = 0.2
+	o.Confidence = 0.8
+	res, err := AdaptiveConvergence(context.Background(), o)
+	if err != nil {
+		t.Fatalf("AdaptiveConvergence: %v", err)
+	}
+	if len(res.Rounds) == 0 {
+		t.Fatal("no rounds traced")
+	}
+	if res.Strata == 0 {
+		t.Fatal("no strata")
+	}
+	prev := 0
+	for i, pt := range res.Rounds {
+		if pt.Trials <= prev {
+			t.Errorf("round %d: cumulative trials %d did not grow past %d", i, pt.Trials, prev)
+		}
+		prev = pt.Trials
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	if last.Trials != res.Trials {
+		t.Errorf("trace ends at %d trials, result says %d", last.Trials, res.Trials)
+	}
+	if !res.Converged {
+		t.Errorf("did not converge at half-width 0.2 within %d trials", res.Trials)
+	}
+	if res.Trials > res.FixedBudget {
+		t.Errorf("adaptive spent %d trials, fixed design %d", res.Trials, res.FixedBudget)
+	}
+	var buf bytes.Buffer
+	res.Write(&buf, o)
+	if !strings.Contains(buf.String(), "savings:") {
+		t.Error("report missing the savings line")
 	}
 }

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"vsresil/internal/campaign"
+	"vsresil/internal/fault"
+	"vsresil/internal/virat"
+	"vsresil/internal/vs"
+)
+
+// AdaptiveConvergenceResult traces the confidence-driven planner's
+// convergence on the baseline VS against the fixed-budget design the
+// paper's methodology implies (every stratum sampled to the same
+// worst-case count — tens of thousands of injections at paper
+// precision). The figure shows where the adaptive campaign stops and
+// what the fixed design would have spent for the same guarantee.
+type AdaptiveConvergenceResult struct {
+	// Rounds is the per-round convergence trace.
+	Rounds []AdaptiveRoundPoint
+	// Strata is the number of (region, bit-group) strata.
+	Strata int
+	// Trials is the adaptive campaign's total allocation.
+	Trials int
+	// FixedBudget is the fixed design's cost at the same
+	// precision/confidence.
+	FixedBudget int
+	// Converged reports whether every stratum reached the target.
+	Converged bool
+	// Rates is the population-weighted whole-program estimate.
+	Rates [fault.NumOutcomes]float64
+}
+
+// AdaptiveRoundPoint is one round of the convergence trace.
+type AdaptiveRoundPoint struct {
+	// Trials is the cumulative allocation after the round.
+	Trials int
+	// MaxHalfWidth is the widest per-stratum half-width after the round.
+	MaxHalfWidth float64
+	// StrataDone counts strata at the target.
+	StrataDone int
+}
+
+// AdaptiveConvergence runs the adaptive GPR campaign on the baseline VS
+// and records the trace.
+func AdaptiveConvergence(ctx context.Context, o Options) (*AdaptiveConvergenceResult, error) {
+	o = o.withDefaults()
+	seq := virat.Input1(o.Preset)
+	out := &AdaptiveConvergenceResult{}
+	res, err := runner.RunAdaptive(ctx, campaign.Spec{
+		Workload: campaign.VS(vs.AlgVS, seq, o.Seed),
+		Class:    fault.GPR,
+		Region:   fault.RAny,
+		Seed:     o.Seed,
+		Workers:  o.Workers,
+		Adaptive: &campaign.AdaptiveSpec{
+			Precision:  o.Precision,
+			Confidence: o.Confidence,
+			OnRound: func(st campaign.RoundStatus) {
+				out.Rounds = append(out.Rounds, AdaptiveRoundPoint{
+					Trials:       st.Trials,
+					MaxHalfWidth: st.MaxHalfWidth,
+					StrataDone:   st.StrataDone,
+				})
+			},
+		},
+	}, 1)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: adaptive campaign: %w", err)
+	}
+	out.Strata = len(res.Strata)
+	out.Trials = res.Trials
+	out.FixedBudget = res.FixedBudget
+	out.Converged = res.Converged
+	out.Rates = res.Stratified.WeightedRates()
+	return out, nil
+}
+
+// Write prints the convergence figure.
+func (r *AdaptiveConvergenceResult) Write(w io.Writer, o Options) {
+	o = o.withDefaults()
+	writeHeader(w, "Ablation: adaptive trial allocation vs fixed budget (GPR, baseline VS, Input 1)", o)
+	fmt.Fprintf(w, "target: half-width <= %.3f at %.0f%% confidence, %d strata\n",
+		o.Precision, o.Confidence*100, r.Strata)
+	fmt.Fprintf(w, "%6s %8s %12s %12s\n", "round", "trials", "max-hw", "strata-done")
+	for i, pt := range r.Rounds {
+		fmt.Fprintf(w, "%6d %8d %12.4f %9d/%d\n", i, pt.Trials, pt.MaxHalfWidth, pt.StrataDone, r.Strata)
+	}
+	status := "converged"
+	if !r.Converged {
+		status = "budget exhausted"
+	}
+	fmt.Fprintf(w, "adaptive: %d trials (%s)\n", r.Trials, status)
+	fmt.Fprintf(w, "fixed design: %d trials for the same guarantee\n", r.FixedBudget)
+	if r.Trials > 0 {
+		fmt.Fprintf(w, "savings: %.1fx\n", float64(r.FixedBudget)/float64(r.Trials))
+	}
+	fmt.Fprintf(w, "weighted rates: Mask %.3f  Crash %.3f  SDC %.3f  Hang %.3f\n",
+		r.Rates[fault.OutcomeMask], r.Rates[fault.OutcomeCrash],
+		r.Rates[fault.OutcomeSDC], r.Rates[fault.OutcomeHang])
+	fmt.Fprintln(w, "expectation: near-pure strata converge in the first rounds; the budget concentrates on mixed-rate strata")
+}

@@ -31,6 +31,11 @@ type Options struct {
 	Seed uint64
 	// Workers bounds campaign parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Precision is the adaptive experiment's target per-stratum Wilson
+	// half-width (0 = 0.05).
+	Precision float64
+	// Confidence is the adaptive experiment's interval level (0 = 0.95).
+	Confidence float64
 	// ImageDir receives the qualitative outputs of Figs 6 and 13
 	// ("" = do not write image files).
 	ImageDir string
@@ -89,6 +94,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QualityTrials <= 0 {
 		o.QualityTrials = DefaultOptions().QualityTrials
+	}
+	if o.Precision <= 0 {
+		o.Precision = 0.05
+	}
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		o.Confidence = 0.95
 	}
 	return o
 }

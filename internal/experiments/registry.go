@@ -103,6 +103,14 @@ func Registry() []Experiment {
 			r.Write(w, o)
 			return nil
 		}},
+		{Name: "adaptive", Ablation: true, Run: func(ctx context.Context, o Options, w io.Writer) error {
+			r, err := AdaptiveConvergence(ctx, o)
+			if err != nil {
+				return err
+			}
+			r.Write(w, o)
+			return nil
+		}},
 		{Name: "ablation-window", Ablation: true, Run: func(ctx context.Context, o Options, w io.Writer) error {
 			r, err := AblationWindow(ctx, o, nil)
 			if err != nil {

@@ -1,0 +1,308 @@
+package fabric
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"vsresil/internal/campaign"
+	"vsresil/internal/fault"
+)
+
+func adaptiveWireSpec() CampaignSpec {
+	return CampaignSpec{
+		Algorithm:  "toy",
+		Class:      "fpr",
+		Seed:       23,
+		Workers:    2,
+		Adaptive:   true,
+		Precision:  0.05,
+		Confidence: 0.95,
+	}
+}
+
+// localAdaptive runs the wire spec through the single-node adaptive
+// engine — the ground truth the cluster's trial set must match.
+func localAdaptive(t *testing.T, cs CampaignSpec) *campaign.AdaptiveResult {
+	t.Helper()
+	w, err := toyBuild(cs)
+	if err != nil {
+		t.Fatalf("build workload: %v", err)
+	}
+	class, err := fault.ParseClass(cs.Class)
+	if err != nil {
+		t.Fatalf("parse class: %v", err)
+	}
+	region, err := fault.ParseRegion(cs.Region)
+	if err != nil {
+		t.Fatalf("parse region: %v", err)
+	}
+	var runner campaign.Runner
+	res, err := runner.RunAdaptive(context.Background(), campaign.Spec{
+		Workload: w,
+		Class:    class,
+		Region:   region,
+		Seed:     cs.Seed,
+		Workers:  cs.Workers,
+		Adaptive: &campaign.AdaptiveSpec{
+			Precision:  cs.Precision,
+			Confidence: cs.Confidence,
+			RoundSize:  cs.RoundSize,
+			MaxTrials:  cs.MaxTrials,
+		},
+	}, 1)
+	if err != nil {
+		t.Fatalf("local adaptive run: %v", err)
+	}
+	return res
+}
+
+// executeAdaptiveLease runs a plan-carrying lease locally and returns
+// the ShardResult a worker would ship.
+func executeAdaptiveLease(t *testing.T, l Lease, worker string) ShardResult {
+	t.Helper()
+	if len(l.Plans) == 0 {
+		t.Fatalf("lease %s of %s carries no plans", l.ID, l.Campaign)
+	}
+	w, err := toyBuild(l.Spec)
+	if err != nil {
+		t.Fatalf("build workload: %v", err)
+	}
+	spec, err := l.Spec.campaignSpec(w, campaign.Shard{})
+	if err != nil {
+		t.Fatalf("translate spec: %v", err)
+	}
+	var runner campaign.Runner
+	res, err := runner.RunPlans(context.Background(), spec, l.Plans, l.PlanLo)
+	if err != nil {
+		t.Fatalf("run plan lease: %v", err)
+	}
+	out := ShardResult{Worker: worker, Lease: l.ID, Campaign: l.Campaign, Shard: l.ShardIndex}
+	for i := range res.Fault.Trials {
+		out.Recs = append(out.Recs, res.Fault.Trials[i].Record(l.PlanLo+i))
+	}
+	return out
+}
+
+// drainAdaptive plays a synchronous single worker against the
+// coordinator until the campaign terminates: lease, execute, complete.
+func drainAdaptive(t *testing.T, c *Coordinator, id, worker string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := c.Status(id)
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		switch st.State {
+		case campDone:
+			return
+		case campFailed:
+			t.Fatalf("campaign failed: %s", st.Error)
+		}
+		l, ok, err := c.Lease(worker)
+		if err != nil {
+			t.Fatalf("lease: %v", err)
+		}
+		if !ok {
+			time.Sleep(time.Millisecond) // driver between rounds
+			continue
+		}
+		if _, err := c.Complete(executeAdaptiveLease(t, l, worker)); err != nil {
+			t.Fatalf("complete: %v", err)
+		}
+	}
+	t.Fatal("adaptive campaign did not finish in 30s")
+}
+
+// TestClusterAdaptiveEquivalence is the adaptive acceptance property:
+// a confidence-driven campaign executed by a live HTTP cluster lands
+// on the byte-identical trial set the single-node RunAdaptive draws,
+// converges on every stratum, and beats the fixed budget by >= 5x.
+func TestClusterAdaptiveEquivalence(t *testing.T) {
+	cs := adaptiveWireSpec()
+	base := localAdaptive(t, cs)
+	if !base.Converged {
+		t.Fatalf("baseline did not converge in %d trials", base.Trials)
+	}
+
+	coord, err := NewCoordinator(Config{Workload: toyBuild})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	defer coord.Close()
+	mux := http.NewServeMux()
+	coord.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	client := &Client{Base: srv.URL}
+
+	id, err := client.Submit(context.Background(), cs, 3)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, name := range []string{"live-1", "live-2"} {
+		w := &Worker{
+			ID:       name,
+			Client:   &Client{Base: srv.URL},
+			Workload: toyBuild,
+			Poll:     5 * time.Millisecond,
+		}
+		go w.Run(ctx)
+	}
+	waitDone(t, coord, id)
+	cancel()
+
+	recs, err := coord.AdaptiveRecords(id)
+	if err != nil {
+		t.Fatalf("adaptive records: %v", err)
+	}
+	if !reflect.DeepEqual(recs, base.Records) {
+		t.Error("cluster trial records diverge from single-node baseline")
+	}
+
+	res, err := client.AdaptiveResult(context.Background(), id)
+	if err != nil {
+		t.Fatalf("wire result: %v", err)
+	}
+	if res.Trials != base.Trials || res.Rounds != base.Rounds || !res.Converged {
+		t.Errorf("wire result trials=%d rounds=%d converged=%v, want %d/%d/true",
+			res.Trials, res.Rounds, res.Converged, base.Trials, base.Rounds)
+	}
+	if res.Trials*5 > res.FixedBudget {
+		t.Errorf("adaptive spent %d trials vs fixed budget %d — want >= 5x savings",
+			res.Trials, res.FixedBudget)
+	}
+	for _, s := range res.Strata {
+		if !s.Done {
+			t.Errorf("stratum %s/%s not at target (half-width %.4f)", s.Region, s.Bits, s.HalfWidth)
+		}
+	}
+}
+
+// TestClusterAdaptiveFanoutInvariance: the observed trial set is
+// identical for every round-shard count.
+func TestClusterAdaptiveFanoutInvariance(t *testing.T) {
+	cs := adaptiveWireSpec()
+	base := localAdaptive(t, cs)
+	for _, fanout := range []int{1, 4} {
+		c, err := NewCoordinator(Config{Workload: toyBuild})
+		if err != nil {
+			t.Fatalf("coordinator: %v", err)
+		}
+		id, err := c.Submit(cs, fanout)
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		drainAdaptive(t, c, id, "solo")
+		recs, err := c.AdaptiveRecords(id)
+		if err != nil {
+			t.Fatalf("adaptive records: %v", err)
+		}
+		if !reflect.DeepEqual(recs, base.Records) {
+			t.Errorf("fanout=%d: cluster trial records diverge from baseline", fanout)
+		}
+		c.Close()
+	}
+}
+
+// TestCoordinatorRestartAdaptive closes the coordinator after the
+// bootstrap round and replays the journal: the restarted round driver
+// must fold the journaled shards without re-executing them and finish
+// on the identical trial set.
+func TestCoordinatorRestartAdaptive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fabric.journal")
+	cs := adaptiveWireSpec()
+	base := localAdaptive(t, cs)
+
+	c1, err := NewCoordinator(Config{JournalPath: path, Workload: toyBuild})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	id, err := c1.Submit(cs, 2)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// Complete the two bootstrap round-shards, then die.
+	completed := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for completed < 2 && time.Now().Before(deadline) {
+		l, ok, err := c1.Lease("a")
+		if err != nil {
+			t.Fatalf("lease: %v", err)
+		}
+		if !ok {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if _, err := c1.Complete(executeAdaptiveLease(t, l, "a")); err != nil {
+			t.Fatalf("complete: %v", err)
+		}
+		completed++
+	}
+	if completed != 2 {
+		t.Fatal("bootstrap round never fully leased")
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	c2, err := NewCoordinator(Config{JournalPath: path, Workload: toyBuild})
+	if err != nil {
+		t.Fatalf("restarted coordinator: %v", err)
+	}
+	defer c2.Close()
+	drainAdaptive(t, c2, id, "b")
+	recs, err := c2.AdaptiveRecords(id)
+	if err != nil {
+		t.Fatalf("adaptive records: %v", err)
+	}
+	if !reflect.DeepEqual(recs, base.Records) {
+		t.Error("restarted cluster's trial records diverge from baseline")
+	}
+	res, err := c2.Result(id)
+	if err != nil {
+		t.Fatalf("wire result after restart: %v", err)
+	}
+	if !strings.Contains(string(res), "\"converged\":true") {
+		t.Errorf("journaled wire result not converged: %s", res)
+	}
+}
+
+// TestAdaptiveSpecValidation: the wire-level precision/confidence
+// checks reject malformed adaptive specs, and non-adaptive specs still
+// require a trial budget.
+func TestAdaptiveSpecValidation(t *testing.T) {
+	c, err := NewCoordinator(Config{Workload: toyBuild})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	defer c.Close()
+	bad := adaptiveWireSpec()
+	bad.Precision = 0.7
+	if _, err := c.Submit(bad, 1); err == nil {
+		t.Error("precision 0.7 accepted")
+	}
+	bad = adaptiveWireSpec()
+	bad.Confidence = 1.5
+	if _, err := c.Submit(bad, 1); err == nil {
+		t.Error("confidence 1.5 accepted")
+	}
+	nonAdaptive := adaptiveWireSpec()
+	nonAdaptive.Adaptive = false
+	if _, err := c.Submit(nonAdaptive, 1); err == nil {
+		t.Error("non-adaptive spec without trials accepted")
+	}
+	// A zero-knob adaptive spec is valid: the planner defaults apply.
+	ok := CampaignSpec{Algorithm: "toy", Class: "fpr", Seed: 1, Adaptive: true}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("defaulted adaptive spec rejected: %v", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"vsresil/internal/campaign"
 	"vsresil/internal/fault"
+	"vsresil/internal/plan"
 )
 
 // Campaign lifecycle states on the coordinator.
@@ -68,6 +69,12 @@ type shardState struct {
 	// leases are the active assignments; more than one means the shard
 	// was stolen.
 	leases map[string]*lease
+	// round/plans are set on adaptive round-shards only: round groups
+	// the shard for journal snapshots, and plans carries the planner's
+	// trial window. A nil plans on an adaptive shard (a replayed round
+	// the restarted driver has not regenerated yet) is not leasable.
+	round int
+	plans []fault.Plan
 }
 
 // camp is one cluster campaign.
@@ -84,10 +91,23 @@ type camp struct {
 	resultJSON json.RawMessage
 	started    time.Time
 	finalizing bool
+	// fanout is the round-shard count of an adaptive campaign (the
+	// static decomposition journals len(shards) instead); notify wakes
+	// the round driver on shard completions, and adaptiveRecs holds the
+	// finished campaign's trial records in plan order (in-memory only).
+	fanout       int
+	notify       chan struct{}
+	adaptiveRecs []fault.TrialRecord
 }
 
 func newCamp(id string, spec CampaignSpec, k int) *camp {
-	cm := &camp{id: id, spec: spec, state: campRunning, shards: make([]*shardState, k)}
+	cm := &camp{id: id, spec: spec, state: campRunning, fanout: k}
+	if spec.Adaptive {
+		// Round-shards are appended as the planner emits rounds.
+		cm.notify = make(chan struct{}, 1)
+		return cm
+	}
+	cm.shards = make([]*shardState, k)
 	for i := range cm.shards {
 		lo, hi := planWindow(spec.Trials, i, k)
 		cm.shards[i] = &shardState{lo: lo, hi: hi, leases: make(map[string]*lease)}
@@ -125,6 +145,7 @@ type Coordinator struct {
 	leasesStolen  uint64
 	dupResults    uint64
 	trialsDone    uint64
+	roundsDone    uint64
 }
 
 // NewCoordinator builds a Coordinator, replays and compacts its
@@ -174,6 +195,16 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 					c.leases[id] = l
 				}
 			}
+			if cm.spec.Adaptive {
+				if cm.state == campRunning {
+					// Resume the round driver: completed rounds replay
+					// from the journaled records, the partial one
+					// re-leases its unfinished shards.
+					c.finalizeWG.Add(1)
+					go c.driveAdaptive(cm)
+				}
+				continue
+			}
 			if cm.state == campRunning && cm.doneShards == len(cm.shards) {
 				c.finalize(cm)
 			}
@@ -210,7 +241,7 @@ func (c *Coordinator) Submit(spec CampaignSpec, shards int) (string, error) {
 	if shards < 1 {
 		shards = 1
 	}
-	if shards > spec.Trials {
+	if !spec.Adaptive && shards > spec.Trials {
 		shards = spec.Trials
 	}
 	if _, err := c.build(spec); err != nil {
@@ -226,9 +257,17 @@ func (c *Coordinator) Submit(spec CampaignSpec, shards int) (string, error) {
 	cm.started = time.Now()
 	c.camps[cm.id] = cm
 	c.order = append(c.order, cm)
+	if spec.Adaptive {
+		// Registered under c.mu so Close (which flips closed under the
+		// same lock before waiting) cannot race the Add.
+		c.finalizeWG.Add(1)
+	}
 	c.mu.Unlock()
 
 	c.journal.append(record{Op: "campaign", Campaign: cm.id, Spec: &cm.spec, Shards: shards})
+	if spec.Adaptive {
+		go c.driveAdaptive(cm)
+	}
 	return cm.id, nil
 }
 
@@ -285,6 +324,7 @@ func (c *Coordinator) Lease(worker string) (Lease, bool, error) {
 		PlanLo:     sh.lo,
 		PlanHi:     sh.hi,
 		TTL:        c.cfg.LeaseTTL,
+		Plans:      sh.plans,
 	}, true, nil
 }
 
@@ -296,6 +336,9 @@ func (c *Coordinator) pickPending() (*camp, int) {
 			continue
 		}
 		for i, sh := range cm.shards {
+			if cm.spec.Adaptive && sh.plans == nil {
+				continue // round not regenerated yet (or already folded)
+			}
 			if !sh.done && len(sh.leases) == 0 {
 				return cm, i
 			}
@@ -316,6 +359,9 @@ func (c *Coordinator) pickSteal(worker string) (*camp, int) {
 			continue
 		}
 		for i, sh := range cm.shards {
+			if cm.spec.Adaptive && sh.plans == nil {
+				continue
+			}
 			if sh.done || len(sh.leases) != 1 {
 				continue
 			}
@@ -401,6 +447,16 @@ func (c *Coordinator) Complete(res ShardResult) (bool, error) {
 	// The journal write is the tie-break commit point: it happens
 	// under c.mu, before the completion is acknowledged.
 	c.journal.append(record{Op: "shard", Campaign: cm.id, Shard: res.Shard, Recs: recs, SDC: res.SDC})
+	if cm.spec.Adaptive {
+		// Wake the round driver; it folds the outcomes and decides
+		// whether another round is needed. The merge-on-last-shard path
+		// below is the static campaigns' only.
+		select {
+		case cm.notify <- struct{}{}:
+		default:
+		}
+		return true, nil
+	}
 	if cm.doneShards == len(cm.shards) {
 		c.finalize(cm)
 	}
@@ -498,6 +554,200 @@ func (c *Coordinator) merge(cm *camp) (*campaign.Result, error) {
 	return campaign.Merge(parts...)
 }
 
+// driveAdaptive is an adaptive campaign's round loop: regenerate the
+// planner from the spec, and for each emitted round create (or, after
+// a restart, re-adopt) its round-shards, wait until workers complete
+// them all, and fold the outcomes back into the planner. Allocation
+// depends only on the merged per-stratum counts, and the counts only
+// on the plans, so the cluster's trial set is bit-identical to a
+// single-node RunAdaptive at the same seed — for any fanout, worker
+// set or restart point.
+func (c *Coordinator) driveAdaptive(cm *camp) {
+	defer c.finalizeWG.Done()
+	fail := func(err error) {
+		c.mu.Lock()
+		cm.state = campFailed
+		cm.err = err.Error()
+		c.mu.Unlock()
+		c.journal.append(record{Op: "state", Campaign: cm.id, State: campFailed, Err: err.Error()})
+	}
+	w, err := c.build(cm.spec)
+	if err != nil {
+		fail(err)
+		return
+	}
+	golden, err := c.runner.GoldenFor(w)
+	if err != nil {
+		fail(err)
+		return
+	}
+	class, err := fault.ParseClass(cm.spec.Class)
+	if err != nil {
+		fail(err)
+		return
+	}
+	region, err := fault.ParseRegion(cm.spec.Region)
+	if err != nil {
+		fail(err)
+		return
+	}
+	planner, err := plan.NewAdaptive(golden, plan.AdaptiveConfig{
+		Class:      class,
+		Region:     region,
+		Seed:       cm.spec.Seed,
+		Precision:  cm.spec.Precision,
+		Confidence: cm.spec.Confidence,
+		RoundSize:  cm.spec.RoundSize,
+		MaxTrials:  cm.spec.MaxTrials,
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	cursor := 0 // shards consumed by the rounds processed so far
+	var recs []fault.TrialRecord
+	for {
+		round, ok := planner.Next()
+		if !ok {
+			break
+		}
+		outcomes, roundRecs, err := c.runRound(cm, round, &cursor)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				// Shutdown mid-round: leave the campaign running so the
+				// restarted coordinator resumes it from the journal.
+				return
+			}
+			fail(err)
+			return
+		}
+		planner.Observe(round, outcomes)
+		recs = append(recs, roundRecs...)
+		c.mu.Lock()
+		c.roundsDone++
+		c.mu.Unlock()
+	}
+
+	wire := adaptiveWireResult(cm.spec, planner)
+	c.mu.Lock()
+	cm.state = campDone
+	cm.adaptiveRecs = recs
+	if !cm.started.IsZero() {
+		wire.ElapsedSec = time.Since(cm.started).Seconds()
+	}
+	cm.resultJSON, _ = json.Marshal(wire)
+	resJSON := cm.resultJSON
+	c.mu.Unlock()
+	c.journal.append(record{Op: "state", Campaign: cm.id, State: campDone, Result: resJSON})
+}
+
+// runRound executes one planner round through the cluster: slice it
+// into fanout round-shards (journaling the windows so a restart can
+// re-home replayed results), publish the plans so workers can lease
+// them, and block until every shard completes. Outcomes and records
+// come back in plan order. Rounds whose shards all completed before a
+// restart fold without any leasing or execution.
+func (c *Coordinator) runRound(cm *camp, round plan.Round, cursor *int) ([]fault.Outcome, []fault.TrialRecord, error) {
+	n := len(round.Plans)
+	k := cm.fanout
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	c.mu.Lock()
+	base := *cursor
+	if base == len(cm.shards) {
+		// Fresh round: append its shard table and journal the windows
+		// (under c.mu, like every other journal commit point).
+		windows := make([][2]int, k)
+		for j := 0; j < k; j++ {
+			lo, hi := round.Lo+j*n/k, round.Lo+(j+1)*n/k
+			windows[j] = [2]int{lo, hi}
+			cm.shards = append(cm.shards, &shardState{
+				lo: lo, hi: hi, round: round.Index,
+				leases: make(map[string]*lease),
+			})
+		}
+		c.journal.append(record{Op: "round", Campaign: cm.id, Round: round.Index, Windows: windows})
+	}
+	if base+k > len(cm.shards) {
+		c.mu.Unlock()
+		return nil, nil, fmt.Errorf("fabric: adaptive round %d shard table diverged from journal", round.Index)
+	}
+	shards := cm.shards[base : base+k]
+	for j, sh := range shards {
+		lo, hi := round.Lo+j*n/k, round.Lo+(j+1)*n/k
+		if sh.lo != lo || sh.hi != hi {
+			c.mu.Unlock()
+			return nil, nil, fmt.Errorf("fabric: adaptive round %d window [%d,%d) diverged from journaled [%d,%d)",
+				round.Index, lo, hi, sh.lo, sh.hi)
+		}
+		if !sh.done {
+			sh.plans = round.Plans[sh.lo-round.Lo : sh.hi-round.Lo]
+		}
+	}
+	*cursor = base + k
+	c.mu.Unlock()
+
+	for {
+		c.mu.Lock()
+		pending := 0
+		for _, sh := range shards {
+			if !sh.done {
+				pending++
+			}
+		}
+		c.mu.Unlock()
+		if pending == 0 {
+			break
+		}
+		select {
+		case <-cm.notify:
+		case <-c.baseCtx.Done():
+			return nil, nil, context.Canceled
+		}
+	}
+
+	outcomes := make([]fault.Outcome, n)
+	recs := make([]fault.TrialRecord, 0, n)
+	c.mu.Lock()
+	for _, sh := range shards {
+		for i, rec := range sh.recs {
+			outcomes[sh.lo-round.Lo+i] = rec.Outcome
+			recs = append(recs, rec)
+		}
+		sh.plans = nil // folded: frees the plans, shard no longer leasable
+	}
+	c.mu.Unlock()
+	return outcomes, recs, nil
+}
+
+// AdaptiveRecords returns a finished adaptive campaign's observed
+// trial records in plan order — the equivalence tests compare them
+// against a single-node RunAdaptive. In-memory only: nil result after
+// a post-completion restart (only the wire rendering is journaled).
+func (c *Coordinator) AdaptiveRecords(id string) ([]fault.TrialRecord, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cm := c.camps[id]
+	if cm == nil {
+		return nil, ErrNoCampaign
+	}
+	if !cm.spec.Adaptive {
+		return nil, fmt.Errorf("fabric: campaign %s is not adaptive", id)
+	}
+	if cm.state == campFailed {
+		return nil, fmt.Errorf("fabric: campaign %s failed: %s", id, cm.err)
+	}
+	if cm.state != campDone {
+		return nil, ErrNotFinished
+	}
+	return cm.adaptiveRecs, nil
+}
+
 // Status reports a campaign's cluster-wide progress.
 func (c *Coordinator) Status(id string) (CampaignStatus, error) {
 	c.mu.Lock()
@@ -509,6 +759,14 @@ func (c *Coordinator) Status(id string) (CampaignStatus, error) {
 	st := CampaignStatus{
 		ID: cm.id, State: cm.state, Error: cm.err,
 		ShardsTotal: len(cm.shards), TrialsTotal: cm.spec.Trials,
+	}
+	if cm.spec.Adaptive {
+		// The planner grows the campaign round by round; total = the
+		// allocation so far, not a fixed budget.
+		st.TrialsTotal = 0
+		for _, sh := range cm.shards {
+			st.TrialsTotal += sh.hi - sh.lo
+		}
 	}
 	for _, sh := range cm.shards {
 		if sh.done {
@@ -674,4 +932,5 @@ func (c *Coordinator) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "vsd_fabric_shards_total %d\n", shardsTotal)
 	fmt.Fprintf(w, "vsd_fabric_trials_total %d\n", c.trialsDone)
 	fmt.Fprintf(w, "vsd_fabric_trials_per_sec %.1f\n", c.trialsPerSec(now))
+	fmt.Fprintf(w, "vsd_fabric_adaptive_rounds_total %d\n", c.roundsDone)
 }

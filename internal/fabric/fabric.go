@@ -26,6 +26,7 @@ import (
 
 	"vsresil/internal/campaign"
 	"vsresil/internal/fault"
+	"vsresil/internal/plan"
 	"vsresil/internal/summarize"
 	"vsresil/internal/vs"
 
@@ -70,11 +71,36 @@ type CampaignSpec struct {
 	// the merged result keeps the MaxSDC lowest-plan-index SDCs.
 	KeepSDC bool `json:"keep_sdc,omitempty"`
 	MaxSDC  int  `json:"max_sdc,omitempty"`
+	// Adaptive switches the campaign from the fixed Trials budget to
+	// confidence-driven allocation: the coordinator plans rounds from
+	// the merged per-stratum counts and leases plan-carrying round
+	// shards until every stratum rate is within Precision at
+	// Confidence. Trials is ignored; the budget cap is MaxTrials
+	// (0 = the fixed-budget equivalent).
+	Adaptive bool `json:"adaptive,omitempty"`
+	// Precision is the target Wilson half-width (0 = 0.05) and
+	// Confidence the interval level (0 = 0.95) for adaptive campaigns.
+	Precision  float64 `json:"precision,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+	// RoundSize is the per-round trial budget after the bootstrap
+	// (0 = planner default); MaxTrials caps the total allocation.
+	RoundSize int `json:"round_size,omitempty"`
+	MaxTrials int `json:"max_trials,omitempty"`
 }
 
 // Validate checks the declarative fields without building a workload.
 func (cs *CampaignSpec) Validate() error {
-	if cs.Trials <= 0 {
+	if cs.Adaptive {
+		if cs.Precision < 0 || cs.Precision >= 0.5 {
+			return fmt.Errorf("fabric: adaptive precision %v outside [0, 0.5)", cs.Precision)
+		}
+		if cs.Confidence < 0 || cs.Confidence >= 1 {
+			return fmt.Errorf("fabric: adaptive confidence %v outside [0, 1)", cs.Confidence)
+		}
+		if cs.RoundSize < 0 || cs.MaxTrials < 0 {
+			return fmt.Errorf("fabric: negative adaptive round size or trial cap")
+		}
+	} else if cs.Trials <= 0 {
 		return fmt.Errorf("fabric: campaign needs trials > 0, got %d", cs.Trials)
 	}
 	if _, err := fault.ParseClass(cs.Class); err != nil {
@@ -173,6 +199,12 @@ type Lease struct {
 	// TTL is the lease duration: a worker must heartbeat well inside
 	// it or the shard is reassigned.
 	TTL time.Duration `json:"ttl_ns"`
+	// Plans, when non-empty, makes this a round-shard lease of an
+	// adaptive campaign: the worker executes exactly these plans (plan
+	// index PlanLo+i for Plans[i]) instead of regenerating a window
+	// from the seed. ShardIndex then names the coordinator's global
+	// shard slot, not a position in a static decomposition.
+	Plans []fault.Plan `json:"plans,omitempty"`
 }
 
 // ShardResult is a worker's completed shard: the checkpoint records of
@@ -245,6 +277,72 @@ func wireResult(cs CampaignSpec, shards int, res *campaign.Result) *CampaignResu
 		for k, n := range fres.CrashCounts {
 			out.CrashSplit[k.String()] = n
 		}
+	}
+	return out
+}
+
+// AdaptiveStratumResult is one stratum's final estimate on the wire.
+type AdaptiveStratumResult struct {
+	Region     string         `json:"region"`
+	Bits       string         `json:"bits"`
+	Population uint64         `json:"population"`
+	Trials     int            `json:"trials"`
+	Counts     map[string]int `json:"counts"`
+	HalfWidth  float64        `json:"half_width"`
+	Done       bool           `json:"done"`
+}
+
+// AdaptiveCampaignResult is the wire form of a finished adaptive
+// cluster campaign: the population-weighted rates plus the per-stratum
+// precision the allocation actually reached, and the fixed-budget
+// trial count the early stopping is measured against.
+type AdaptiveCampaignResult struct {
+	Class       string                  `json:"class"`
+	Region      string                  `json:"region"`
+	Precision   float64                 `json:"precision"`
+	Confidence  float64                 `json:"confidence"`
+	Rounds      int                     `json:"rounds"`
+	Trials      int                     `json:"trials"`
+	FixedBudget int                     `json:"fixed_budget"`
+	Converged   bool                    `json:"converged"`
+	Rates       map[string]float64      `json:"rates"`
+	Strata      []AdaptiveStratumResult `json:"strata"`
+	ElapsedSec  float64                 `json:"elapsed_sec"`
+}
+
+// adaptiveWireResult renders the planner's final state for the API.
+func adaptiveWireResult(cs CampaignSpec, planner *plan.Adaptive) *AdaptiveCampaignResult {
+	cfg := planner.Config()
+	strata := planner.Strata()
+	out := &AdaptiveCampaignResult{
+		Class:       cfg.Class.String(),
+		Region:      cfg.Region.String(),
+		Precision:   cfg.Precision,
+		Confidence:  cfg.Confidence,
+		Rounds:      planner.Rounds(),
+		Trials:      planner.Total(),
+		FixedBudget: plan.FixedBudget(cfg.Precision, cfg.Confidence, len(strata)),
+		Converged:   planner.Converged(),
+		Rates:       make(map[string]float64),
+		Strata:      make([]AdaptiveStratumResult, len(strata)),
+	}
+	for o, rate := range planner.Result().WeightedRates() {
+		out.Rates[fault.Outcome(o).String()] = rate
+	}
+	for i, s := range strata {
+		ws := AdaptiveStratumResult{
+			Region:     s.Region.String(),
+			Bits:       s.Bits.String(),
+			Population: s.Population,
+			Trials:     s.Trials,
+			Counts:     make(map[string]int),
+			HalfWidth:  s.HalfWidth,
+			Done:       s.Done,
+		}
+		for o, n := range s.Counts {
+			ws.Counts[fault.Outcome(o).String()] = n
+		}
+		out.Strata[i] = ws
 	}
 	return out
 }

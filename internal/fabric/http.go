@@ -256,6 +256,16 @@ func (cl *Client) Result(ctx context.Context, id string) (*CampaignResult, error
 	return &res, nil
 }
 
+// AdaptiveResult fetches a finished adaptive campaign's wire result
+// (the same endpoint as Result, decoded into the adaptive shape).
+func (cl *Client) AdaptiveResult(ctx context.Context, id string) (*AdaptiveCampaignResult, error) {
+	var res AdaptiveCampaignResult
+	if err := cl.get(ctx, "/v1/fabric/campaigns/"+id+"/result", &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
 // Lease asks for a shard; ok is false when the cluster has no work.
 func (cl *Client) Lease(ctx context.Context, worker string) (Lease, bool, error) {
 	var l Lease

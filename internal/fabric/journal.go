@@ -18,6 +18,7 @@ import (
 // lease churn. The ops:
 //
 //	{"op":"campaign","campaign":"c1","spec":{...},"shards":4}
+//	{"op":"round","campaign":"c1","round":1,"windows":[[24,36],[36,48]]}
 //	{"op":"lease","campaign":"c1","lease":"l7","shard":2,"worker":"w1","deadline":...}
 //	{"op":"shard","campaign":"c1","shard":2,"recs":[...],"sdc":[...]}
 //	{"op":"state","campaign":"c1","state":"done","result":{...}}
@@ -26,6 +27,13 @@ import (
 // the coordinator writes it under its mutex before acknowledging a
 // completion, so replay (which keeps the first shard record per index
 // and drops the rest) agrees with the live tie-break.
+//
+// Round records exist only for adaptive campaigns: each one appends
+// the round's shard windows to the campaign's shard table, so replayed
+// shard results land on the right indices. The plans themselves are
+// not journaled — the restarted coordinator's planner regenerates them
+// (and the windows) deterministically from the spec plus the journaled
+// outcomes.
 type record struct {
 	Op       string              `json:"op"`
 	Campaign string              `json:"campaign,omitempty"`
@@ -40,6 +48,8 @@ type record struct {
 	State    string              `json:"state,omitempty"`
 	Err      string              `json:"err,omitempty"`
 	Result   json.RawMessage     `json:"result,omitempty"`
+	Round    int                 `json:"round,omitempty"`
+	Windows  [][2]int            `json:"windows,omitempty"`
 }
 
 // journal serializes appends; a nil *journal (no path configured) is a
@@ -132,6 +142,17 @@ func replayJournal(path string) (camps []*camp, maxCampSeq, maxLeaseSeq int, err
 			byID[rec.Campaign] = cm
 			order = append(order, cm)
 			maxCampSeq = maxSeq(maxCampSeq, rec.Campaign, "c")
+		case "round":
+			cm := byID[rec.Campaign]
+			if cm == nil || !cm.spec.Adaptive || len(rec.Windows) == 0 {
+				continue
+			}
+			for _, w := range rec.Windows {
+				cm.shards = append(cm.shards, &shardState{
+					lo: w[0], hi: w[1], round: rec.Round,
+					leases: make(map[string]*lease),
+				})
+			}
 		case "lease":
 			cm := byID[rec.Campaign]
 			if cm == nil || rec.Shard < 0 || rec.Shard >= len(cm.shards) || rec.Deadline == nil {
@@ -224,7 +245,30 @@ func sortRecords(recs []fault.TrialRecord) {
 func snapshotRecords(camps []*camp) []record {
 	var recs []record
 	for _, cm := range camps {
-		recs = append(recs, record{Op: "campaign", Campaign: cm.id, Spec: &cm.spec, Shards: len(cm.shards)})
+		shards := len(cm.shards)
+		if cm.spec.Adaptive {
+			shards = cm.fanout
+		}
+		recs = append(recs, record{Op: "campaign", Campaign: cm.id, Spec: &cm.spec, Shards: shards})
+		if cm.spec.Adaptive {
+			if cm.state != campRunning {
+				// Finished adaptive campaigns replay from the state
+				// record alone; the round/shard history is dead weight.
+				recs = append(recs, record{Op: "state", Campaign: cm.id, State: cm.state, Err: cm.err, Result: cm.resultJSON})
+				continue
+			}
+			// Re-emit the round structure so shard indices stay valid.
+			for i := 0; i < len(cm.shards); {
+				j, r := i, cm.shards[i].round
+				var windows [][2]int
+				for j < len(cm.shards) && cm.shards[j].round == r {
+					windows = append(windows, [2]int{cm.shards[j].lo, cm.shards[j].hi})
+					j++
+				}
+				recs = append(recs, record{Op: "round", Campaign: cm.id, Round: r, Windows: windows})
+				i = j
+			}
+		}
 		for i, sh := range cm.shards {
 			if sh.done {
 				recs = append(recs, record{Op: "shard", Campaign: cm.id, Shard: i, Recs: sh.recs, SDC: sh.sdc})

@@ -82,7 +82,14 @@ func (w *Worker) runLease(ctx context.Context, runner *campaign.Runner, build Wo
 	if err != nil {
 		return
 	}
-	spec, err := l.Spec.campaignSpec(workload, campaign.Shard{Index: l.ShardIndex, Count: l.ShardCount})
+	// Plan-carrying leases (adaptive round-shards) execute exactly the
+	// shipped plans; shard placement is then the coordinator's concern,
+	// not a static decomposition the worker recomputes.
+	shard := campaign.Shard{Index: l.ShardIndex, Count: l.ShardCount}
+	if len(l.Plans) > 0 {
+		shard = campaign.Shard{}
+	}
+	spec, err := l.Spec.campaignSpec(workload, shard)
 	if err != nil {
 		return
 	}
@@ -117,7 +124,12 @@ func (w *Worker) runLease(ctx context.Context, runner *campaign.Runner, build Wo
 		}
 	}()
 
-	res, err := runner.Run(leaseCtx, spec)
+	var res *campaign.Result
+	if len(l.Plans) > 0 {
+		res, err = runner.RunPlans(leaseCtx, spec, l.Plans, l.PlanLo)
+	} else {
+		res, err = runner.Run(leaseCtx, spec)
+	}
 	cancel()
 	<-hbDone
 	if err != nil || res == nil {

@@ -158,6 +158,15 @@ type Config struct {
 	PlanTrials int
 	// PlanOffset is the first plan index this run executes (sharding).
 	PlanOffset int
+	// Plans, when non-nil, supplies the exact plans this run executes
+	// instead of drawing them from Seed — the planner seam
+	// (internal/plan) computes rounds of plans and hands each round to
+	// the executor through this field. len(Plans) must equal Trials.
+	// PlanOffset still names the plan index of Plans[0] (TrialRecord
+	// indices stay plan indices, so journaling and resume work
+	// unchanged), and PlanTrials must cover PlanOffset+Trials. Seed is
+	// ignored for plan generation when Plans is set.
+	Plans []Plan
 	// Golden, when non-nil, is a precomputed golden run of the same
 	// app, and RunCampaign skips its own fault-free execution. Because
 	// the application is deterministic under a nil plan, a captured
@@ -438,6 +447,41 @@ func (r *Result) Accumulate(t *Trial) {
 	r.Curve.Add(int(t.Outcome))
 }
 
+// WindowFor resolves a liveness-window override against the class
+// default: window if non-zero, else DefaultGPRWindow/DefaultFPRWindow.
+func WindowFor(class Class, window uint64) uint64 {
+	if window != 0 {
+		return window
+	}
+	if class == GPR {
+		return DefaultGPRWindow
+	}
+	return DefaultFPRWindow
+}
+
+// GeneratePlans draws the first n plans of the campaign plan space for
+// (seed, class, region) over a site space of totalTaps, with every
+// plan carrying the given (already resolved, see WindowFor) liveness
+// window. This is THE plan stream: RunCampaign, the shard
+// decomposition and the static planner all draw from it, which is what
+// keeps a shard's plans identical to the unsharded campaign's and the
+// planner seam bit-identical to the pre-seam executor.
+func GeneratePlans(seed uint64, class Class, region Region, window uint64, n int, totalTaps uint64) []Plan {
+	rng := stats.NewRNG(seed)
+	plans := make([]Plan, n)
+	for i := range plans {
+		plans[i] = Plan{
+			Class:  class,
+			Reg:    rng.Intn(NumRegisters),
+			Bit:    rng.Intn(RegisterBits),
+			Site:   rng.Uint64() % totalTaps,
+			Window: window,
+			Region: region,
+		}
+	}
+	return plans
+}
+
 // RunCampaign executes a statistical fault-injection campaign against
 // app: one golden run to size the site space and capture the reference
 // output (skipped when cfg.Golden supplies a precomputed one), then
@@ -491,37 +535,28 @@ func RunCampaign(ctx context.Context, cfg Config, app App) (*Result, error) {
 		return nil, ErrNoTaps
 	}
 
-	window := cfg.Window
-	if window == 0 {
-		if cfg.Class == GPR {
-			window = DefaultGPRWindow
-		} else {
-			window = DefaultFPRWindow
-		}
-	}
+	window := WindowFor(cfg.Class, cfg.Window)
 	stepFactor := cfg.StepFactor
 	if stepFactor <= 0 {
 		stepFactor = DefaultStepFactor
 	}
 	budget := uint64(float64(golden.Steps) * stepFactor)
 
-	// Pre-generate the full plan space from the seed so results depend
-	// on neither worker scheduling nor shard decomposition: a shard
-	// draws the same plans the unsharded campaign would and executes
-	// only its window.
-	rng := stats.NewRNG(cfg.Seed)
-	plans := make([]Plan, planTrials)
-	for i := range plans {
-		plans[i] = Plan{
-			Class:  cfg.Class,
-			Reg:    rng.Intn(NumRegisters),
-			Bit:    rng.Intn(RegisterBits),
-			Site:   rng.Uint64() % totalTaps,
-			Window: window,
-			Region: cfg.Region,
+	var plans []Plan
+	if cfg.Plans != nil {
+		// A planner supplied the exact plans for this window.
+		if len(cfg.Plans) != cfg.Trials {
+			return nil, fmt.Errorf("fault: %d explicit plans for %d trials", len(cfg.Plans), cfg.Trials)
 		}
+		plans = cfg.Plans
+	} else {
+		// Pre-generate the full plan space from the seed so results
+		// depend on neither worker scheduling nor shard decomposition:
+		// a shard draws the same plans the unsharded campaign would
+		// and executes only its window.
+		plans = GeneratePlans(cfg.Seed, cfg.Class, cfg.Region, window, planTrials, totalTaps)
+		plans = plans[cfg.PlanOffset : cfg.PlanOffset+cfg.Trials]
 	}
-	plans = plans[cfg.PlanOffset : cfg.PlanOffset+cfg.Trials]
 
 	trials := make([]Trial, cfg.Trials)
 	done := make([]bool, cfg.Trials)

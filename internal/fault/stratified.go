@@ -1,22 +1,20 @@
 package fault
 
-import (
-	"context"
-	"fmt"
-	"runtime"
-
-	"vsresil/internal/stats"
-)
+import "fmt"
 
 // The paper leaves "more comprehensive and higher precision techniques
 // such as Relyzer" to future work (§V-A). Relyzer's key idea is fault-
 // site equivalence: many dynamic fault sites behave alike, so
 // injecting into a few representatives of each equivalence class and
 // weighting by class population estimates full-coverage resiliency at
-// a fraction of the cost. This file implements a statistical variant:
+// a fraction of the cost. This file defines the stratification model:
 // the site space is stratified by (function region, bit group) — the
 // two strongest behavioral predictors in this workload — and each
-// stratum is sampled independently.
+// stratum is sampled independently. The drivers live behind the
+// planner seam: plan.Stratified reproduces the fixed per-stratum
+// draw, plan.Adaptive reallocates rounds by interval width, and
+// campaign.Runner executes either through the same trial executor as
+// every other campaign.
 
 // BitGroup partitions register bit positions by architectural effect:
 // low bits perturb values slightly, middle bits produce large value
@@ -45,8 +43,8 @@ func (b BitGroup) String() string {
 	}
 }
 
-// bounds returns the inclusive bit range of the group.
-func (b BitGroup) bounds() (int, int) {
+// Bounds returns the inclusive bit range of the group.
+func (b BitGroup) Bounds() (int, int) {
 	switch b {
 	case BitsLow:
 		return 0, 7
@@ -57,9 +55,9 @@ func (b BitGroup) bounds() (int, int) {
 	}
 }
 
-// groupWidth returns the number of bit positions in the group.
-func (b BitGroup) groupWidth() int {
-	lo, hi := b.bounds()
+// Width returns the number of bit positions in the group.
+func (b BitGroup) Width() int {
+	lo, hi := b.Bounds()
 	return hi - lo + 1
 }
 
@@ -130,122 +128,4 @@ func (r *StratifiedResult) WeightedRates() [NumOutcomes]float64 {
 		}
 	}
 	return out
-}
-
-// RunStratifiedCampaign executes the equivalence-class campaign: one
-// golden run sizes every stratum, then TrialsPerStratum injections are
-// sampled per non-empty stratum on a bounded worker pool.
-func RunStratifiedCampaign(ctx context.Context, cfg StratifiedConfig, app App) (*StratifiedResult, error) {
-	if cfg.TrialsPerStratum <= 0 {
-		cfg.TrialsPerStratum = 20
-	}
-	golden := New()
-	goldenOut, err := app(golden)
-	if err != nil {
-		return nil, fmt.Errorf("fault: golden run failed: %w", err)
-	}
-	window := cfg.Window
-	if window == 0 {
-		if cfg.Class == GPR {
-			window = DefaultGPRWindow
-		} else {
-			window = DefaultFPRWindow
-		}
-	}
-	stepFactor := cfg.StepFactor
-	if stepFactor <= 0 {
-		stepFactor = DefaultStepFactor
-	}
-	budget := uint64(float64(golden.Steps()) * stepFactor)
-
-	res := &StratifiedResult{}
-	rng := stats.NewRNG(cfg.Seed)
-	type job struct {
-		stratum int
-		plan    Plan
-	}
-	var jobs []job
-	for region := Region(0); region < NumRegions; region++ {
-		taps := golden.RegionTaps(cfg.Class, region)
-		if taps == 0 {
-			continue
-		}
-		for bg := BitGroup(0); bg < NumBitGroups; bg++ {
-			st := Stratum{
-				Region:     region,
-				Bits:       bg,
-				Population: taps * uint64(bg.groupWidth()),
-			}
-			res.TotalPopulation += st.Population
-			idx := len(res.Strata)
-			res.Strata = append(res.Strata, st)
-			lo, hi := bg.bounds()
-			for t := 0; t < cfg.TrialsPerStratum; t++ {
-				jobs = append(jobs, job{stratum: idx, plan: Plan{
-					Class:  cfg.Class,
-					Reg:    rng.Intn(NumRegisters),
-					Bit:    lo + rng.Intn(hi-lo+1),
-					Site:   rng.Uint64() % taps,
-					Window: window,
-					Region: region,
-				}})
-			}
-		}
-	}
-	if len(jobs) == 0 {
-		return nil, ErrNoTaps
-	}
-
-	outcomes := make([]Outcome, len(jobs))
-	exec := &trialExec{budget: budget, goldenOut: goldenOut, app: app}
-	if err := runJobs(ctx, cfg.Workers, len(jobs), func(i int) {
-		trial := exec.run(jobs[i].plan, nil, -1, nil)
-		outcomes[i] = trial.Outcome
-	}); err != nil {
-		return nil, err
-	}
-	for i, j := range jobs {
-		res.Strata[j.stratum].Counts[outcomes[i]]++
-	}
-	res.Trials = len(jobs)
-	return res, nil
-}
-
-// runJobs executes fn(0..n-1) on a bounded worker pool, stopping early
-// on context cancellation.
-func runJobs(ctx context.Context, workers, n int, fn func(int)) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	idxCh := make(chan int)
-	done := make(chan struct{})
-	for w := 0; w < workers; w++ {
-		go func() {
-			for i := range idxCh {
-				fn(i)
-			}
-			done <- struct{}{}
-		}()
-	}
-	var ctxErr error
-feed:
-	for i := 0; i < n; i++ {
-		select {
-		case idxCh <- i:
-		case <-ctx.Done():
-			ctxErr = ctx.Err()
-			break feed
-		}
-	}
-	close(idxCh)
-	for w := 0; w < workers; w++ {
-		<-done
-	}
-	if ctxErr != nil {
-		return fmt.Errorf("fault: stratified campaign interrupted: %w", ctxErr)
-	}
-	return nil
 }

@@ -1,19 +1,15 @@
 package fault
 
-import (
-	"context"
-	"math"
-	"testing"
-)
+import "testing"
 
 func TestBitGroupBounds(t *testing.T) {
 	total := 0
 	for bg := BitGroup(0); bg < NumBitGroups; bg++ {
-		lo, hi := bg.bounds()
+		lo, hi := bg.Bounds()
 		if lo > hi || lo < 0 || hi > 63 {
 			t.Errorf("%s bounds [%d,%d]", bg, lo, hi)
 		}
-		total += bg.groupWidth()
+		total += bg.Width()
 		if bg.String() == "" {
 			t.Error("empty bit group string")
 		}
@@ -32,98 +28,5 @@ func TestStratumRatesEmpty(t *testing.T) {
 		if r != 0 {
 			t.Error("empty stratum rates should be zero")
 		}
-	}
-}
-
-func TestStratifiedCampaignStructure(t *testing.T) {
-	res, err := RunStratifiedCampaign(context.Background(), StratifiedConfig{
-		TrialsPerStratum: 10,
-		Class:            GPR,
-		Seed:             1,
-		Workers:          2,
-	}, toyApp)
-	if err != nil {
-		t.Fatalf("RunStratifiedCampaign: %v", err)
-	}
-	if len(res.Strata) == 0 {
-		t.Fatal("no strata")
-	}
-	if res.Trials != len(res.Strata)*10 {
-		t.Errorf("trials = %d, want %d", res.Trials, len(res.Strata)*10)
-	}
-	var popSum uint64
-	for i := range res.Strata {
-		s := &res.Strata[i]
-		popSum += s.Population
-		total := 0
-		for _, c := range s.Counts {
-			total += c
-		}
-		if total != 10 {
-			t.Errorf("stratum %s/%s sampled %d, want 10", s.Region, s.Bits, total)
-		}
-	}
-	if popSum != res.TotalPopulation {
-		t.Error("population sum mismatch")
-	}
-	// Weighted rates are a convex combination: they sum to 1.
-	var sum float64
-	for _, r := range res.WeightedRates() {
-		sum += r
-	}
-	if math.Abs(sum-1) > 1e-9 {
-		t.Errorf("weighted rates sum to %v", sum)
-	}
-}
-
-func TestStratifiedMatchesUniformEstimate(t *testing.T) {
-	// The Relyzer-style weighted estimate should agree with a plain
-	// uniform campaign on the same app within statistical noise.
-	uniform, err := RunCampaign(context.Background(), Config{
-		Trials: 600, Class: GPR, Region: RAny, Seed: 5, Workers: 2,
-	}, toyApp)
-	if err != nil {
-		t.Fatalf("uniform campaign: %v", err)
-	}
-	strat, err := RunStratifiedCampaign(context.Background(), StratifiedConfig{
-		TrialsPerStratum: 60, Class: GPR, Seed: 5, Workers: 2,
-	}, toyApp)
-	if err != nil {
-		t.Fatalf("stratified campaign: %v", err)
-	}
-	u := uniform.Rates()
-	s := strat.WeightedRates()
-	for o := Outcome(0); o < NumOutcomes; o++ {
-		if d := math.Abs(u[o] - s[o]); d > 0.12 {
-			t.Errorf("%s: uniform %.3f vs stratified %.3f (diff %.3f)", o, u[o], s[o], d)
-		}
-	}
-}
-
-func TestStratifiedNoTaps(t *testing.T) {
-	app := func(m *Machine) ([]byte, error) { return []byte{1}, nil }
-	if _, err := RunStratifiedCampaign(context.Background(), StratifiedConfig{
-		TrialsPerStratum: 5, Class: GPR,
-	}, app); err == nil {
-		t.Error("expected ErrNoTaps")
-	}
-}
-
-func TestStratifiedCancellation(t *testing.T) {
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	if _, err := RunStratifiedCampaign(ctx, StratifiedConfig{
-		TrialsPerStratum: 1000, Class: GPR, Seed: 1,
-	}, toyApp); err == nil {
-		t.Error("expected cancellation error")
-	}
-}
-
-func TestStratifiedGoldenFailure(t *testing.T) {
-	app := func(m *Machine) ([]byte, error) { return nil, context.Canceled }
-	if _, err := RunStratifiedCampaign(context.Background(), StratifiedConfig{
-		TrialsPerStratum: 1, Class: GPR,
-	}, app); err == nil {
-		t.Error("expected golden failure error")
 	}
 }

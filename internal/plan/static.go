@@ -1,0 +1,71 @@
+package plan
+
+import (
+	"fmt"
+
+	"vsresil/internal/fault"
+)
+
+// StaticConfig parameterizes the classic fixed-budget window.
+type StaticConfig struct {
+	// Class, Region, Seed, Window as in fault.Config (Window 0 means
+	// the class default).
+	Class  fault.Class
+	Region fault.Region
+	Seed   uint64
+	Window uint64
+	// Trials is the window length, PlanTrials the plan-space size
+	// (0 = Trials) and PlanOffset the window start — identical
+	// semantics to the same-named fault.Config fields.
+	Trials     int
+	PlanTrials int
+	PlanOffset int
+}
+
+// Static emits the classic plan window as a single round: the plans
+// are drawn from fault.GeneratePlans — the same stream RunCampaign
+// pre-generates — and sliced to [PlanOffset, PlanOffset+Trials), so a
+// campaign routed through Static is bit-identical to one that never
+// saw the planner seam.
+type Static struct {
+	cfg       StaticConfig
+	totalTaps uint64
+	emitted   bool
+}
+
+// NewStatic validates cfg against the golden run's site geometry.
+func NewStatic(golden *fault.GoldenRun, cfg StaticConfig) (*Static, error) {
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("plan: non-positive trial count %d", cfg.Trials)
+	}
+	if cfg.PlanTrials == 0 {
+		cfg.PlanTrials = cfg.Trials
+	}
+	if cfg.PlanOffset < 0 || cfg.PlanOffset+cfg.Trials > cfg.PlanTrials {
+		return nil, fmt.Errorf("plan: window [%d,%d) outside plan space [0,%d)",
+			cfg.PlanOffset, cfg.PlanOffset+cfg.Trials, cfg.PlanTrials)
+	}
+	taps := golden.Taps(cfg.Class, cfg.Region)
+	if taps == 0 {
+		return nil, fault.ErrNoTaps
+	}
+	return &Static{cfg: cfg, totalTaps: taps}, nil
+}
+
+// Next emits the whole window once.
+func (s *Static) Next() (Round, bool) {
+	if s.emitted {
+		return Round{}, false
+	}
+	s.emitted = true
+	window := fault.WindowFor(s.cfg.Class, s.cfg.Window)
+	plans := fault.GeneratePlans(s.cfg.Seed, s.cfg.Class, s.cfg.Region, window, s.cfg.PlanTrials, s.totalTaps)
+	return Round{
+		Index: 0,
+		Lo:    s.cfg.PlanOffset,
+		Plans: plans[s.cfg.PlanOffset : s.cfg.PlanOffset+s.cfg.Trials],
+	}, true
+}
+
+// Observe is a no-op: a static budget never reacts to outcomes.
+func (s *Static) Observe(Round, []fault.Outcome) {}

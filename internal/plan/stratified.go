@@ -1,0 +1,125 @@
+package plan
+
+import (
+	"vsresil/internal/fault"
+	"vsresil/internal/stats"
+)
+
+// strataFor enumerates the non-empty strata of a golden run's site
+// space in the canonical order — regions outer (ascending), bit
+// groups inner — optionally restricted to one region. Every planner
+// and every layer above (campaign, fabric, service) sees strata in
+// this one order, which is what makes per-stratum RNG streams and
+// allocation decisions reproducible everywhere.
+type stratumSite struct {
+	region fault.Region
+	bits   fault.BitGroup
+	taps   uint64
+	pop    uint64
+}
+
+func strataFor(golden *fault.GoldenRun, class fault.Class, region fault.Region) []stratumSite {
+	var out []stratumSite
+	for r := fault.Region(0); r < fault.NumRegions; r++ {
+		if region != fault.RAny && r != region {
+			continue
+		}
+		taps := golden.Taps(class, r)
+		if taps == 0 {
+			continue
+		}
+		for bg := fault.BitGroup(0); bg < fault.NumBitGroups; bg++ {
+			out = append(out, stratumSite{
+				region: r,
+				bits:   bg,
+				taps:   taps,
+				pop:    taps * uint64(bg.Width()),
+			})
+		}
+	}
+	return out
+}
+
+// Stratified emits the classic fixed per-stratum draw as one round:
+// TrialsPerStratum plans for every non-empty (region, bit group)
+// stratum, drawn from a single seeded RNG in stratum order — exactly
+// the stream the old fault.RunStratifiedCampaign private loop drew,
+// so re-routing the stratified campaign through the seam preserves
+// its plans verbatim.
+type Stratified struct {
+	cfg     fault.StratifiedConfig
+	strata  []stratumSite
+	counts  [][fault.NumOutcomes]int
+	trials  []int
+	emitted bool
+}
+
+// NewStratified sizes the strata from the golden run's geometry.
+func NewStratified(golden *fault.GoldenRun, cfg fault.StratifiedConfig) (*Stratified, error) {
+	if cfg.TrialsPerStratum <= 0 {
+		cfg.TrialsPerStratum = 20
+	}
+	strata := strataFor(golden, cfg.Class, fault.RAny)
+	if len(strata) == 0 {
+		return nil, fault.ErrNoTaps
+	}
+	return &Stratified{
+		cfg:    cfg,
+		strata: strata,
+		counts: make([][fault.NumOutcomes]int, len(strata)),
+		trials: make([]int, len(strata)),
+	}, nil
+}
+
+// Next emits the full per-stratum draw once.
+func (p *Stratified) Next() (Round, bool) {
+	if p.emitted {
+		return Round{}, false
+	}
+	p.emitted = true
+	window := fault.WindowFor(p.cfg.Class, p.cfg.Window)
+	n := len(p.strata) * p.cfg.TrialsPerStratum
+	r := Round{Plans: make([]fault.Plan, 0, n), Strata: make([]int, 0, n)}
+	rng := stats.NewRNG(p.cfg.Seed)
+	for i, s := range p.strata {
+		lo, hi := s.bits.Bounds()
+		for t := 0; t < p.cfg.TrialsPerStratum; t++ {
+			r.Plans = append(r.Plans, fault.Plan{
+				Class:  p.cfg.Class,
+				Reg:    rng.Intn(fault.NumRegisters),
+				Bit:    lo + rng.Intn(hi-lo+1),
+				Site:   rng.Uint64() % s.taps,
+				Window: window,
+				Region: s.region,
+			})
+			r.Strata = append(r.Strata, i)
+		}
+	}
+	return r, true
+}
+
+// Observe folds the round's outcomes into the per-stratum counts.
+func (p *Stratified) Observe(r Round, outcomes []fault.Outcome) {
+	for i, o := range outcomes {
+		s := r.Strata[i]
+		p.counts[s][o]++
+		p.trials[s]++
+	}
+}
+
+// Result assembles the Relyzer-style weighted estimate from the
+// observed counts.
+func (p *Stratified) Result() *fault.StratifiedResult {
+	res := &fault.StratifiedResult{Strata: make([]fault.Stratum, len(p.strata))}
+	for i, s := range p.strata {
+		res.Strata[i] = fault.Stratum{
+			Region:     s.region,
+			Bits:       s.bits,
+			Population: s.pop,
+			Counts:     p.counts[i],
+		}
+		res.TotalPopulation += s.pop
+		res.Trials += p.trials[i]
+	}
+	return res
+}

@@ -110,8 +110,24 @@ type CampaignSpec struct {
 	Class string `json:"class,omitempty"`
 	// Region restricts injections to one function ("" = whole app).
 	Region string `json:"region,omitempty"`
-	// Trials is the number of injections (required, > 0).
+	// Trials is the number of injections (required for fixed-budget
+	// campaigns, > 0; ignored when Adaptive is set).
 	Trials int `json:"trials"`
+	// Adaptive switches from the fixed Trials budget to
+	// confidence-driven allocation: the campaign rounds trials into the
+	// widest-interval strata and stops once every per-stratum outcome
+	// rate reaches the target half-width.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// Precision is the adaptive target half-width (0 = 0.05).
+	Precision float64 `json:"precision,omitempty"`
+	// Confidence is the adaptive interval level (0 = 0.95).
+	Confidence float64 `json:"confidence,omitempty"`
+	// RoundSize is the adaptive per-round trial budget (0 = planner
+	// default).
+	RoundSize int `json:"round_size,omitempty"`
+	// MaxTrials caps the adaptive allocation (0 = the fixed-budget
+	// equivalent for the same precision/confidence/strata).
+	MaxTrials int `json:"max_trials,omitempty"`
 	// Seed makes the campaign reproducible (and resumable).
 	Seed uint64 `json:"seed,omitempty"`
 	// Workers bounds the campaign's own trial parallelism
@@ -137,6 +153,10 @@ type ExperimentSpec struct {
 	QualityTrials int    `json:"quality_trials,omitempty"`
 	Seed          uint64 `json:"seed,omitempty"`
 	Workers       int    `json:"workers,omitempty"`
+	// Precision/Confidence parameterize the adaptive convergence
+	// experiment (0 = the planner defaults, 0.05 at 0.95).
+	Precision  float64 `json:"precision,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
 // JobSpec is the wire form of a job submission: a type, a scheduling
@@ -170,8 +190,23 @@ func (s *JobSpec) Validate() error {
 		if c == nil {
 			return fmt.Errorf("service: campaign job missing \"campaign\" spec")
 		}
-		if c.Trials <= 0 {
-			return fmt.Errorf("service: campaign needs trials > 0, got %d", c.Trials)
+		if c.Adaptive {
+			if c.Precision < 0 || c.Precision >= 0.5 {
+				return fmt.Errorf("service: adaptive precision %v outside (0, 0.5)", c.Precision)
+			}
+			if c.Confidence < 0 || c.Confidence >= 1 {
+				return fmt.Errorf("service: adaptive confidence %v outside (0, 1)", c.Confidence)
+			}
+			if c.RoundSize < 0 || c.MaxTrials < 0 {
+				return fmt.Errorf("service: adaptive round_size/max_trials must be >= 0")
+			}
+		} else {
+			if c.Trials <= 0 {
+				return fmt.Errorf("service: campaign needs trials > 0, got %d", c.Trials)
+			}
+			if c.Precision != 0 || c.Confidence != 0 {
+				return fmt.Errorf("service: precision/confidence are adaptive knobs; set \"adaptive\": true")
+			}
 		}
 		if c.Shards < 0 {
 			return fmt.Errorf("service: campaign shards must be >= 0, got %d", c.Shards)

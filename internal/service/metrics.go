@@ -7,7 +7,9 @@ import (
 	"sync"
 	"time"
 
+	"vsresil/internal/campaign"
 	"vsresil/internal/fault"
+	"vsresil/internal/plan"
 	"vsresil/internal/probe"
 )
 
@@ -47,6 +49,16 @@ type metrics struct {
 	bucketMax           int
 	bucketEarlyMasks    uint64
 	bucketConverged     uint64
+
+	// adaptive round accumulators fed per completed planner round and
+	// per finished adaptive campaign; strataHW holds each stratum's
+	// latest estimate for the half-width gauge series.
+	roundCampaigns uint64
+	roundsTotal    uint64
+	roundTrials    uint64
+	roundConverged uint64
+	roundLastMaxHW float64
+	strataHW       map[stratumCell]stratumGauge
 
 	// trialTimes is a per-second ring of trial completions backing the
 	// trials/sec gauge.
@@ -158,6 +170,47 @@ func (m *metrics) stagesDone(snap []probe.RegionStats) {
 		for c := probe.OpClass(0); c < probe.NumOpClasses; c++ {
 			m.stageOps[rs.Region][c] += rs.Ops[c]
 		}
+	}
+}
+
+// stratumCell identifies one adaptive stratum's /metrics series.
+type stratumCell struct {
+	Class  string
+	Region string
+	Bits   string
+}
+
+// stratumGauge is a stratum's latest observed estimate.
+type stratumGauge struct {
+	Trials    int
+	HalfWidth float64
+	Done      bool
+}
+
+// roundDone records one completed adaptive planner round.
+func (m *metrics) roundDone(st campaign.RoundStatus) {
+	m.mu.Lock()
+	m.roundsTotal++
+	m.roundTrials += uint64(st.RoundTrials)
+	m.roundLastMaxHW = st.MaxHalfWidth
+	m.mu.Unlock()
+}
+
+// adaptiveDone folds one finished adaptive campaign's final strata into
+// the half-width gauge series.
+func (m *metrics) adaptiveDone(class string, strata []plan.StratumStatus, converged bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.roundCampaigns++
+	if converged {
+		m.roundConverged++
+	}
+	if m.strataHW == nil {
+		m.strataHW = make(map[stratumCell]stratumGauge)
+	}
+	for _, st := range strata {
+		m.strataHW[stratumCell{Class: class, Region: st.Region.String(), Bits: st.Bits.String()}] =
+			stratumGauge{Trials: st.Trials, HalfWidth: st.HalfWidth, Done: st.Done}
 	}
 }
 
@@ -278,6 +331,41 @@ func (m *metrics) write(w io.Writer, g gauges) {
 		}
 		fmt.Fprintf(w, "vsd_campaign_bucket_early_masks_total %d\n", m.bucketEarlyMasks)
 		fmt.Fprintf(w, "vsd_campaign_bucket_converged_total %d\n", m.bucketConverged)
+	}
+	if m.roundsTotal > 0 {
+		fmt.Fprintf(w, "vsd_campaign_round_campaigns_total %d\n", m.roundCampaigns)
+		fmt.Fprintf(w, "vsd_campaign_round_count_total %d\n", m.roundsTotal)
+		fmt.Fprintf(w, "vsd_campaign_round_trials_total %d\n", m.roundTrials)
+		fmt.Fprintf(w, "vsd_campaign_round_converged_total %d\n", m.roundConverged)
+		fmt.Fprintf(w, "vsd_campaign_round_last_max_half_width %.4f\n", m.roundLastMaxHW)
+	}
+	if len(m.strataHW) > 0 {
+		cells := make([]stratumCell, 0, len(m.strataHW))
+		for c := range m.strataHW {
+			cells = append(cells, c)
+		}
+		sort.Slice(cells, func(a, b int) bool {
+			if cells[a].Class != cells[b].Class {
+				return cells[a].Class < cells[b].Class
+			}
+			if cells[a].Region != cells[b].Region {
+				return cells[a].Region < cells[b].Region
+			}
+			return cells[a].Bits < cells[b].Bits
+		})
+		for _, c := range cells {
+			g := m.strataHW[c]
+			fmt.Fprintf(w, "vsd_campaign_stratum_half_width{class=%q,region=%q,bits=%q} %.4f\n",
+				c.Class, c.Region, c.Bits, g.HalfWidth)
+			fmt.Fprintf(w, "vsd_campaign_stratum_trials{class=%q,region=%q,bits=%q} %d\n",
+				c.Class, c.Region, c.Bits, g.Trials)
+			done := 0
+			if g.Done {
+				done = 1
+			}
+			fmt.Fprintf(w, "vsd_campaign_stratum_done{class=%q,region=%q,bits=%q} %d\n",
+				c.Class, c.Region, c.Bits, done)
+		}
 	}
 	if m.stageRuns > 0 {
 		fmt.Fprintf(w, "vsd_stage_metered_runs_total %d\n", m.stageRuns)

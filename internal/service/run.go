@@ -80,6 +80,26 @@ type CampaignResult struct {
 	ElapsedSec  float64            `json:"elapsed_sec"`
 	// TrialsPerSec covers only the trials this process executed.
 	TrialsPerSec float64 `json:"trials_per_sec"`
+
+	// Adaptive campaigns fill the planner section: the precision target,
+	// per-stratum estimates and the fixed-budget savings baseline.
+	Adaptive    bool          `json:"adaptive,omitempty"`
+	Precision   float64       `json:"precision,omitempty"`
+	Confidence  float64       `json:"confidence,omitempty"`
+	Rounds      int           `json:"rounds,omitempty"`
+	FixedBudget int           `json:"fixed_budget,omitempty"`
+	Converged   bool          `json:"converged,omitempty"`
+	Strata      []StratumInfo `json:"strata,omitempty"`
+}
+
+// StratumInfo is one adaptive stratum's final estimate on the wire.
+type StratumInfo struct {
+	Region     string  `json:"region"`
+	Bits       string  `json:"bits"`
+	Population uint64  `json:"population"`
+	Trials     int     `json:"trials"`
+	HalfWidth  float64 `json:"half_width"`
+	Done       bool    `json:"done"`
 }
 
 // ExperimentResult is the wire form of an experiment job's output: the
@@ -323,7 +343,7 @@ func (s *Service) runCampaign(ctx context.Context, j *Job) (any, error) {
 	// The runner resolves the golden run through the service-wide
 	// cache: repeated campaigns over the same app+input (sweeping
 	// classes, regions or trial counts) skip the capture entirely.
-	res, err := s.runner.RunSharded(ctx, campaign.Spec{
+	cspec := campaign.Spec{
 		Workload: campaign.SummarizeApp(sum, frames, inputName, spec.goldenKey()),
 		Class:    class,
 		Region:   region,
@@ -332,7 +352,35 @@ func (s *Service) runCampaign(ctx context.Context, j *Job) (any, error) {
 		Workers:  spec.Workers,
 		OnTrial:  onTrial,
 		Resume:   resume,
-	}, spec.Shards)
+	}
+	var (
+		res  *campaign.Result
+		ares *campaign.AdaptiveResult
+	)
+	if spec.Adaptive {
+		cspec.Trials = 0
+		cspec.Adaptive = &campaign.AdaptiveSpec{
+			Precision:  spec.Precision,
+			Confidence: spec.Confidence,
+			RoundSize:  spec.RoundSize,
+			MaxTrials:  spec.MaxTrials,
+			OnRound: func(st campaign.RoundStatus) {
+				// The allocation is decided round by round, so the
+				// progress denominator grows with it.
+				s.mu.Lock()
+				j.Progress.Total = st.Trials
+				s.mu.Unlock()
+				s.metrics.roundDone(st)
+			},
+		}
+		k := spec.Shards
+		if k < 1 {
+			k = 1
+		}
+		ares, err = s.runner.RunAdaptive(ctx, cspec, k)
+	} else {
+		res, err = s.runner.RunSharded(ctx, cspec, spec.Shards)
+	}
 
 	// Flush the tail of the checkpoint batch whether the campaign
 	// finished, failed or was interrupted — these records are exactly
@@ -347,37 +395,73 @@ func (s *Service) runCampaign(ctx context.Context, j *Job) (any, error) {
 	}
 
 	elapsed := time.Since(started)
-	fres := res.Fault
-	s.metrics.bucketsDone(fres.Sched)
 	cr := &CampaignResult{
-		Scenario:    cell.Scenario,
-		Summarizer:  cell.Summarizer,
-		Algorithm:   cell.Algorithm,
-		Input:       inputName,
-		Class:       class.String(),
-		Region:      region.String(),
-		Trials:      spec.Trials,
-		Shards:      spec.Shards,
-		Completed:   fres.Completed,
-		Resumed:     len(resume),
-		TotalTaps:   fres.TotalTaps,
-		GoldenSteps: fres.GoldenSteps,
-		Counts:      make(map[string]int),
-		Rates:       make(map[string]float64),
-		ElapsedSec:  elapsed.Seconds(),
+		Scenario:   cell.Scenario,
+		Summarizer: cell.Summarizer,
+		Algorithm:  cell.Algorithm,
+		Input:      inputName,
+		Class:      class.String(),
+		Region:     region.String(),
+		Trials:     spec.Trials,
+		Shards:     spec.Shards,
+		Resumed:    len(resume),
+		Counts:     make(map[string]int),
+		Rates:      make(map[string]float64),
+		ElapsedSec: elapsed.Seconds(),
 	}
-	for o := fault.Outcome(0); o < fault.NumOutcomes; o++ {
-		cr.Counts[o.String()] = fres.Counts[o]
-		cr.Rates[o.String()] = fres.Rate(o)
-	}
-	if len(fres.CrashCounts) > 0 {
-		cr.CrashSplit = make(map[string]int)
-		for k, n := range fres.CrashCounts {
-			cr.CrashSplit[k.String()] = n
+	executed := 0
+	if spec.Adaptive {
+		// The effective targets after planner defaulting.
+		cr.Adaptive = true
+		cr.Precision, cr.Confidence = spec.Precision, spec.Confidence
+		if cr.Precision <= 0 {
+			cr.Precision = 0.05
 		}
+		if cr.Confidence <= 0 || cr.Confidence >= 1 {
+			cr.Confidence = 0.95
+		}
+		cr.Trials = ares.Trials
+		cr.Completed = ares.Trials
+		cr.Rounds = ares.Rounds
+		cr.FixedBudget = ares.FixedBudget
+		cr.Converged = ares.Converged
+		rates := ares.Stratified.WeightedRates()
+		for o := fault.Outcome(0); o < fault.NumOutcomes; o++ {
+			cr.Counts[o.String()] = ares.Counts[o]
+			cr.Rates[o.String()] = rates[o]
+		}
+		for _, st := range ares.Strata {
+			cr.Strata = append(cr.Strata, StratumInfo{
+				Region:     st.Region.String(),
+				Bits:       st.Bits.String(),
+				Population: st.Population,
+				Trials:     st.Trials,
+				HalfWidth:  st.HalfWidth,
+				Done:       st.Done,
+			})
+		}
+		s.metrics.adaptiveDone(cr.Class, ares.Strata, ares.Converged)
+		executed = ares.Executed
+	} else {
+		fres := res.Fault
+		s.metrics.bucketsDone(fres.Sched)
+		cr.Completed = fres.Completed
+		cr.TotalTaps = fres.TotalTaps
+		cr.GoldenSteps = fres.GoldenSteps
+		for o := fault.Outcome(0); o < fault.NumOutcomes; o++ {
+			cr.Counts[o.String()] = fres.Counts[o]
+			cr.Rates[o.String()] = fres.Rate(o)
+		}
+		if len(fres.CrashCounts) > 0 {
+			cr.CrashSplit = make(map[string]int)
+			for k, n := range fres.CrashCounts {
+				cr.CrashSplit[k.String()] = n
+			}
+		}
+		executed = res.Executed
 	}
-	if res.Executed > 0 && elapsed > 0 {
-		cr.TrialsPerSec = float64(res.Executed) / elapsed.Seconds()
+	if executed > 0 && elapsed > 0 {
+		cr.TrialsPerSec = float64(executed) / elapsed.Seconds()
 	}
 	return cr, nil
 }
@@ -407,6 +491,8 @@ func (s *Service) runExperiment(ctx context.Context, j *Job) (any, error) {
 		o.Seed = spec.Seed
 	}
 	o.Workers = spec.Workers
+	o.Precision = spec.Precision
+	o.Confidence = spec.Confidence
 
 	var buf bytes.Buffer
 	if err := exp.Run(ctx, o, &buf); err != nil {

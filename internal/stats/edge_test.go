@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// Edge cases for Percentile: empty input, single element, p outside
+// [0, 100], interpolation between elements, and input immutability.
+func TestPercentileEdgeCases(t *testing.T) {
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil, 50) = %v, want 0", got)
+	}
+	if got := Percentile([]float64{}, 99); got != 0 {
+		t.Errorf("Percentile(empty, 99) = %v, want 0", got)
+	}
+
+	single := []float64{7.5}
+	for _, p := range []float64{-10, 0, 13, 50, 100, 250} {
+		if got := Percentile(single, p); got != 7.5 {
+			t.Errorf("Percentile([7.5], %v) = %v, want 7.5", p, got)
+		}
+	}
+
+	xs := []float64{4, 1, 3, 2}
+	if got := Percentile(xs, -5); got != 1 {
+		t.Errorf("p<=0 should clamp to min: got %v, want 1", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p=0 should return min: got %v, want 1", got)
+	}
+	if got := Percentile(xs, 100); got != 4 {
+		t.Errorf("p=100 should return max: got %v, want 4", got)
+	}
+	if got := Percentile(xs, 150); got != 4 {
+		t.Errorf("p>=100 should clamp to max: got %v, want 4", got)
+	}
+	// rank = 0.5*3 = 1.5 over sorted [1 2 3 4] → 2.5.
+	if got := Percentile(xs, 50); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Percentile(%v, 50) = %v, want 2.5", xs, got)
+	}
+	// rank = 0.25*3 = 0.75 → 1*0.25 + 2*0.75 = 1.75.
+	if got := Percentile(xs, 25); math.Abs(got-1.75) > 1e-12 {
+		t.Errorf("Percentile(%v, 25) = %v, want 1.75", xs, got)
+	}
+
+	if !reflect.DeepEqual(xs, []float64{4, 1, 3, 2}) {
+		t.Errorf("Percentile mutated its input: %v", xs)
+	}
+}
+
+// Edge cases for CDF: empty samples (all-zero output of the right
+// length), empty thresholds, duplicate thresholds and duplicate
+// samples, thresholds below/at/above the data range, and the <=
+// (inclusive) convention at exact sample values.
+func TestCDFEdgeCases(t *testing.T) {
+	if got := CDF(nil, []float64{1, 2, 3}); !reflect.DeepEqual(got, []float64{0, 0, 0}) {
+		t.Errorf("CDF(nil, _) = %v, want zeros", got)
+	}
+	if got := CDF([]float64{1, 2}, nil); len(got) != 0 {
+		t.Errorf("CDF(_, nil) = %v, want empty", got)
+	}
+
+	xs := []float64{1, 2, 2, 3}
+	thresholds := []float64{0, 1, 2, 2, 2.5, 3, 4}
+	want := []float64{0, 0.25, 0.75, 0.75, 0.75, 1, 1}
+	got := CDF(xs, thresholds)
+	if len(got) != len(want) {
+		t.Fatalf("CDF returned %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("CDF(%v)[%d] (t=%v) = %v, want %v", xs, i, thresholds[i], got[i], want[i])
+		}
+	}
+
+	// Single sample: step function at the sample value.
+	one := CDF([]float64{5}, []float64{4.999, 5, 5.001})
+	if !reflect.DeepEqual(one, []float64{0, 1, 1}) {
+		t.Errorf("CDF single sample = %v, want [0 1 1]", one)
+	}
+
+	if !reflect.DeepEqual(xs, []float64{1, 2, 2, 3}) {
+		t.Errorf("CDF mutated its input: %v", xs)
+	}
+}

@@ -1,0 +1,226 @@
+package stats
+
+import "math"
+
+// Binomial confidence intervals for the adaptive campaign planner: the
+// per-stratum outcome rates of a fault-injection campaign are binomial
+// proportions, and the planner keeps injecting into a stratum until the
+// interval around every rate is narrower than the target half-width.
+//
+// WilsonInterval is the working estimator (well-behaved at p near 0 and
+// 1, where most strata live — pure-Mask strata are the common case).
+// ClopperPearson is the exact tail-inversion interval used as a
+// cross-check: it is conservative (never narrower than the nominal
+// coverage), so Wilson ⊆ Clopper–Pearson holds approximately and the
+// golden tests pin both against published values.
+
+// WilsonInterval returns the Wilson score interval for k successes in n
+// trials at the given two-sided confidence level (e.g. 0.95). n == 0
+// returns the vacuous interval [0, 1].
+func WilsonInterval(k, n int, confidence float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	z := NormalQuantile(1 - (1-confidence)/2)
+	nn := float64(n)
+	p := float64(k) / nn
+	denom := 1 + z*z/nn
+	center := (p + z*z/(2*nn)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nn+z*z/(4*nn*nn))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// WilsonHalfWidth returns half the width of the Wilson interval — the
+// planner's per-stratum convergence measure.
+func WilsonHalfWidth(k, n int, confidence float64) float64 {
+	lo, hi := WilsonInterval(k, n, confidence)
+	return (hi - lo) / 2
+}
+
+// WilsonFixedN returns the smallest n for which the worst-case
+// (p = 1/2) Wilson half-width is at most halfWidth — the per-stratum
+// budget a fixed (non-adaptive) design must commit to guarantee the
+// same precision without looking at outcomes.
+func WilsonFixedN(halfWidth, confidence float64) int {
+	if halfWidth <= 0 || halfWidth >= 0.5 {
+		return 1
+	}
+	lo, hi := 1, 1
+	for worstWilsonHalf(hi, confidence) > halfWidth && hi < 1<<30 {
+		hi *= 2
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if worstWilsonHalf(mid, confidence) <= halfWidth {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// worstWilsonHalf is the Wilson half-width at p-hat = 1/2 for n trials.
+func worstWilsonHalf(n int, confidence float64) float64 {
+	z := NormalQuantile(1 - (1-confidence)/2)
+	nn := float64(n)
+	denom := 1 + z*z/nn
+	return z / denom * math.Sqrt(0.25/nn+z*z/(4*nn*nn))
+}
+
+// ClopperPearson returns the exact (conservative) binomial interval for
+// k successes in n trials at the given two-sided confidence level. It
+// inverts the binomial tails via Beta quantiles:
+//
+//	lo = BetaInv(alpha/2; k, n-k+1), hi = BetaInv(1-alpha/2; k+1, n-k)
+//
+// with lo = 0 at k == 0 and hi = 1 at k == n. n == 0 returns [0, 1].
+func ClopperPearson(k, n int, confidence float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	alpha := 1 - confidence
+	lo, hi = 0, 1
+	if k > 0 {
+		lo = betaQuantile(alpha/2, float64(k), float64(n-k+1))
+	}
+	if k < n {
+		hi = betaQuantile(1-alpha/2, float64(k+1), float64(n-k))
+	}
+	return lo, hi
+}
+
+// NormalQuantile returns the standard normal quantile Phi^-1(p) using
+// Acklam's rational approximation (relative error < 1.15e-9), refined
+// by one Halley step against math.Erfc. Panics outside (0, 1).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("stats: NormalQuantile needs p in (0, 1)")
+	}
+	const (
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((-7.784894002430293e-03*q-3.223964580411365e-01)*q-2.400758277161838e+00)*q-2.549732539343734e+00)*q+4.374664141464968e+00)*q + 2.938163982698783e+00) /
+			((((7.784695709041462e-03*q+3.224671290700398e-01)*q+2.445134137142996e+00)*q+3.754408661907416e+00)*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((-3.969683028665376e+01*r+2.209460984245205e+02)*r-2.759285104469687e+02)*r+1.383577518672690e+02)*r-3.066479806614716e+01)*r + 2.506628277459239e+00) * q /
+			(((((-5.447609879822406e+01*r+1.615858368580409e+02)*r-1.556989798598866e+02)*r+6.680131188771972e+01)*r-1.328068155288572e+01)*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((-7.784894002430293e-03*q-3.223964580411365e-01)*q-2.400758277161838e+00)*q-2.549732539343734e+00)*q+4.374664141464968e+00)*q + 2.938163982698783e+00) /
+			((((7.784695709041462e-03*q+3.224671290700398e-01)*q+2.445134137142996e+00)*q+3.754408661907416e+00)*q + 1)
+	}
+	// One Halley refinement step drives the approximation to full
+	// float64 precision.
+	e := 0.5*math.Erfc(-x/math.Sqrt2) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	return x - u/(1+x*u/2)
+}
+
+// betaQuantile inverts the regularized incomplete beta function:
+// returns x with RegIncBeta(a, b, x) == p, by bisection (the planner
+// calls this a handful of times per round; robustness beats speed).
+func betaQuantile(p, a, b float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if RegIncBeta(a, b, mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-14 {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// RegIncBeta computes the regularized incomplete beta function
+// I_x(a, b) by Lentz's continued-fraction method.
+func RegIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lgab, _ := math.Lgamma(a + b)
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	front := math.Exp(lgab - lga - lgb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta
+// function (modified Lentz).
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-15
+		tiny    = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Published golden values. Wilson rows are the worked examples from
+// Newcombe, "Two-sided confidence intervals for the single proportion"
+// (Statistics in Medicine 17, 1998, Table I); Clopper–Pearson rows are
+// the standard exact values (k=0 and k=n rows follow from the closed
+// form 1-(alpha/2)^(1/n)).
+func TestWilsonIntervalGolden(t *testing.T) {
+	cases := []struct {
+		k, n   int
+		conf   float64
+		lo, hi float64
+	}{
+		{81, 263, 0.95, 0.2553, 0.3662},
+		{15, 148, 0.95, 0.0624, 0.1605},
+		{0, 20, 0.95, 0.0000, 0.1611},
+		{1, 29, 0.95, 0.0061, 0.1718},
+	}
+	for _, c := range cases {
+		lo, hi := WilsonInterval(c.k, c.n, c.conf)
+		if math.Abs(lo-c.lo) > 5e-5 || math.Abs(hi-c.hi) > 5e-5 {
+			t.Errorf("Wilson(%d/%d, %.2f) = (%.4f, %.4f), want (%.4f, %.4f)",
+				c.k, c.n, c.conf, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+// The Wilson bounds are the roots of (p-hat - p)^2 = z^2 p(1-p)/n;
+// verify both endpoints satisfy the defining quadratic directly.
+func TestWilsonIntervalSelfConsistent(t *testing.T) {
+	z := NormalQuantile(0.975)
+	for _, c := range []struct{ k, n int }{{3, 17}, {50, 100}, {199, 200}} {
+		lo, hi := WilsonInterval(c.k, c.n, 0.95)
+		p := float64(c.k) / float64(c.n)
+		for _, b := range []float64{lo, hi} {
+			lhs := (p - b) * (p - b)
+			rhs := z * z * b * (1 - b) / float64(c.n)
+			if math.Abs(lhs-rhs) > 1e-9 {
+				t.Errorf("Wilson(%d/%d) bound %.6f violates defining quadratic: %g vs %g",
+					c.k, c.n, b, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestWilsonIntervalDegenerate(t *testing.T) {
+	if lo, hi := WilsonInterval(0, 0, 0.95); lo != 0 || hi != 1 {
+		t.Errorf("n=0 interval = (%v, %v), want (0, 1)", lo, hi)
+	}
+	lo, hi := WilsonInterval(0, 50, 0.95)
+	if lo != 0 {
+		t.Errorf("k=0 lower = %v, want exactly 0", lo)
+	}
+	if hi <= 0 || hi >= 0.2 {
+		t.Errorf("k=0/n=50 upper = %v, want small positive", hi)
+	}
+	lo, hi = WilsonInterval(50, 50, 0.95)
+	if hi != 1 {
+		t.Errorf("k=n upper = %v, want exactly 1", hi)
+	}
+	if lo >= 1 || lo <= 0.8 {
+		t.Errorf("k=n=50 lower = %v, want near 1", lo)
+	}
+}
+
+func TestClopperPearsonGolden(t *testing.T) {
+	cases := []struct {
+		k, n   int
+		conf   float64
+		lo, hi float64
+	}{
+		// 1-(0.025)^(1/20) and its mirror.
+		{0, 20, 0.95, 0.0000, 0.1684},
+		{20, 20, 0.95, 0.8316, 1.0000},
+		// Standard exact 95% interval for 5/10.
+		{5, 10, 0.95, 0.1871, 0.8129},
+		// Newcombe Table I example (a), exact method.
+		{81, 263, 0.95, 0.2527, 0.3676},
+	}
+	for _, c := range cases {
+		lo, hi := ClopperPearson(c.k, c.n, c.conf)
+		if math.Abs(lo-c.lo) > 5e-5 || math.Abs(hi-c.hi) > 5e-5 {
+			t.Errorf("ClopperPearson(%d/%d, %.2f) = (%.4f, %.4f), want (%.4f, %.4f)",
+				c.k, c.n, c.conf, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+// binomTail computes P(X >= k) for X ~ Binomial(n, p) directly — an
+// independent check that the Beta-quantile inversion actually inverts
+// the binomial tails the Clopper–Pearson interval is defined by.
+func binomTail(k, n int, p float64) float64 {
+	sum := 0.0
+	for i := k; i <= n; i++ {
+		lg := func(x int) float64 { v, _ := math.Lgamma(float64(x + 1)); return v }
+		logC := lg(n) - lg(i) - lg(n-i)
+		sum += math.Exp(logC + float64(i)*math.Log(p) + float64(n-i)*math.Log(1-p))
+	}
+	return sum
+}
+
+func TestClopperPearsonInvertsBinomialTails(t *testing.T) {
+	const alpha = 0.05
+	for _, c := range []struct{ k, n int }{{5, 10}, {3, 50}, {81, 263}} {
+		lo, hi := ClopperPearson(c.k, c.n, 1-alpha)
+		if got := binomTail(c.k, c.n, lo); math.Abs(got-alpha/2) > 1e-6 {
+			t.Errorf("P(X>=%d | n=%d, p=lo) = %g, want %g", c.k, c.n, got, alpha/2)
+		}
+		// Upper bound: P(X <= k | p = hi) = alpha/2.
+		if got := 1 - binomTail(c.k+1, c.n, hi); math.Abs(got-alpha/2) > 1e-6 {
+			t.Errorf("P(X<=%d | n=%d, p=hi) = %g, want %g", c.k, c.n, got, alpha/2)
+		}
+	}
+}
+
+// Clopper–Pearson is conservative: its interval is never narrower
+// than Wilson's for any case the planner will see (the endpoints can
+// shift slightly, so compare widths, not containment).
+func TestClopperPearsonNoNarrowerThanWilson(t *testing.T) {
+	for _, c := range []struct{ k, n int }{{0, 20}, {1, 29}, {5, 10}, {81, 263}, {199, 200}} {
+		wlo, whi := WilsonInterval(c.k, c.n, 0.95)
+		clo, chi := ClopperPearson(c.k, c.n, 0.95)
+		if chi-clo < whi-wlo-1e-9 {
+			t.Errorf("CP(%d/%d) width %.6f narrower than Wilson width %.6f",
+				c.k, c.n, chi-clo, whi-wlo)
+		}
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, z float64 }{
+		{0.975, 1.959963984540054},
+		{0.95, 1.6448536269514722},
+		{0.995, 2.5758293035489004},
+		{0.5, 0},
+		{0.025, -1.959963984540054},
+		{0.001, -3.090232306167813},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.z) > 1e-9 {
+			t.Errorf("NormalQuantile(%v) = %.12f, want %.12f", c.p, got, c.z)
+		}
+	}
+}
+
+func TestWilsonFixedN(t *testing.T) {
+	// Sanity anchor: the classic worst-case Wald n for ±5% at 95% is
+	// 385; Wilson's is within a couple of trials of that.
+	n := WilsonFixedN(0.05, 0.95)
+	if n < 380 || n > 390 {
+		t.Errorf("WilsonFixedN(0.05, 0.95) = %d, want ~385", n)
+	}
+	if got := worstWilsonHalf(n, 0.95); got > 0.05 {
+		t.Errorf("half-width at n=%d is %g > 0.05", n, got)
+	}
+	if got := worstWilsonHalf(n-1, 0.95); got <= 0.05 {
+		t.Errorf("n=%d is not minimal: half-width at n-1 is %g", n, got)
+	}
+	if n := WilsonFixedN(0.6, 0.95); n != 1 {
+		t.Errorf("degenerate half-width target: n = %d, want 1", n)
+	}
+}
