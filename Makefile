@@ -42,10 +42,13 @@ identity:
 
 # determinism pins the adaptive planner's reproducibility promise: the
 # confidence-driven trial set must be bit-identical across seeds,
-# worker counts, round-shard counts, resume and a live cluster. Run it
-# after touching internal/plan or the adaptive execution paths.
+# worker counts, round-shard counts, resume and a live cluster — and,
+# since the executor went persistent, across session-window
+# decompositions, mid-round cancellation/resume and lease-to-lease
+# session reuse (the TestSession* equivalence suites). Run it after
+# touching internal/plan or the adaptive execution paths.
 determinism:
-	$(GO) test -count=1 -run 'TestAdaptiveDeterministic|TestAdaptiveStratumStreamsIndependent|TestAdaptiveCampaignDeterministicAcrossExecution|TestClusterAdaptive|TestCoordinatorRestartAdaptive' ./internal/plan/ ./internal/campaign/ ./internal/fabric/
+	$(GO) test -count=1 -run 'TestAdaptiveDeterministic|TestAdaptiveStratumStreamsIndependent|TestAdaptiveCampaignDeterministicAcrossExecution|TestAdaptiveCancellationMidRound|TestClusterAdaptive|TestCoordinatorRestartAdaptive|TestSession' ./internal/plan/ ./internal/campaign/ ./internal/fabric/ ./internal/fault/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
@@ -60,11 +63,11 @@ fabric-smoke:
 # bench-json refreshes the "after" section of the committed benchmark
 # ledger from the root-package perf benchmarks (the figure harness
 # benchmarks are too slow to gate on) and prints per-metric deltas
-# against the ledger's "before" section. Only the campaign-throughput
-# benchmark gates (>10% regression fails); the micro-benchmarks stay
-# advisory — they are too noisy to block on.
-BENCH_JSON ?= BENCH_9.json
-BENCH_GATE ?= BenchmarkCampaignThroughput
+# against the ledger's "before" section. The campaign-throughput and
+# adaptive-campaign benchmarks gate (>10% regression fails); the
+# micro-benchmarks stay advisory — they are too noisy to block on.
+BENCH_JSON ?= BENCH_10.json
+BENCH_GATE ?= BenchmarkCampaignThroughput|BenchmarkAdaptiveCampaign
 bench-json:
 	$(GO) test -run '^$$' -bench 'Pipeline|CampaignThroughput|AdaptiveCampaign|CompositeTiled|BucketRestore' -benchtime 3x . | tee bench.out
 	$(GO) run ./cmd/benchdiff parse -label after -in bench.out -out $(BENCH_JSON)

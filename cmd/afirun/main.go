@@ -370,6 +370,16 @@ func runAdaptive(ctx context.Context, w campaign.Workload,
 		fmt.Printf("budget exhausted at %d trials (fixed-budget equivalent %d)\n",
 			res.Trials, res.FixedBudget)
 	}
+	if st := res.Session; st.RoundsServed > 0 {
+		if preps := st.BucketPrepHits + st.BucketPrepMisses; preps > 0 {
+			fmt.Printf("executor session: %d rounds, bucket-prep cache %d/%d hits (%.0f%%), %d worker slots reused\n",
+				st.RoundsServed, st.BucketPrepHits, preps,
+				100*float64(st.BucketPrepHits)/float64(preps), st.WorkersReused)
+		} else {
+			fmt.Printf("executor session: %d rounds, %d worker slots reused\n",
+				st.RoundsServed, st.WorkersReused)
+		}
+	}
 	fmt.Printf("campaign wall time: %s\n", res.Elapsed.Round(time.Millisecond))
 	return nil
 }

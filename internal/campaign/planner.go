@@ -81,6 +81,10 @@ type AdaptiveResult struct {
 	// plan-index order. Identical across worker counts, shard counts
 	// and resume for equal seeds.
 	Records []fault.TrialRecord
+	// Session reports what the campaign's executor session amortized
+	// across the round loop (bucket-preparation cache hits, pool
+	// reuse). Observational only.
+	Session fault.SessionStats
 	// Elapsed is the wall time, golden capture included.
 	Elapsed time.Duration
 }
@@ -96,8 +100,10 @@ func (r *Runner) GoldenFor(w Workload) (*fault.GoldenRun, error) {
 // planConfig translates spec + an explicit plan window into the
 // fault-layer config. lo is the plan index of plans[0]; planTrials
 // must cover lo+len(plans) (it names the plan space so TrialRecord
-// indices stay unambiguous).
-func (s *Spec) planConfig(golden *fault.GoldenRun, plans []fault.Plan, lo, planTrials int) fault.Config {
+// indices stay unambiguous). resume holds the records falling inside
+// the window — the Session slices them from its sorted index, so the
+// round loop never rescans the full journal per window.
+func (s *Spec) planConfig(golden *fault.GoldenRun, plans []fault.Plan, lo, planTrials int, resume []fault.TrialRecord) fault.Config {
 	cfg := fault.Config{
 		Trials:          len(plans),
 		Class:           s.Class,
@@ -116,11 +122,7 @@ func (s *Spec) planConfig(golden *fault.GoldenRun, plans []fault.Plan, lo, planT
 		Plans:           plans,
 		PlanOffset:      lo,
 		PlanTrials:      planTrials,
-	}
-	for _, rec := range s.Resume {
-		if rec.Index >= lo && rec.Index < lo+len(plans) {
-			cfg.Resume = append(cfg.Resume, rec)
-		}
+		Resume:          resume,
 	}
 	return cfg
 }
@@ -130,6 +132,9 @@ func (s *Spec) planConfig(golden *fault.GoldenRun, plans []fault.Plan, lo, planT
 // records stream through spec.OnTrial with plan indices, and
 // spec.Resume records inside the window are honored without
 // re-execution. spec.Trials and spec.Shard are ignored.
+//
+// RunPlans is the one-shot form: it opens a Session for the single
+// window and closes it. Round loops hold a Session open instead.
 func (r *Runner) RunPlans(ctx context.Context, spec Spec, plans []fault.Plan, lo int) (*Result, error) {
 	if spec.Workload.App == nil {
 		return nil, fmt.Errorf("campaign: spec has no workload app")
@@ -137,23 +142,12 @@ func (r *Runner) RunPlans(ctx context.Context, spec Spec, plans []fault.Plan, lo
 	if len(plans) == 0 {
 		return nil, fmt.Errorf("campaign: empty plan window")
 	}
-	start := time.Now()
-	golden, err := r.golden(&spec)
+	sess, err := r.OpenSession(spec)
 	if err != nil {
 		return nil, err
 	}
-	cfg := spec.planConfig(golden, plans, lo, lo+len(plans))
-	resumed := len(cfg.Resume)
-	fres, err := fault.RunCampaign(ctx, cfg, spec.Workload.App)
-	if fres == nil {
-		return nil, err
-	}
-	return &Result{
-		Spec:     spec,
-		Fault:    fres,
-		Executed: fres.Completed - resumed,
-		Elapsed:  time.Since(start),
-	}, err
+	defer sess.Close()
+	return sess.RunPlans(ctx, spec, plans, lo)
 }
 
 // RunStratified executes the fixed Relyzer-style stratified campaign
@@ -169,12 +163,13 @@ func (r *Runner) RunStratified(ctx context.Context, w Workload, cfg fault.Strati
 		Workers:    cfg.Workers,
 		StepFactor: cfg.StepFactor,
 	}
-	golden, err := r.golden(&spec)
+	sess, err := r.OpenSession(spec)
 	if err != nil {
 		return nil, err
 	}
-	spec.Golden = golden
-	planner, err := plan.NewStratified(golden, cfg)
+	defer sess.Close()
+	spec.Golden = sess.Golden()
+	planner, err := plan.NewStratified(spec.Golden, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -182,7 +177,7 @@ func (r *Runner) RunStratified(ctx context.Context, w Workload, cfg fault.Strati
 	if !ok {
 		return nil, fmt.Errorf("campaign: stratified planner emitted no round")
 	}
-	res, err := r.RunPlans(ctx, spec, round.Plans, round.Lo)
+	res, err := sess.RunPlans(ctx, spec, round.Plans, round.Lo)
 	if err != nil {
 		return nil, err
 	}
@@ -214,10 +209,14 @@ func (r *Runner) RunAdaptive(ctx context.Context, spec Spec, k int) (*AdaptiveRe
 	}
 	a := *spec.Adaptive
 	start := time.Now()
-	golden, err := r.golden(&spec)
+	// One executor session serves every round: worker pool, bucket
+	// preparations and the resume index outlive the round loop.
+	sess, err := r.OpenSession(spec)
 	if err != nil {
 		return nil, err
 	}
+	defer sess.Close()
+	golden := sess.Golden()
 	spec.Golden = golden
 	planner, err := plan.NewAdaptive(golden, plan.AdaptiveConfig{
 		Class:         spec.Class,
@@ -252,6 +251,7 @@ func (r *Runner) RunAdaptive(ctx context.Context, spec Spec, k int) (*AdaptiveRe
 		res.Converged = planner.Converged()
 		cfg := planner.Config()
 		res.FixedBudget = plan.FixedBudget(cfg.Precision, cfg.Confidence, len(res.Strata))
+		res.Session = sess.Stats()
 		res.Elapsed = time.Since(start)
 		return res, err
 	}
@@ -261,7 +261,7 @@ func (r *Runner) RunAdaptive(ctx context.Context, spec Spec, k int) (*AdaptiveRe
 		if !ok {
 			return finish(nil)
 		}
-		outcomes, recs, executed, err := r.runRound(ctx, spec, round, k, resume)
+		outcomes, recs, executed, err := runRound(ctx, sess, spec, round, k, resume)
 		if err != nil {
 			return finish(err)
 		}
@@ -289,11 +289,12 @@ func (r *Runner) RunAdaptive(ctx context.Context, spec Spec, k int) (*AdaptiveRe
 	}
 }
 
-// runRound executes one planner round as k concurrent sub-shards and
-// returns the outcomes and checkpoint records in plan-index order.
-// Rounds fully covered by resume records are observed without any
-// execution (and without re-firing spec hooks).
-func (r *Runner) runRound(ctx context.Context, spec Spec, round plan.Round, k int, resume map[int]fault.TrialRecord) ([]fault.Outcome, []fault.TrialRecord, int, error) {
+// runRound executes one planner round as k concurrent sub-shards
+// through the campaign's session and returns the outcomes and
+// checkpoint records in plan-index order. Rounds fully covered by
+// resume records are observed without any execution (and without
+// re-firing spec hooks).
+func runRound(ctx context.Context, sess *Session, spec Spec, round plan.Round, k int, resume map[int]fault.TrialRecord) ([]fault.Outcome, []fault.TrialRecord, int, error) {
 	n := len(round.Plans)
 	covered := 0
 	for i := 0; i < n; i++ {
@@ -345,7 +346,7 @@ func (r *Runner) runRound(ctx context.Context, spec Spec, round plan.Round, k in
 		wg.Add(1)
 		go func(j, lo, hi int) {
 			defer wg.Done()
-			results[j], errs[j] = r.RunPlans(ctx, sub, round.Plans[lo:hi], round.Lo+lo)
+			results[j], errs[j] = sess.RunPlans(ctx, sub, round.Plans[lo:hi], round.Lo+lo)
 		}(j, lo, hi)
 	}
 	wg.Wait()

@@ -1,0 +1,7 @@
+//go:build !race
+
+package campaign
+
+// raceEnabled gates allocation-count assertions: the race detector
+// instruments allocations and would fail any pinned ceiling.
+const raceEnabled = false

@@ -47,6 +47,8 @@ func (w *Worker) Run(ctx context.Context) error {
 	if runner == nil {
 		runner = &campaign.Runner{Goldens: campaign.NewGoldenCache(4)}
 	}
+	sessions := &workerSessions{runner: runner, build: build}
+	defer sessions.close()
 	poll := w.Poll
 	if poll <= 0 {
 		poll = 500 * time.Millisecond
@@ -70,28 +72,91 @@ func (w *Worker) Run(ctx context.Context) error {
 		if w.OnLease != nil {
 			w.OnLease(l)
 		}
-		w.runLease(ctx, runner, build, l)
+		w.runLease(ctx, runner, sessions, build, l)
+	}
+}
+
+// workerSessions caches one open executor session per campaign (the
+// latest): successive round-shard leases of the same adaptive campaign
+// reuse the workload, golden resolution, worker pool and bucket
+// preparations instead of paying the full cold start per lease. One
+// worker runs one lease at a time, so a single slot is exactly the
+// working set; a lease for a different campaign closes the old session
+// and opens the session for the new one.
+type workerSessions struct {
+	runner *campaign.Runner
+	build  WorkloadBuilder
+	cur    *leaseSession
+}
+
+// leaseSession is the cached campaign execution state: the built spec
+// (workload included) and the open session.
+type leaseSession struct {
+	campaign string
+	spec     campaign.Spec
+	sess     *campaign.Session
+}
+
+// acquire returns the session for l's campaign, opening one (and
+// retiring the previous campaign's) if needed. Only plan-carrying
+// leases go through here, so the spec is built with an empty static
+// shard — plan windows come per lease.
+func (c *workerSessions) acquire(l Lease) (*leaseSession, error) {
+	if c.cur != nil && c.cur.campaign == l.Campaign {
+		return c.cur, nil
+	}
+	c.close()
+	workload, err := c.build(l.Spec)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := l.Spec.campaignSpec(workload, campaign.Shard{})
+	if err != nil {
+		return nil, err
+	}
+	sess, err := c.runner.OpenSession(spec)
+	if err != nil {
+		return nil, err
+	}
+	c.cur = &leaseSession{campaign: l.Campaign, spec: spec, sess: sess}
+	return c.cur, nil
+}
+
+// close retires the cached session, if any.
+func (c *workerSessions) close() {
+	if c.cur != nil {
+		c.cur.sess.Close()
+		c.cur = nil
 	}
 }
 
 // runLease executes one leased shard and submits the result. Failures
 // are not reported back — the lease simply expires and the shard is
 // reassigned, which is the same path a worker crash takes.
-func (w *Worker) runLease(ctx context.Context, runner *campaign.Runner, build WorkloadBuilder, l Lease) {
-	workload, err := build(l.Spec)
-	if err != nil {
-		return
-	}
+func (w *Worker) runLease(ctx context.Context, runner *campaign.Runner, sessions *workerSessions, build WorkloadBuilder, l Lease) {
 	// Plan-carrying leases (adaptive round-shards) execute exactly the
 	// shipped plans; shard placement is then the coordinator's concern,
-	// not a static decomposition the worker recomputes.
-	shard := campaign.Shard{Index: l.ShardIndex, Count: l.ShardCount}
+	// not a static decomposition the worker recomputes. They run through
+	// the worker's cached campaign session, so successive round-shards of
+	// one campaign share workload, golden, pool and bucket preparations.
+	var spec campaign.Spec
+	var ls *leaseSession
 	if len(l.Plans) > 0 {
-		shard = campaign.Shard{}
-	}
-	spec, err := l.Spec.campaignSpec(workload, shard)
-	if err != nil {
-		return
+		var err error
+		ls, err = sessions.acquire(l)
+		if err != nil {
+			return
+		}
+		spec = ls.spec
+	} else {
+		workload, err := build(l.Spec)
+		if err != nil {
+			return
+		}
+		spec, err = l.Spec.campaignSpec(workload, campaign.Shard{Index: l.ShardIndex, Count: l.ShardCount})
+		if err != nil {
+			return
+		}
 	}
 	var done atomic.Int64
 	spec.OnTrial = func(fault.TrialRecord) { done.Add(1) }
@@ -125,8 +190,9 @@ func (w *Worker) runLease(ctx context.Context, runner *campaign.Runner, build Wo
 	}()
 
 	var res *campaign.Result
-	if len(l.Plans) > 0 {
-		res, err = runner.RunPlans(leaseCtx, spec, l.Plans, l.PlanLo)
+	var err error
+	if ls != nil {
+		res, err = ls.sess.RunPlans(leaseCtx, spec, l.Plans, l.PlanLo)
 	} else {
 		res, err = runner.Run(leaseCtx, spec)
 	}

@@ -1,0 +1,56 @@
+package fabric
+
+import (
+	"context"
+	"testing"
+
+	"vsresil/internal/campaign"
+	"vsresil/internal/fault"
+)
+
+// TestWorkerSessionReuse pins the lease-to-lease amortization:
+// successive round-shard leases of one campaign share the cached
+// executor session, and a lease for a different campaign rolls the
+// cache over, retiring the old session.
+func TestWorkerSessionReuse(t *testing.T) {
+	runner := &campaign.Runner{Goldens: campaign.NewGoldenCache(4)}
+	c := &workerSessions{runner: runner, build: toyBuild}
+	defer c.close()
+
+	s1, err := c.acquire(Lease{ID: "l1", Campaign: "c1", Spec: toyWireSpec()})
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	s2, err := c.acquire(Lease{ID: "l2", Campaign: "c1", Spec: toyWireSpec()})
+	if err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	if s2 != s1 {
+		t.Error("second lease of the same campaign did not reuse the cached session")
+	}
+
+	other := toyWireSpec()
+	other.Seed = 99
+	s3, err := c.acquire(Lease{ID: "l3", Campaign: "c2", Spec: other})
+	if err != nil {
+		t.Fatalf("rollover acquire: %v", err)
+	}
+	if s3 == s1 {
+		t.Fatal("different campaign was served the old session")
+	}
+	// The rollover must have closed the retired session: a window run
+	// on it is refused before any trial executes.
+	if _, err := s1.sess.RunPlans(context.Background(), s1.spec, []fault.Plan{{}}, 0); err == nil {
+		t.Error("retired session still accepts plan windows")
+	}
+	// The live session still executes.
+	plans := fault.GeneratePlans(other.Seed, fault.GPR, fault.RAny,
+		fault.WindowFor(fault.GPR, 0), 4, s3.sess.Golden().Taps(fault.GPR, fault.RAny))
+	res, err := s3.sess.RunPlans(context.Background(), s3.spec, plans, 0)
+	if err != nil {
+		t.Fatalf("live session window: %v", err)
+	}
+	if res.Fault.Completed != len(plans) {
+		t.Errorf("live session completed %d trials, want %d", res.Fault.Completed, len(plans))
+	}
+}

@@ -6,11 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
-	"vsresil/internal/fastpath"
 	"vsresil/internal/stats"
 )
 
@@ -493,6 +491,12 @@ func GeneratePlans(seed uint64, class Class, region Region, window uint64, n int
 // only the remaining stages — bit-identical to a full run, because the
 // skipped prefix is provably fault-free for that trial's plan.
 //
+// RunCampaign is the one-shot wrapper around a Session: it opens a
+// persistent executor session, runs the single plan window through it
+// and closes it. Callers executing many windows of one campaign (the
+// planner round loop, fabric round-shard leases) hold a Session open
+// instead and pay the pool/preparation setup once.
+//
 // If ctx is canceled mid-campaign, RunCampaign stops feeding new
 // trials, waits for in-flight ones, and returns the partial Result
 // (Completed < Config.Trials) together with a non-nil error wrapping
@@ -522,262 +526,15 @@ func RunCampaign(ctx context.Context, cfg Config, app App) (*Result, error) {
 			return nil, err
 		}
 	}
-	goldenOut := golden.Output
-	// Prefix skipping needs both sides of the seam: a staged app to
-	// resume into and a golden run that recorded boundaries under the
-	// current schema. Anything else (plain goldens, schema drift, the
-	// kill switch) degrades to full execution.
-	skip := cfg.Staged != nil && len(golden.Checkpoints) > 0 &&
-		golden.Schema == CheckpointSchema && fastpath.PrefixSkip()
-
-	totalTaps := golden.Taps(cfg.Class, cfg.Region)
-	if totalTaps == 0 {
-		return nil, ErrNoTaps
+	s, err := NewSession(SessionConfig{App: app, Staged: cfg.Staged, Golden: golden, Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
 	}
-
-	window := WindowFor(cfg.Class, cfg.Window)
-	stepFactor := cfg.StepFactor
-	if stepFactor <= 0 {
-		stepFactor = DefaultStepFactor
-	}
-	budget := uint64(float64(golden.Steps) * stepFactor)
-
-	var plans []Plan
-	if cfg.Plans != nil {
-		// A planner supplied the exact plans for this window.
-		if len(cfg.Plans) != cfg.Trials {
-			return nil, fmt.Errorf("fault: %d explicit plans for %d trials", len(cfg.Plans), cfg.Trials)
-		}
-		plans = cfg.Plans
-	} else {
-		// Pre-generate the full plan space from the seed so results
-		// depend on neither worker scheduling nor shard decomposition:
-		// a shard draws the same plans the unsharded campaign would
-		// and executes only its window.
-		plans = GeneratePlans(cfg.Seed, cfg.Class, cfg.Region, window, planTrials, totalTaps)
-		plans = plans[cfg.PlanOffset : cfg.PlanOffset+cfg.Trials]
-	}
-
-	trials := make([]Trial, cfg.Trials)
-	done := make([]bool, cfg.Trials)
-	for _, rec := range cfg.Resume {
-		// Record indices are plan indices; map them into this run's
-		// window.
-		local := rec.Index - cfg.PlanOffset
-		if local < 0 || local >= cfg.Trials {
-			return nil, fmt.Errorf("fault: resume record index %d out of range [%d,%d)",
-				rec.Index, cfg.PlanOffset, cfg.PlanOffset+cfg.Trials)
-		}
-		if rec.Outcome >= NumOutcomes {
-			return nil, fmt.Errorf("fault: resume record %d has invalid outcome %d", rec.Index, rec.Outcome)
-		}
-		if done[local] {
-			return nil, fmt.Errorf("fault: duplicate resume record for trial %d", rec.Index)
-		}
-		trials[local] = Trial{
-			Plan:    plans[local],
-			Outcome: rec.Outcome,
-			Crash:   rec.Crash,
-			Landed:  rec.Landed,
-		}
-		done[local] = true
-	}
-
-	pending := make([]int, 0, cfg.Trials)
-	for i := 0; i < cfg.Trials; i++ {
-		if !done[i] {
-			pending = append(pending, i)
-		}
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	// Never spawn idle goroutines: a mostly-resumed campaign has fewer
-	// pending plans than workers.
-	if workers > len(pending) {
-		workers = len(pending)
-	}
-
-	// Bucket batching groups the pending plans by the checkpoint they
-	// resume from, so each bucket restores/prepares the shared boundary
-	// view once; the suffix cutoffs ride on the same gate. Scheduling
-	// stays an implementation detail: trials write their own result
-	// slots and the final accumulation below runs in plan-index order,
-	// so shard/merge/journal-resume observables are bit-identical with
-	// batching on or off.
-	batch := skip && fastpath.Batching()
-	var bapp BatchStagedApp
-	if cfg.Staged != nil {
-		bapp, _ = cfg.Staged.(BatchStagedApp)
-	}
-	var sched SchedStats
-	var jobs []trialBatch
-	if batch {
-		byCp := make(map[int][]int)
-		for _, i := range pending {
-			ci := golden.CheckpointIndexFor(plans[i])
-			byCp[ci] = append(byCp[ci], i)
-		}
-		cpIdxs := make([]int, 0, len(byCp))
-		for ci := range byCp {
-			cpIdxs = append(cpIdxs, ci)
-		}
-		sort.Ints(cpIdxs)
-		// Large buckets are fed to workers in chunks so one bucket
-		// cannot serialize the pool (and cancellation stays responsive);
-		// chunks of a bucket still share its once-per-bucket prepared
-		// view.
-		chunk := 1
-		if workers > 0 {
-			chunk = (len(pending) + workers*4 - 1) / (workers * 4)
-		}
-		if chunk > maxBucketChunk {
-			chunk = maxBucketChunk
-		}
-		if chunk < 1 {
-			chunk = 1
-		}
-		for _, ci := range cpIdxs {
-			idxs := byCp[ci]
-			var b *schedBucket
-			if ci >= 0 {
-				b = &schedBucket{cp: &golden.Checkpoints[ci], cpIdx: ci}
-				sched.Buckets++
-				sched.Batched += len(idxs)
-				sched.BucketSizes = append(sched.BucketSizes, len(idxs))
-			}
-			for lo := 0; lo < len(idxs); lo += chunk {
-				hi := lo + chunk
-				if hi > len(idxs) {
-					hi = len(idxs)
-				}
-				jobs = append(jobs, trialBatch{bucket: b, idxs: idxs[lo:hi]})
-			}
-		}
-		sched.RestoresSaved = sched.Batched - sched.Buckets
-	} else {
-		for lo := 0; lo < len(pending); lo++ {
-			jobs = append(jobs, trialBatch{idxs: pending[lo : lo+1]})
-		}
-	}
-
-	exec := &trialExec{
-		budget:    budget,
-		goldenOut: goldenOut,
-		// keepSDC makes the trial hold on to SDC output bytes; the
-		// post-trial hook below decides whether they are streamed,
-		// retained or dropped once the cap is reached.
-		keepSDC: cfg.KeepSDCOutputs || cfg.OnSDCOutput != nil,
-		app:     app,
-		staged:  cfg.Staged,
-		golden:  golden,
-		// The suffix cutoffs share the batching gate: both are executor
-		// optimizations whose soundness argument (resolved plan ⇒ golden
-		// suffix) is documented with the bucket scheduler, and turning
-		// the gate off restores classic trial-at-a-time execution.
-		earlyMask: fastpath.Batching(),
-	}
-	if batch {
-		exec.bapp = bapp
-	}
-
-	var hookMu sync.Mutex // serializes OnTrial/OnSDCOutput and cap accounting
-	// keptSDC tracks the local indices of retained SDC outputs while
-	// MaxSDCOutputs caps them; the eviction below converges on the
-	// lowest-index SDC trials whatever order workers complete in.
-	var keptSDC []int
-	jobCh := make(chan trialBatch)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for job := range jobCh {
-				var cp *Checkpoint
-				var prep any
-				cpIdx := -1
-				if b := job.bucket; b != nil {
-					cp, cpIdx = b.cp, b.cpIdx
-					if exec.bapp != nil {
-						// Once per bucket, not per chunk or trial: the
-						// first chunk scheduled prepares the shared view,
-						// later chunks of the same bucket reuse it.
-						b.prepOnce.Do(func() { b.prep = exec.bapp.PrepareResume(cp.State) })
-						prep = b.prep
-					}
-				}
-				for _, i := range job.idxs {
-					tcp := cp
-					if job.bucket == nil && skip {
-						tcp = golden.CheckpointFor(plans[i])
-					}
-					t := exec.run(plans[i], tcp, cpIdx, prep)
-					hookMu.Lock()
-					if t.Output != nil {
-						switch {
-						case cfg.OnSDCOutput != nil:
-							cfg.OnSDCOutput(t.Record(cfg.PlanOffset+i), t.Output)
-							t.Output = nil
-						case cfg.MaxSDCOutputs > 0:
-							if len(keptSDC) < cfg.MaxSDCOutputs {
-								keptSDC = append(keptSDC, i)
-							} else {
-								// Cap reached: evict the highest retained
-								// index if this trial precedes it, else drop
-								// this trial's output.
-								hi := 0
-								for j := 1; j < len(keptSDC); j++ {
-									if keptSDC[j] > keptSDC[hi] {
-										hi = j
-									}
-								}
-								if i < keptSDC[hi] {
-									trials[keptSDC[hi]].Output = nil
-									keptSDC[hi] = i
-								} else {
-									t.Output = nil
-								}
-							}
-						}
-					}
-					trials[i] = t
-					done[i] = true
-					if cfg.OnTrial != nil {
-						cfg.OnTrial(t.Record(cfg.PlanOffset + i))
-					}
-					hookMu.Unlock()
-				}
-			}
-		}()
-	}
-	var ctxErr error
-feed:
-	for _, job := range jobs {
-		select {
-		case jobCh <- job:
-		case <-ctx.Done():
-			ctxErr = ctx.Err()
-			break feed
-		}
-	}
-	close(jobCh)
-	wg.Wait()
-	sched.EarlyMasks = int(exec.earlyMasks.Load())
-	sched.Converged = int(exec.converged.Load())
-
-	res := NewResult(cfg, goldenOut, golden.Steps, totalTaps)
-	res.Trials = trials
-	res.Sched = sched
-	for i := range trials {
-		if done[i] {
-			res.Accumulate(&trials[i])
-		}
-	}
-	if ctxErr != nil {
-		return res, fmt.Errorf("fault: campaign interrupted after %d/%d trials: %w", res.Completed, cfg.Trials, ctxErr)
-	}
-	return res, nil
+	defer s.Close()
+	// The session validates cfg.Golden against its own golden; a nil
+	// cfg.Golden (we captured above) is accepted and the captured run is
+	// used, so Result.Config stays exactly the caller's cfg.
+	return s.Run(ctx, cfg)
 }
 
 // maxBucketChunk caps how many trials one channel send hands a worker,

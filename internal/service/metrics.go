@@ -60,6 +60,15 @@ type metrics struct {
 	roundLastMaxHW float64
 	strataHW       map[stratumCell]stratumGauge
 
+	// executor-session accumulators fed by fault.SessionStats after
+	// each adaptive campaign: how much the persistent session amortized
+	// across its round loop.
+	sessionCampaigns  uint64
+	sessionPrepHits   uint64
+	sessionPrepMisses uint64
+	sessionRounds     uint64
+	sessionReused     uint64
+
 	// trialTimes is a per-second ring of trial completions backing the
 	// trials/sec gauge.
 	trialTimes [16]struct {
@@ -214,6 +223,18 @@ func (m *metrics) adaptiveDone(class string, strata []plan.StratumStatus, conver
 	}
 }
 
+// sessionDone folds one campaign's executor-session counters into the
+// service-lifetime session gauges.
+func (m *metrics) sessionDone(s fault.SessionStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionCampaigns++
+	m.sessionPrepHits += s.BucketPrepHits
+	m.sessionPrepMisses += s.BucketPrepMisses
+	m.sessionRounds += s.RoundsServed
+	m.sessionReused += s.WorkersReused
+}
+
 // bucketsDone folds one campaign's scheduler statistics into the
 // service-lifetime bucket gauges.
 func (m *metrics) bucketsDone(s fault.SchedStats) {
@@ -338,6 +359,13 @@ func (m *metrics) write(w io.Writer, g gauges) {
 		fmt.Fprintf(w, "vsd_campaign_round_trials_total %d\n", m.roundTrials)
 		fmt.Fprintf(w, "vsd_campaign_round_converged_total %d\n", m.roundConverged)
 		fmt.Fprintf(w, "vsd_campaign_round_last_max_half_width %.4f\n", m.roundLastMaxHW)
+	}
+	if m.sessionCampaigns > 0 {
+		fmt.Fprintf(w, "vsd_campaign_session_campaigns_total %d\n", m.sessionCampaigns)
+		fmt.Fprintf(w, "vsd_campaign_session_bucket_prep_hits %d\n", m.sessionPrepHits)
+		fmt.Fprintf(w, "vsd_campaign_session_bucket_prep_misses %d\n", m.sessionPrepMisses)
+		fmt.Fprintf(w, "vsd_campaign_session_rounds_served %d\n", m.sessionRounds)
+		fmt.Fprintf(w, "vsd_campaign_session_workers_reused %d\n", m.sessionReused)
 	}
 	if len(m.strataHW) > 0 {
 		cells := make([]stratumCell, 0, len(m.strataHW))

@@ -441,6 +441,7 @@ func (s *Service) runCampaign(ctx context.Context, j *Job) (any, error) {
 			})
 		}
 		s.metrics.adaptiveDone(cr.Class, ares.Strata, ares.Converged)
+		s.metrics.sessionDone(ares.Session)
 		executed = ares.Executed
 	} else {
 		fres := res.Fault
